@@ -1,0 +1,66 @@
+// Ablation A — optimizer choice. The paper's prototype "uses gradient
+// descent, while other algorithms can be easily supported"; this bench runs
+// every supported algorithm on the same coverage objective (room scene,
+// same focus initialization) and reports achieved loss / median SNR /
+// objective evaluations / wall time.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "room_study.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace surfos;
+
+int main() {
+  std::printf("=== Ablation: optimization algorithms on the coverage task ===\n");
+  std::printf("Scene: 3.5 m room, 16x16 element-wise surface, 12x12 probe "
+              "grid, identical focus initialization.\n\n");
+
+  bench::RoomStudy study(/*grid_n=*/12, /*panel_n=*/16);
+  const orch::CapacityObjective coverage(study.channel.get(),
+                                         study.variables.get(), study.all_rx,
+                                         study.rho());
+  const auto x0 = study.init();
+
+  std::vector<std::unique_ptr<opt::Optimizer>> optimizers;
+  optimizers.push_back(std::make_unique<opt::GradientDescent>());
+  optimizers.push_back(std::make_unique<opt::Adam>());
+  optimizers.push_back(std::make_unique<opt::Spsa>());
+  opt::RandomSearchOptions rs;
+  rs.max_evaluations = 4000;
+  optimizers.push_back(std::make_unique<opt::RandomSearch>(rs));
+  opt::AnnealingOptions an;
+  an.max_evaluations = 4000;
+  optimizers.push_back(std::make_unique<opt::SimulatedAnnealing>(an));
+  opt::CmaEsOptions cm;
+  cm.max_evaluations = 4000;
+  optimizers.push_back(std::make_unique<opt::CmaEs>(cm));
+
+  util::Table table({"Optimizer", "Final loss (-bits/s/Hz)", "Median SNR (dB)",
+                     "Evaluations", "Time (ms)"});
+  const double init_loss = coverage.value(x0);
+  for (const auto& optimizer : optimizers) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = optimizer->minimize(coverage, x0);
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto configs = study.variables->realize(result.x);
+    const auto metrics = study.coverage_metrics_of(configs);
+    table.add_row(
+        {optimizer->name(), util::format("%.3f", result.value),
+         util::format("%.1f", metrics.median_snr_db),
+         util::format("%zu", result.evaluations),
+         util::format("%.0f",
+                      std::chrono::duration<double, std::milli>(t1 - t0)
+                          .count())});
+  }
+  table.print(std::cout);
+  std::printf("\nInitial (focus-only) loss: %.3f. Gradient-based methods\n"
+              "exploit the analytic channel gradients; derivative-free\n"
+              "methods are the fallback when only endpoint RSS feedback\n"
+              "exists (paper 3.1 data-plane mode).\n",
+              init_loss);
+  return 0;
+}

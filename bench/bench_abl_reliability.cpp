@@ -1,0 +1,124 @@
+// Ablation F — control-plane reliability. SurfOS may drive surfaces from
+// the edge or cloud over lossy links (paper Section 1); this bench sweeps
+// datagram loss and compares the raw fire-and-forget driver against the
+// ARQ-reliable driver: configuration delivery rate and the time until the
+// hardware actually holds the new configuration.
+#include <cstdio>
+#include <iostream>
+
+#include "hal/reliable.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace surfos;
+
+namespace {
+
+surface::SurfacePanel make_panel() {
+  surface::ElementDesign d;
+  d.spacing_m = 0.005;
+  return surface::SurfacePanel("panel", geom::Frame({0, 0, 0}, {0, 0, 1}), 16,
+                               16, d, surface::OperationMode::kReflective,
+                               surface::Reconfigurability::kProgrammable,
+                               surface::ControlGranularity::kElement);
+}
+
+struct Trial {
+  double delivery_rate = 0.0;   ///< Fraction of writes that landed.
+  double mean_latency_us = 0.0; ///< Mean time from write to applied.
+  std::size_t retransmissions = 0;
+};
+
+constexpr int kWrites = 50;
+constexpr hal::Micros kLinkLatency = 500;
+
+/// Issues kWrites distinct configs (one per poll round) and measures how
+/// many land and how fast, for either driver class.
+template <typename MakeDriver>
+Trial run(double loss, MakeDriver make_driver) {
+  hal::SimClock clock;
+  const auto panel = make_panel();
+  auto driver = make_driver(clock, panel, loss);
+  Trial trial;
+  std::size_t landed = 0;
+  double latency_sum = 0.0;
+  for (int w = 0; w < kWrites; ++w) {
+    surface::SurfaceConfig config(panel.element_count());
+    config.set_phase(0, 0.01 * (w + 1));  // distinguishable marker
+    const hal::Micros issued = clock.now();
+    driver->write_config(0, config);
+    // Give each write up to 20 ms of polling before moving on.
+    bool applied = false;
+    for (int tick = 0; tick < 40 && !applied; ++tick) {
+      clock.advance(500);
+      driver->poll();
+      applied = std::fabs(driver->active_config().phase(0) -
+                          config.phase(0)) < 1e-3;
+    }
+    if (applied) {
+      ++landed;
+      latency_sum += static_cast<double>(clock.now() - issued);
+    }
+  }
+  trial.delivery_rate = static_cast<double>(landed) / kWrites;
+  trial.mean_latency_us = landed > 0 ? latency_sum / landed : 0.0;
+  if (const auto* reliable =
+          dynamic_cast<const hal::ReliableSurfaceDriver*>(driver.get())) {
+    trial.retransmissions = reliable->link().retransmission_count();
+  }
+  return trial;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: raw vs ARQ-reliable control path ===\n");
+  std::printf(
+      "%d configuration writes over a %llu us link; sweep datagram loss.\n\n",
+      kWrites, static_cast<unsigned long long>(kLinkLatency));
+
+  util::Table table({"Loss", "raw delivered", "raw latency (us)",
+                     "ARQ delivered", "ARQ latency (us)", "ARQ retransmits"});
+  for (const double loss : {0.0, 0.1, 0.3, 0.5, 0.7}) {
+    const Trial raw = run(loss, [](hal::SimClock& clock,
+                                   const surface::SurfacePanel& panel,
+                                   double p) {
+      hal::HardwareSpec spec;
+      spec.control_delay_us = kLinkLatency;
+      spec.config_slots = 1;
+      hal::LinkOptions options;
+      options.loss_probability = p;
+      options.seed = 17;
+      return std::make_unique<hal::ProgrammableSurfaceDriver>(
+          "raw", &panel, spec, &clock, options);
+    });
+    const Trial arq = run(loss, [](hal::SimClock& clock,
+                                   const surface::SurfacePanel& panel,
+                                   double p) {
+      hal::HardwareSpec spec;
+      spec.control_delay_us = kLinkLatency;
+      spec.config_slots = 1;
+      hal::ReliableOptions options;
+      options.forward.loss_probability = p;
+      options.forward.seed = 17;
+      options.reverse.loss_probability = p / 2.0;
+      options.rto_us = 1500;
+      return std::make_unique<hal::ReliableSurfaceDriver>("arq", &panel, spec,
+                                                          &clock, options);
+    });
+    table.add_row({util::format("%.0f%%", loss * 100.0),
+                   util::format("%.0f%%", raw.delivery_rate * 100.0),
+                   util::format("%.0f", raw.mean_latency_us),
+                   util::format("%.0f%%", arq.delivery_rate * 100.0),
+                   util::format("%.0f", arq.mean_latency_us),
+                   util::format("%zu", arq.retransmissions)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nShape: the raw driver silently loses configurations as loss grows\n"
+      "(the hardware keeps actuating stale state); ARQ holds ~100%% delivery\n"
+      "and pays for it in retransmission latency — the classic reliability/\n"
+      "latency trade the control plane must budget for (paper 3.1's control\n"
+      "delay axis).\n");
+  return 0;
+}

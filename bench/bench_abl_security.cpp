@@ -1,0 +1,115 @@
+// Ablation E — the security service (paper Fig 1: "Security"; Section 3.2's
+// joint optimization applied to leakage suppression).
+//
+// A laptop in the room needs a strong link while a sensitive area (say, a
+// desk handling confidential material) must not receive a usable signal.
+// Compare:
+//   link-only : enhance_link() alone — the beam leaks into the secure zone;
+//   joint     : enhance_link() + protect() — one shared configuration
+//               steers nulls into the zone while keeping the link.
+#include <cstdio>
+#include <iostream>
+
+#include "orch/orchestrator.hpp"
+#include "sim/floorplan.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace surfos;
+
+namespace {
+
+struct Outcome {
+  double link_snr_db = 0.0;
+  double worst_leak_dbm = -300.0;
+  double median_leak_dbm = -300.0;
+};
+
+Outcome run(bool with_protect) {
+  sim::CoverageRoomScenario scene = sim::make_coverage_room(4);
+  hal::SimClock clock;
+  hal::DeviceRegistry registry;
+  surface::ElementDesign d;
+  d.spacing_m = em::wavelength(em::band_center(scene.band)) / 2.0;
+  d.insertion_loss_db = 1.0;
+  const surface::SurfacePanel panel(
+      "wall", scene.surface_pose, 16, 16, d,
+      surface::OperationMode::kReflective,
+      surface::Reconfigurability::kProgrammable,
+      surface::ControlGranularity::kElement);
+  registry.add_surface(std::make_unique<hal::ProgrammableSurfaceDriver>(
+      "wall", &panel, hal::spec_for_panel(panel, scene.band), &clock));
+  registry.add_endpoint({"laptop", hal::EndpointKind::kClient,
+                         {2.2, 2.8, 1.0}, scene.band, std::nullopt});
+
+  orch::OrchestratorContext context;
+  context.environment = scene.environment.get();
+  context.ap = scene.ap();
+  context.default_band = scene.band;
+  context.budget = scene.budget;
+  orch::Orchestrator orchestrator(&registry, &clock, context);
+
+  const geom::SampleGrid secure_zone(0.5, 1.5, 0.5, 1.4, 1.0, 4, 3);
+  const auto link_id = orchestrator.enhance_link({"laptop", 15.0, 50.0});
+  orch::TaskId protect_id = 0;
+  if (with_protect) {
+    orch::SecurityGoal goal;
+    goal.region_id = "secure-zone";
+    goal.region = secure_zone;
+    goal.max_leak_dbm = -85.0;
+    protect_id = orchestrator.protect(goal);
+  }
+  orchestrator.step();
+
+  Outcome outcome;
+  outcome.link_snr_db =
+      orchestrator.find_task(link_id)->achieved.value_or(-300.0);
+  // Measure the leakage with the hardware's realized configuration.
+  const auto config = orchestrator.last_realized("wall");
+  sim::SceneChannel channel(scene.environment.get(),
+                            em::band_center(scene.band), scene.ap(), {&panel},
+                            secure_zone.points());
+  std::vector<double> leak;
+  const auto coeffs = channel.coefficients_for(
+      std::vector<surface::SurfaceConfig>{*config});
+  for (std::size_t j = 0; j < channel.rx_count(); ++j) {
+    leak.push_back(
+        scene.budget.rss_dbm(std::norm(channel.evaluate(j, coeffs))));
+  }
+  outcome.worst_leak_dbm = *std::max_element(leak.begin(), leak.end());
+  outcome.median_leak_dbm = util::median(leak);
+  (void)protect_id;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: security service (leakage suppression) ===\n");
+  std::printf(
+      "One 16x16 surface serves a laptop link; a secure zone nearby must\n"
+      "stay dark. protect() joins the optimization as a negative-capacity\n"
+      "objective over the zone.\n\n");
+
+  const Outcome link_only = run(false);
+  const Outcome joint = run(true);
+
+  util::Table table({"Configuration", "Link SNR (dB)", "Zone worst RSS (dBm)",
+                     "Zone median RSS (dBm)"});
+  table.add_row({"link-only", util::format("%.1f", link_only.link_snr_db),
+                 util::format("%.1f", link_only.worst_leak_dbm),
+                 util::format("%.1f", link_only.median_leak_dbm)});
+  table.add_row({"link + protect", util::format("%.1f", joint.link_snr_db),
+                 util::format("%.1f", joint.worst_leak_dbm),
+                 util::format("%.1f", joint.median_leak_dbm)});
+  table.print(std::cout);
+
+  std::printf(
+      "\nLeakage suppressed by %.1f dB (worst case) at a link cost of %.1f "
+      "dB.\nShape: the shared-configuration multiplexing that joins coverage\n"
+      "and sensing in Fig 5 equally composes connectivity with security.\n",
+      link_only.worst_leak_dbm - joint.worst_leak_dbm,
+      link_only.link_snr_db - joint.link_snr_db);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 5 — "Multitasking for joint localization and coverage. Joint
+// optimization ensures high performance for both tasks with a single surface
+// configuration."
+//
+// Regenerates the paper's two CDFs over locations in the target room for
+// three configurations of the same (passive, shared) surface:
+//   - Coverage Opt      : minimize  -sum capacity
+//   - Localization Opt  : minimize  cross-entropy(est. AoA, true AoA)
+//   - Multi-tasking     : minimize  the sum of both losses
+#include <cstdio>
+#include <iostream>
+
+#include "room_study.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace surfos;
+
+namespace {
+
+void print_cdf(const char* title, const char* unit,
+               const std::vector<double>& thresholds,
+               const std::vector<double>& multi,
+               const std::vector<double>& loc_only,
+               const std::vector<double>& cov_only) {
+  std::printf("\n%s (CDF over locations)\n", title);
+  util::Table table({std::string(unit), "Multi-tasking", "Localization Opt",
+                     "Coverage Opt"});
+  const auto multi_cdf = util::cdf_at(multi, thresholds);
+  const auto loc_cdf = util::cdf_at(loc_only, thresholds);
+  const auto cov_cdf = util::cdf_at(cov_only, thresholds);
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    table.add_row({util::format("%.1f", thresholds[i]),
+                   util::format("%.2f", multi_cdf[i]),
+                   util::format("%.2f", loc_cdf[i]),
+                   util::format("%.2f", cov_cdf[i])});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Figure 5: joint multitasking with a single shared configuration "
+      "===\n");
+  std::printf(
+      "Scene: 3.5 m room, one passive 20x20 phase surface, 28 GHz; losses as\n"
+      "in the paper (coverage: negative sum of capacity; localization:\n"
+      "cross-entropy between estimated and true AoA).\n");
+
+  bench::RoomStudy study(/*grid_n=*/14, /*panel_n=*/20);
+
+  const auto cfg_multi = study.optimize_joint();
+  const auto cfg_loc = study.optimize_localization_only();
+  const auto cfg_cov = study.optimize_coverage_only();
+
+  const auto snr_multi = study.coverage_metrics_of(cfg_multi).snr_db;
+  const auto snr_loc = study.coverage_metrics_of(cfg_loc).snr_db;
+  const auto snr_cov = study.coverage_metrics_of(cfg_cov).snr_db;
+  const auto err_multi = study.sensing_metrics_of(cfg_multi).errors_m;
+  const auto err_loc = study.sensing_metrics_of(cfg_loc).errors_m;
+  const auto err_cov = study.sensing_metrics_of(cfg_cov).errors_m;
+
+  print_cdf("Location error (m)", "error <=",
+            {0.0, 0.2, 0.5, 1.0, 1.5, 2.0}, err_multi, err_loc, err_cov);
+  print_cdf("SNR (dB)", "snr <=", {0, 5, 10, 15, 20, 25, 30, 35}, snr_multi,
+            snr_loc, snr_cov);
+
+  std::printf("\nMedians:\n");
+  util::Table medians({"Configuration", "Median SNR (dB)",
+                       "Median location error (m)"});
+  medians.add_row({"Multi-tasking", util::format("%.1f", util::median(snr_multi)),
+                   util::format("%.2f", util::median(err_multi))});
+  medians.add_row({"Localization Opt",
+                   util::format("%.1f", util::median(snr_loc)),
+                   util::format("%.2f", util::median(err_loc))});
+  medians.add_row({"Coverage Opt", util::format("%.1f", util::median(snr_cov)),
+                   util::format("%.2f", util::median(err_cov))});
+  medians.print(std::cout);
+
+  const bool sensing_preserved =
+      util::median(err_multi) < 0.5 * util::median(err_cov);
+  const bool coverage_preserved =
+      util::median(snr_multi) > util::median(snr_loc) &&
+      util::median(snr_multi) > util::median(snr_cov) - 5.0;
+  std::printf(
+      "\nPaper's claim — 'a single surface configuration can effectively\n"
+      "multitask with little performance loss' — %s\n"
+      "(multitask keeps localization near the localization-only curve and\n"
+      "SNR within a few dB of the coverage-only curve).\n",
+      sensing_preserved && coverage_preserved ? "REPRODUCED"
+                                              : "NOT REPRODUCED");
+  return 0;
+}

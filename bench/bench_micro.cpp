@@ -1,0 +1,165 @@
+// Micro-benchmarks (google-benchmark): the hot paths that bound how fast the
+// control plane can react — channel evaluation (with and without gradients),
+// configuration serialization and framing, BVH occlusion queries, AoA
+// spectra, and one full optimizer iteration.
+#include <benchmark/benchmark.h>
+
+#include "hal/crc32.hpp"
+#include "hal/protocol.hpp"
+#include "opt/optimizer.hpp"
+#include "orch/objectives.hpp"
+#include "orch/variables.hpp"
+#include "sense/aoa.hpp"
+#include "sim/channel.hpp"
+#include "sim/floorplan.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace surfos;
+
+constexpr double kFreq = 28e9;
+
+struct MicroScene {
+  sim::Environment env{em::MaterialDb::standard()};
+  std::unique_ptr<surface::SurfacePanel> panel;
+  std::unique_ptr<sim::SceneChannel> channel;
+  std::unique_ptr<orch::PanelVariables> vars;
+
+  explicit MicroScene(std::size_t n) {
+    env.add_vertical_wall(0.0, -2.0, 0.0, 2.0, 0.0, 1.0, em::kMatMetal);
+    env.finalize();
+    surface::ElementDesign d;
+    d.spacing_m = em::wavelength(kFreq) / 2.0;
+    panel = std::make_unique<surface::SurfacePanel>(
+        "p", geom::Frame({0, 0, 2}, {0, 0, -1}, {1, 0, 0}), n, n, d,
+        surface::OperationMode::kReflective,
+        surface::Reconfigurability::kProgrammable,
+        surface::ControlGranularity::kElement);
+    channel = std::make_unique<sim::SceneChannel>(
+        &env, kFreq, sim::TxSpec{{-1.0, 0.2, 0.0}, nullptr},
+        std::vector<const surface::SurfacePanel*>{panel.get()},
+        std::vector<geom::Vec3>{{1.0, -1.5, 0.1}});
+    vars = std::make_unique<orch::PanelVariables>(
+        std::vector<const surface::SurfacePanel*>{panel.get()});
+  }
+};
+
+void BM_ChannelEvaluate(benchmark::State& state) {
+  const MicroScene scene(static_cast<std::size_t>(state.range(0)));
+  const surface::SurfaceConfig uniform(scene.panel->element_count());
+  const auto coeffs =
+      scene.channel->coefficients_for(std::vector<surface::SurfaceConfig>{uniform});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scene.channel->evaluate(0, coeffs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(scene.panel->element_count()));
+}
+BENCHMARK(BM_ChannelEvaluate)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ChannelEvaluateWithPartials(benchmark::State& state) {
+  const MicroScene scene(static_cast<std::size_t>(state.range(0)));
+  const surface::SurfaceConfig uniform(scene.panel->element_count());
+  const auto coeffs =
+      scene.channel->coefficients_for(std::vector<surface::SurfaceConfig>{uniform});
+  em::Cx h;
+  std::vector<em::CVec> partials;
+  for (auto _ : state) {
+    scene.channel->evaluate_with_partials(0, coeffs, h, partials);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_ChannelEvaluateWithPartials)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_GradientDescentIteration(benchmark::State& state) {
+  const MicroScene scene(16);
+  const orch::CapacityObjective objective(scene.channel.get(),
+                                          scene.vars.get(), {0}, 1e12);
+  std::vector<double> x(scene.vars->dimension(), 0.1);
+  std::vector<double> grad(x.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(objective.value_and_gradient(x, grad));
+  }
+}
+BENCHMARK(BM_GradientDescentIteration);
+
+void BM_ConfigSerializeRoundTrip(benchmark::State& state) {
+  surface::SurfaceConfig config(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(5);
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    config.set_phase(i, rng.uniform(0, 6.28));
+  }
+  for (auto _ : state) {
+    const auto bytes = config.serialize();
+    benchmark::DoNotOptimize(surface::SurfaceConfig::deserialize(bytes));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(4 + config.size() * 3));
+}
+BENCHMARK(BM_ConfigSerializeRoundTrip)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_FrameEncodeDecode(benchmark::State& state) {
+  hal::Frame frame;
+  frame.type = hal::MessageType::kWriteConfig;
+  frame.payload.assign(static_cast<std::size_t>(state.range(0)), 0xA5);
+  for (auto _ : state) {
+    const auto bytes = hal::encode_frame(frame);
+    benchmark::DoNotOptimize(hal::decode_frame(bytes));
+  }
+}
+BENCHMARK(BM_FrameEncodeDecode)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Crc32(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hal::crc32(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(1024)->Arg(65536);
+
+void BM_OcclusionQuery(benchmark::State& state) {
+  sim::CoverageRoomScenario scene = sim::make_coverage_room(4);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    const geom::Vec3 a{rng.uniform(0.2, 3.2), rng.uniform(0.2, 3.2), 1.0};
+    const geom::Vec3 b{rng.uniform(0.2, 3.2), rng.uniform(-1.2, 3.2), 1.5};
+    benchmark::DoNotOptimize(scene.environment->mesh().segment_blocked(a, b));
+  }
+}
+BENCHMARK(BM_OcclusionQuery);
+
+void BM_BeamscanSpectrum(benchmark::State& state) {
+  const MicroScene scene(static_cast<std::size_t>(state.range(0)));
+  const sense::AoaSensingModel model(scene.panel.get(), kFreq, 121);
+  const em::CVec v(scene.panel->element_count(), em::Cx{1.0, 0.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.spectrum(v));
+  }
+}
+BENCHMARK(BM_BeamscanSpectrum)->Arg(8)->Arg(16);
+
+void BM_SceneChannelPrecompute(benchmark::State& state) {
+  sim::CoverageRoomScenario scene = sim::make_coverage_room(6);
+  surface::ElementDesign d;
+  d.spacing_m = em::wavelength(kFreq) / 2.0;
+  const surface::SurfacePanel panel(
+      "p", scene.surface_pose, static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)), d,
+      surface::OperationMode::kReflective,
+      surface::Reconfigurability::kProgrammable,
+      surface::ControlGranularity::kElement);
+  const auto points = scene.room_grid.points();
+  for (auto _ : state) {
+    const sim::SceneChannel channel(
+        scene.environment.get(), kFreq, scene.ap(),
+        std::vector<const surface::SurfacePanel*>{&panel}, points);
+    benchmark::DoNotOptimize(channel.rx_count());
+  }
+}
+BENCHMARK(BM_SceneChannelPrecompute)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Deployment planner example (paper Section 5's design + deployment
+// automation): given only a floor plan, an AP, and a target region, SurfOS
+// proposes where to mount surfaces, which catalog design to use, installs
+// the winners, and verifies the delivered coverage end to end.
+#include <cstdio>
+
+#include "core/surfos.hpp"
+#include "orch/placement.hpp"
+#include "sim/floorplan.hpp"
+#include "util/stats.hpp"
+
+using namespace surfos;
+
+int main() {
+  // The 3.5 m room: the AP sits in the corridor, the room needs coverage.
+  sim::CoverageRoomScenario scene = sim::make_coverage_room(8);
+  const geom::SampleGrid region(0.4, 3.1, 0.4, 3.1, 1.0, 6, 6);
+
+  // 1. Candidate mounts along the room's walls.
+  const auto candidates =
+      orch::wall_mounts(0.05, 3.45, 0.05, 3.45, 1.8, 0.8);
+  std::printf("Evaluating %zu candidate wall mounts...\n", candidates.size());
+
+  // 2. Rank them with the channel simulator; place two surfaces greedily.
+  orch::PlacementOptions options;
+  options.rows = 16;
+  options.cols = 16;
+  options.surfaces_to_place = 2;
+  const orch::PlacementPlan plan =
+      orch::plan_placement(*scene.environment, scene.ap(), scene.band,
+                           scene.budget, candidates, region, options);
+
+  std::printf("Top candidates by achievable median SNR:\n");
+  for (std::size_t i = 0; i < plan.ranking.size() && i < 5; ++i) {
+    const auto& score = plan.ranking[i];
+    std::printf("  %-10s median %.1f dB, p10 %.1f dB\n",
+                candidates[score.index].label.c_str(), score.median_snr_db,
+                score.p10_snr_db);
+  }
+  std::printf("Greedy selection for 2 surfaces: ");
+  for (const std::size_t index : plan.selected) {
+    std::printf("%s ", candidates[index].label.c_str());
+  }
+  std::printf("(joint median %.1f dB)\n\n", plan.selected_median_snr_db);
+
+  // 3. Install the selected mounts with a catalog design and verify through
+  //    the full OS stack.
+  SurfOS os(scene.environment.get(), scene.ap(), scene.band, scene.budget);
+  const surface::Catalog catalog = surface::Catalog::standard();
+  const surface::CatalogEntry* design = catalog.find("NR-Surface");
+  for (std::size_t k = 0; k < plan.selected.size(); ++k) {
+    os.install_programmable(*design, candidates[plan.selected[k]].pose, 16, 16,
+                            candidates[plan.selected[k]].label);
+  }
+
+  orch::CoverageGoal goal;
+  goal.region_id = "room";
+  goal.region = region;
+  goal.target_median_snr_db = 10.0;
+  const orch::TaskId task = os.orchestrator().optimize_coverage(goal);
+  os.step();
+  const orch::Task* t = os.orchestrator().find_task(task);
+  std::printf(
+      "Installed %zu x %s at the planned mounts; measured coverage median "
+      "%.1f dB (planner's ideal-steering bound was %.1f dB) -> goal %s\n",
+      plan.selected.size(), design->name.c_str(), t->achieved.value_or(-999),
+      plan.selected_median_snr_db, t->goal_met ? "met" : "not met");
+  std::printf(
+      "(The gap to the bound is the price of one shared configuration and\n"
+      "column-wise 2-bit hardware versus per-location ideal steering.)\n");
+  return 0;
+}

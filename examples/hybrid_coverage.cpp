@@ -1,0 +1,109 @@
+// Hybrid deployment example (the paper's Fig 4a architecture, as an app).
+//
+// A passive transmissive surface in the apartment's interior wall relays the
+// AP's beam onto a small programmable surface in the bedroom, which
+// re-steers it toward whoever needs it. The example walks the deployment
+// workflow a building administrator would follow:
+//
+//   1. query the design catalog for suitable hardware,
+//   2. install both surfaces (the passive one fabricated as a fixed
+//      narrow-beam backhaul),
+//   3. load a beam codebook onto the steering surface,
+//   4. let endpoint RSS feedback pick beams locally as the client moves —
+//      the data plane, no control-plane round trips (paper 3.1).
+#include <cstdio>
+
+#include "core/surfos.hpp"
+#include "hal/codebook.hpp"
+#include "hal/feedback.hpp"
+#include "sim/floorplan.hpp"
+
+using namespace surfos;
+
+int main() {
+  sim::ApartmentScenario scene = sim::make_apartment(8);
+  SurfOS os(scene.environment.get(), scene.ap(), scene.band, scene.budget);
+  const double freq = em::band_center(scene.band);
+
+  // 1. Design selection. The catalog's only programmable mmWave designs are
+  //    column-wise (mmWall, NR-Surface) — shared column states cannot
+  //    near-field focus across a 1-3 m room. This is the paper's "existing
+  //    designs are inadequate" case (Section 5): synthesize a new
+  //    element-wise design from a datasheet instead.
+  const surface::Catalog catalog = surface::Catalog::standard();
+  const surface::CatalogEntry* passive = catalog.find("PMSat");
+  const surface::CatalogEntry* catalog_steer =
+      catalog.cheapest_for(em::Band::k24GHz, /*need_programmable=*/true);
+  std::printf(
+      "Catalog offers %s for steering, but its %s control cannot\n"
+      "near-field focus; synthesizing an element-wise design instead.\n",
+      catalog_steer->name.c_str(),
+      std::string(to_string(catalog_steer->granularity)).c_str());
+
+  // 2. Install. The passive window is fabricated once, as a narrow-beam
+  //    backhaul focusing the AP onto the steering surface's mount.
+  {
+    const surface::SurfacePanel prototype =
+        surface::instantiate(*passive, scene.window_mount, 32, 32);
+    os.install_passive(*passive, scene.window_mount, 32, 32, "window",
+                       prototype.focus_config(scene.ap_position,
+                                              scene.bedroom_mount.origin(),
+                                              freq));
+  }
+  os.install_from_datasheet(
+      "model: SteerPatch-28\n"
+      "frequency: 28 GHz\n"
+      "mode: reflective\n"
+      "reconfigurable: yes\n"
+      "elements: 24x24\n"
+      "phase_bits: 2\n"
+      "insertion_loss: 2 dB\n"
+      "control_delay: 500 us\n"
+      "slots: 8\n",
+      scene.bedroom_mount, "steer");
+
+  const surface::SurfacePanel& window_panel = os.panel_of("window");
+  auto* steer = os.registry().find_surface("steer");
+  const surface::SurfacePanel& steer_panel = steer->panel();
+  const auto backhaul_cfg =
+      os.registry().find_surface("window")->stored_config(0);
+
+  // 3. Beam codebook: one stored configuration per bedroom zone.
+  const std::vector<geom::Vec3> beam_targets{
+      {1.0, 4.5, 1.0}, {2.0, 5.0, 1.0}, {3.0, 5.2, 1.0}, {3.8, 5.4, 1.0}};
+  const std::size_t loaded = hal::load_steering_codebook(
+      *steer, window_panel.center(), beam_targets, freq);
+  std::printf("Loaded %zu beam(s) into the steering surface's slots.\n",
+              loaded);
+  os.clock().advance(steer->spec().control_delay_us + 1);
+  steer->poll();
+
+  // 4. The client wanders; its RSS feedback per stored slot drives local
+  //    beam selection (hysteresis avoids flapping).
+  hal::CodebookSelector selector(0.5);
+  for (const geom::Vec3& client :
+       {geom::Vec3{1.1, 4.6, 1.0}, geom::Vec3{3.7, 5.3, 1.0}}) {
+    sim::SceneChannel channel(scene.environment.get(), freq, scene.ap(),
+                              {&window_panel, &steer_panel}, {client});
+    const auto result =
+        selector.sweep_and_select(*steer, [&](std::uint16_t slot) {
+          const auto coeffs = channel.coefficients_for(
+              std::vector<surface::SurfaceConfig>{backhaul_cfg,
+                                                  steer->stored_config(slot)});
+          return scene.budget.rss_dbm(std::norm(channel.evaluate(0, coeffs)));
+        });
+    os.clock().advance(steer->spec().control_delay_us + 1);
+    steer->poll();
+    const auto active_coeffs = channel.coefficients_for(
+        std::vector<surface::SurfaceConfig>{backhaul_cfg,
+                                            steer->active_config()});
+    const double snr = scene.budget.snr_db(
+        std::norm(channel.evaluate(0, active_coeffs)));
+    std::printf(
+        "Client at (%.1f, %.1f): beam slot %u selected (RSS %.1f dBm), "
+        "active slot %u, SNR %.1f dB\n",
+        client.x, client.y, result.best_slot, result.best_metric,
+        steer->active_slot(), snr);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Intent assistant example (the paper's Fig 6 + Section 3.3 workflow as an
+// interactive app): type what you want; the intent engine turns it into
+// SurfOS service calls; the broker runs them and reports satisfaction.
+//
+//   $ ./intent_assistant                       # demo script
+//   $ echo "charge my phone" | ./intent_assistant -   # read stdin
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/surfos.hpp"
+#include "sim/floorplan.hpp"
+
+using namespace surfos;
+
+namespace {
+
+void handle(SurfOS& os, const std::string& text) {
+  std::printf("> %s\n", text.c_str());
+  const broker::IntentResult result = os.broker().handle_utterance(text);
+  if (!result.understood) {
+    std::printf("  Sorry, no surface service matches that request.\n\n");
+    return;
+  }
+  for (const auto& call : result.calls) {
+    std::printf("  %s\n", call.render().c_str());
+  }
+  os.step();
+  for (const auto& [app_id, session] : os.broker().sessions()) {
+    const broker::AppStatus status = os.broker().status(app_id);
+    if (!status.running) continue;
+    std::printf("  [%s] %zu/%zu goals met\n", app_id.c_str(),
+                status.tasks_met, status.tasks_total);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::CoverageRoomScenario scene = sim::make_coverage_room(6);
+  SurfOS os(scene.environment.get(), scene.ap(), scene.band, scene.budget);
+  const surface::Catalog catalog = surface::Catalog::standard();
+  os.install_programmable(*catalog.find("NR-Surface"), scene.surface_pose, 20,
+                          20, "room-surface");
+  os.register_endpoint("VR_headset", hal::EndpointKind::kClient,
+                       {1.6, 2.0, 1.2});
+  os.register_endpoint("laptop", hal::EndpointKind::kClient, {1.2, 2.4, 1.0});
+  os.register_endpoint("phone", hal::EndpointKind::kClient, {2.2, 1.2, 1.0});
+  os.broker().add_region("this_room",
+                         geom::SampleGrid(0.8, 2.8, 0.5, 2.5, 1.0, 4, 4));
+
+  if (argc > 1 && std::string(argv[1]) == "-") {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) handle(os, line);
+    }
+    return 0;
+  }
+
+  // Scripted demo.
+  handle(os, "I want to start VR gaming in this room.");
+  handle(os, "I want to have an online meeting while charging my phone.");
+  handle(os, "actually please track motion in this room for 30 minutes");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Multi-service daemon example: a day in the life of a SurfOS deployment.
+//
+// Demonstrates the runtime argument of the paper's Section 5 ("OS versus
+// libraries or SDKs"): applications come and go, the environment changes,
+// goals go unmet and get escalated — all handled by a long-running control
+// loop, not compile-time configuration.
+#include <cstdio>
+
+#include "core/surfos.hpp"
+#include "sim/floorplan.hpp"
+
+using namespace surfos;
+
+namespace {
+
+void report(SurfOS& os, const char* moment) {
+  std::printf("--- %s (t = %.1f s) ---\n", moment,
+              static_cast<double>(os.clock().now()) / 1e6);
+  for (const auto& [app_id, session] : os.broker().sessions()) {
+    const broker::AppStatus status = os.broker().status(app_id);
+    std::printf("  %-22s %s, %zu/%zu goals met\n", app_id.c_str(),
+                status.running ? "running" : "stopped", status.tasks_met,
+                status.tasks_total);
+  }
+}
+
+}  // namespace
+
+int main() {
+  sim::CoverageRoomScenario scene = sim::make_coverage_room(6);
+  SurfOS os(scene.environment.get(), scene.ap(), scene.band, scene.budget);
+  const surface::Catalog catalog = surface::Catalog::standard();
+  os.install_programmable(*catalog.find("NR-Surface"), scene.surface_pose, 20,
+                          20, "room-surface");
+  os.register_endpoint("laptop", hal::EndpointKind::kClient, {1.2, 2.4, 1.0});
+  os.register_endpoint("phone", hal::EndpointKind::kClient, {2.2, 1.2, 1.0});
+  os.register_endpoint("VR_headset", hal::EndpointKind::kClient,
+                       {1.6, 2.0, 1.2});
+  os.broker().add_region("this_room",
+                         geom::SampleGrid(0.8, 2.8, 0.5, 2.5, 1.0, 4, 4));
+
+  // Morning: a video call and background phone charging.
+  os.broker().start_app("morning-call",
+                        broker::demand_profile(
+                            broker::AppClass::kVideoConference, "laptop"));
+  os.broker().start_app("charge-phone",
+                        broker::demand_profile(
+                            broker::AppClass::kWirelessCharging, "phone"));
+  os.step();
+  report(os, "morning");
+
+  // Midday: the call ends; a VR session starts and wants much more SNR.
+  os.broker().stop_app("morning-call");
+  os.broker().start_app("vr-session",
+                        broker::demand_profile(broker::AppClass::kVrGaming,
+                                               "VR_headset"));
+  os.clock().advance(2 * hal::kMicrosPerSecond);
+  os.step();
+  report(os, "midday: VR starts");
+
+  // The broker monitors: unmet goals are escalated and re-optimized.
+  const std::size_t escalated = os.broker().escalate_unsatisfied();
+  os.step();
+  std::printf("  (broker escalated %zu unsatisfied task(s))\n", escalated);
+  report(os, "after escalation");
+
+  // Afternoon: furniture moved — the environment changed, SurfOS re-plans.
+  os.orchestrator().notify_environment_changed();
+  const orch::StepReport replanned = os.step();
+  std::printf("  (environment change -> %zu re-optimization(s))\n",
+              replanned.optimizations_run);
+  report(os, "after re-planning");
+
+  // Evening: everything winds down; resources are released.
+  os.broker().stop_app("vr-session");
+  os.broker().stop_app("charge-phone");
+  const orch::StepReport idle = os.step();
+  std::printf("--- evening: %zu active slice(s) remain ---\n",
+              idle.assignment_count);
+  return 0;
+}

@@ -1,0 +1,218 @@
+#include "broker/broker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace surfos::broker {
+
+namespace {
+constexpr const char* kLog = "broker";
+}
+
+ServiceBroker::ServiceBroker(orch::Orchestrator* orchestrator,
+                             geom::SampleGrid default_region,
+                             TranslationOptions translation)
+    : orchestrator_(orchestrator),
+      default_region_(default_region),
+      translation_(translation),
+      intent_(IntentContext{}) {
+  if (orchestrator_ == nullptr) {
+    throw std::invalid_argument("ServiceBroker: null orchestrator");
+  }
+}
+
+void ServiceBroker::add_region(std::string region_id, geom::SampleGrid region) {
+  regions_.insert_or_assign(std::move(region_id), region);
+}
+
+const geom::SampleGrid& ServiceBroker::region_for(
+    const std::string& region_id) const {
+  const auto it = regions_.find(region_id);
+  return it == regions_.end() ? default_region_ : it->second;
+}
+
+void ServiceBroker::start_app(std::string app_id, AppDemand demand) {
+  if (const auto it = sessions_.find(app_id);
+      it != sessions_.end() && it->second.running) {
+    throw std::invalid_argument("ServiceBroker: app already running: " +
+                                app_id);
+  }
+  AppSession session;
+  session.app_id = app_id;
+  session.demand = demand;
+  session.running = true;
+
+  const auto& budget = orchestrator_->context().budget;
+  const auto requests =
+      translate(demand, budget, region_for(demand.region_id), translation_);
+  for (const auto& request : requests) {
+    struct Dispatch {
+      orch::Orchestrator& orch;
+      orch::Priority priority;
+      orch::TaskId operator()(const orch::LinkGoal& g) const {
+        return orch.enhance_link(g, priority);
+      }
+      orch::TaskId operator()(const orch::CoverageGoal& g) const {
+        return orch.optimize_coverage(g, priority);
+      }
+      orch::TaskId operator()(const orch::SensingGoal& g) const {
+        return orch.enable_sensing(g, priority);
+      }
+      orch::TaskId operator()(const orch::PowerGoal& g) const {
+        return orch.init_powering(g, priority);
+      }
+      orch::TaskId operator()(const orch::SecurityGoal& g) const {
+        return orch.protect(g, priority);
+      }
+    };
+    session.tasks.push_back(
+        std::visit(Dispatch{*orchestrator_, request.priority}, request.goal));
+  }
+  SURFOS_INFO(kLog) << "app " << app_id << " started with "
+                    << session.tasks.size() << " task(s)";
+  sessions_.insert_or_assign(std::move(app_id), std::move(session));
+}
+
+void ServiceBroker::stop_app(const std::string& app_id) {
+  const auto it = sessions_.find(app_id);
+  if (it == sessions_.end()) return;
+  for (const orch::TaskId id : it->second.tasks) {
+    if (const auto* task = orchestrator_->find_task(id); task && task->active()) {
+      orchestrator_->set_task_idle(id, true);
+    }
+  }
+  it->second.running = false;
+  SURFOS_INFO(kLog) << "app " << app_id << " stopped; tasks idled";
+}
+
+void ServiceBroker::resume_app(const std::string& app_id) {
+  const auto it = sessions_.find(app_id);
+  if (it == sessions_.end()) {
+    throw std::invalid_argument("ServiceBroker: unknown app: " + app_id);
+  }
+  for (const orch::TaskId id : it->second.tasks) {
+    if (const auto* task = orchestrator_->find_task(id);
+        task && task->state == orch::TaskState::kIdle) {
+      orchestrator_->set_task_idle(id, false);
+    }
+  }
+  it->second.running = true;
+}
+
+AppStatus ServiceBroker::status(const std::string& app_id) const {
+  AppStatus status;
+  const auto it = sessions_.find(app_id);
+  if (it == sessions_.end()) return status;
+  status.known = true;
+  status.running = it->second.running;
+  status.tasks_total = it->second.tasks.size();
+  for (const orch::TaskId id : it->second.tasks) {
+    const auto* task = orchestrator_->find_task(id);
+    if (task != nullptr && task->goal_met) ++status.tasks_met;
+  }
+  status.satisfied =
+      status.tasks_total > 0 && status.tasks_met == status.tasks_total;
+  return status;
+}
+
+std::size_t ServiceBroker::escalate_unsatisfied() {
+  std::size_t escalated = 0;
+  for (auto& [app_id, session] : sessions_) {
+    if (!session.running) continue;
+    for (orch::TaskId& id : session.tasks) {
+      const auto* task = orchestrator_->find_task(id);
+      if (task == nullptr || !task->active() || task->goal_met) continue;
+      if (task->priority >= orch::kPriorityCritical) continue;
+      // Re-admit at the next priority tier; the old task is cancelled.
+      const orch::ServiceGoal goal = task->goal;
+      const orch::Priority bumped = task->priority + 10;
+      orchestrator_->cancel_task(id);
+      struct Dispatch {
+        orch::Orchestrator& orch;
+        orch::Priority priority;
+        orch::TaskId operator()(const orch::LinkGoal& g) const {
+          return orch.enhance_link(g, priority);
+        }
+        orch::TaskId operator()(const orch::CoverageGoal& g) const {
+          return orch.optimize_coverage(g, priority);
+        }
+        orch::TaskId operator()(const orch::SensingGoal& g) const {
+          return orch.enable_sensing(g, priority);
+        }
+        orch::TaskId operator()(const orch::PowerGoal& g) const {
+          return orch.init_powering(g, priority);
+        }
+        orch::TaskId operator()(const orch::SecurityGoal& g) const {
+          return orch.protect(g, priority);
+        }
+      };
+      id = std::visit(Dispatch{*orchestrator_, bumped}, goal);
+      ++escalated;
+      SURFOS_INFO(kLog) << "escalated a task of app " << app_id
+                        << " to priority " << bumped;
+    }
+  }
+  return escalated;
+}
+
+std::size_t ServiceBroker::apply_traffic_suggestions(
+    const std::vector<DemandSuggestion>& suggestions) {
+  std::size_t started = 0;
+  // Stop auto-started sessions whose endpoint no longer shows traffic of
+  // that class.
+  for (auto& [app_id, session] : sessions_) {
+    if (!session.running || !util::starts_with(app_id, "auto-")) continue;
+    const bool still_suggested = std::any_of(
+        suggestions.begin(), suggestions.end(),
+        [&](const DemandSuggestion& s) {
+          return s.endpoint_id == session.demand.endpoint_id &&
+                 s.classification.app_class == session.demand.app_class;
+        });
+    if (!still_suggested) {
+      stop_app(app_id);
+      SURFOS_INFO(kLog) << "auto session " << app_id
+                        << " stopped: traffic gone";
+    }
+  }
+  // Start sessions for newly observed application traffic.
+  for (const DemandSuggestion& suggestion : suggestions) {
+    if (suggestion.classification.confidence < 0.5) continue;
+    const std::string app_id =
+        util::format("auto-%s-%s", suggestion.endpoint_id.c_str(),
+                     to_string(suggestion.classification.app_class));
+    const auto it = sessions_.find(app_id);
+    if (it != sessions_.end()) {
+      if (!it->second.running) resume_app(app_id);
+      continue;
+    }
+    AppDemand demand = demand_profile(suggestion.classification.app_class,
+                                      suggestion.endpoint_id);
+    // Refine the profile with the observed rate (plus headroom) — the
+    // monitor knows what the app actually consumes.
+    if (demand.throughput_mbps) {
+      demand.throughput_mbps =
+          std::max(*demand.throughput_mbps,
+                   suggestion.features.total_mbps() * 1.2);
+    }
+    start_app(app_id, std::move(demand));
+    ++started;
+  }
+  return started;
+}
+
+IntentResult ServiceBroker::handle_utterance(const std::string& text) {
+  const IntentResult result = intent_.interpret(text);
+  if (!result.understood) return result;
+  for (const AppClass app_class : result.activities) {
+    AppDemand demand = demand_profile(app_class, result.device, result.room);
+    const std::string app_id =
+        util::format("%s-%zu", to_string(app_class), ++utterance_counter_);
+    start_app(app_id, std::move(demand));
+  }
+  return result;
+}
+
+}  // namespace surfos::broker

@@ -1,0 +1,94 @@
+// Service broker: the daemon that serves surface-oblivious applications
+// (paper 3.3). Applications declare demands (or the intent engine infers
+// them from user text); the broker translates demands to service goals,
+// invokes the orchestrator, tracks each app's tasks, idles them when the
+// app stops, and monitors satisfaction so unsatisfied apps can be escalated.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "broker/demand.hpp"
+#include "broker/intent.hpp"
+#include "broker/monitor.hpp"
+#include "broker/translate.hpp"
+#include "orch/orchestrator.hpp"
+
+namespace surfos::broker {
+
+struct AppSession {
+  std::string app_id;
+  AppDemand demand;
+  std::vector<orch::TaskId> tasks;
+  bool running = false;
+};
+
+struct AppStatus {
+  bool known = false;
+  bool running = false;
+  bool satisfied = false;   ///< Every task's goal currently met.
+  std::size_t tasks_total = 0;
+  std::size_t tasks_met = 0;
+};
+
+class ServiceBroker {
+ public:
+  /// `orchestrator` must outlive the broker. `default_region` is the region
+  /// grid used for region-scoped goals (sensing/security) when an app names
+  /// a room the broker has no map for.
+  ServiceBroker(orch::Orchestrator* orchestrator,
+                geom::SampleGrid default_region,
+                TranslationOptions translation = {});
+
+  /// Registers a named region so utterances like "meeting room" resolve to
+  /// real probe grids.
+  void add_region(std::string region_id, geom::SampleGrid region);
+
+  /// Starts an application session: translates the demand and creates the
+  /// orchestrator tasks. Throws if the app id is already running.
+  void start_app(std::string app_id, AppDemand demand);
+
+  /// Stops an app: its tasks go idle and release resources.
+  void stop_app(const std::string& app_id);
+
+  /// Resumes a previously stopped app.
+  void resume_app(const std::string& app_id);
+
+  AppStatus status(const std::string& app_id) const;
+
+  /// Escalates every running-but-unsatisfied app by re-admitting its link
+  /// goals at a higher priority. Returns the number escalated. (The broker's
+  /// monitoring loop; call after orchestrator steps.)
+  std::size_t escalate_unsatisfied();
+
+  /// Full pipeline for user text: interpret -> start one app per detected
+  /// activity. Returns the intent result (rendered calls included).
+  IntentResult handle_utterance(const std::string& text);
+
+  /// Acts on traffic-monitor output (paper 3.3: "monitor wireless traffic to
+  /// understand user demands"): starts an app session for every suggested
+  /// endpoint whose inferred application is not already being served, and
+  /// stops previously auto-started sessions whose traffic disappeared.
+  /// Returns the number of sessions started.
+  std::size_t apply_traffic_suggestions(
+      const std::vector<DemandSuggestion>& suggestions);
+
+  const std::map<std::string, AppSession>& sessions() const noexcept {
+    return sessions_;
+  }
+  orch::Orchestrator& orchestrator() noexcept { return *orchestrator_; }
+
+ private:
+  const geom::SampleGrid& region_for(const std::string& region_id) const;
+
+  orch::Orchestrator* orchestrator_;
+  geom::SampleGrid default_region_;
+  TranslationOptions translation_;
+  IntentEngine intent_;
+  std::map<std::string, geom::SampleGrid> regions_;
+  std::map<std::string, AppSession> sessions_;
+  std::size_t utterance_counter_ = 0;
+};
+
+}  // namespace surfos::broker

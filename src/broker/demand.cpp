@@ -1,0 +1,45 @@
+#include "broker/demand.hpp"
+
+namespace surfos::broker {
+
+AppDemand demand_profile(AppClass app_class, std::string endpoint_id,
+                         std::string region_id) {
+  AppDemand demand;
+  demand.app_class = app_class;
+  demand.endpoint_id = std::move(endpoint_id);
+  demand.region_id = std::move(region_id);
+  switch (app_class) {
+    case AppClass::kVrGaming:
+      demand.throughput_mbps = 400.0;
+      demand.max_latency_ms = 10.0;
+      break;
+    case AppClass::kVideoStreaming:
+      demand.throughput_mbps = 50.0;
+      demand.max_latency_ms = 200.0;
+      break;
+    case AppClass::kVideoConference:
+      demand.throughput_mbps = 20.0;
+      demand.max_latency_ms = 50.0;
+      break;
+    case AppClass::kFileTransfer:
+      demand.throughput_mbps = 100.0;
+      demand.max_latency_ms = 1000.0;
+      break;
+    case AppClass::kSmartHome:
+      demand.needs_sensing = true;
+      demand.duration_s = 3600.0;
+      break;
+    case AppClass::kSensitiveData:
+      demand.throughput_mbps = 10.0;
+      demand.max_latency_ms = 100.0;
+      demand.needs_security = true;
+      break;
+    case AppClass::kWirelessCharging:
+      demand.needs_power = true;
+      demand.duration_s = 3600.0;
+      break;
+  }
+  return demand;
+}
+
+}  // namespace surfos::broker

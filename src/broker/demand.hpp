@@ -1,0 +1,56 @@
+// Application-level demand descriptors (paper 3.3): what end-user
+// applications actually need — throughput, latency, sensing, security,
+// power — before any translation to signal-level service goals.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace surfos::broker {
+
+/// The application archetypes the paper motivates: "VR/AR gaming needs high
+/// throughput and low latency, smart home applications need sensing
+/// capability, while sensitive data transmission necessitates added security
+/// protection."
+enum class AppClass {
+  kVrGaming,
+  kVideoStreaming,
+  kVideoConference,
+  kFileTransfer,
+  kSmartHome,
+  kSensitiveData,
+  kWirelessCharging,
+};
+
+constexpr const char* to_string(AppClass c) noexcept {
+  switch (c) {
+    case AppClass::kVrGaming: return "vr-gaming";
+    case AppClass::kVideoStreaming: return "video-streaming";
+    case AppClass::kVideoConference: return "video-conference";
+    case AppClass::kFileTransfer: return "file-transfer";
+    case AppClass::kSmartHome: return "smart-home";
+    case AppClass::kSensitiveData: return "sensitive-data";
+    case AppClass::kWirelessCharging: return "wireless-charging";
+  }
+  return "?";
+}
+
+struct AppDemand {
+  AppClass app_class = AppClass::kFileTransfer;
+  std::string endpoint_id;              ///< Serving device, when applicable.
+  std::string region_id;                ///< Region of interest, when applicable.
+  std::optional<double> throughput_mbps;
+  std::optional<double> max_latency_ms;
+  bool needs_sensing = false;
+  bool needs_security = false;
+  bool needs_power = false;
+  std::optional<double> duration_s;
+};
+
+/// Canonical demand profile for an application class — the defaults the
+/// broker assumes when the app gives no explicit numbers.
+AppDemand demand_profile(AppClass app_class, std::string endpoint_id,
+                         std::string region_id = {});
+
+}  // namespace surfos::broker

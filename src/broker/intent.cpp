@@ -1,0 +1,238 @@
+#include "broker/intent.hpp"
+
+#include <algorithm>
+
+#include "broker/translate.hpp"
+#include "util/strings.hpp"
+
+namespace surfos::broker {
+
+namespace {
+
+using util::contains;
+
+struct ActivityRule {
+  AppClass app_class;
+  std::vector<std::string> keywords;  ///< Any keyword triggers the activity.
+};
+
+const std::vector<ActivityRule>& rules() {
+  static const std::vector<ActivityRule> kRules = {
+      {AppClass::kVrGaming, {"vr", "virtual reality", "ar game", "gaming"}},
+      // "meeting" alone is ambiguous with the room name ("meeting room"),
+      // so the conference activity requires a call-like phrasing.
+      {AppClass::kVideoConference,
+       {"online meeting", "a meeting", "video call", "conference call",
+        "zoom", "teams call"}},
+      {AppClass::kVideoStreaming,
+       {"stream", "movie", "watch a video", "netflix", "youtube"}},
+      {AppClass::kWirelessCharging,
+       {"charge", "charging", "power my", "wireless power", "battery"}},
+      {AppClass::kSmartHome,
+       {"track", "tracking", "motion", "sensing", "monitor the room",
+        "fall detection", "presence"}},
+      {AppClass::kSensitiveData,
+       {"secure", "security", "private", "privacy", "sensitive",
+        "confidential"}},
+      {AppClass::kFileTransfer,
+       {"download", "upload", "file transfer", "backup", "sync"}},
+  };
+  return kRules;
+}
+
+struct DeviceRule {
+  std::string device_id;
+  std::vector<std::string> keywords;
+};
+
+const std::vector<DeviceRule>& device_rules() {
+  static const std::vector<DeviceRule> kDevices = {
+      {"VR_headset", {"headset", "vr", "quest", "vision pro"}},
+      {"phone", {"phone", "mobile", "smartphone"}},
+      {"laptop", {"laptop", "notebook", "computer", "macbook"}},
+      {"tv", {"tv", "television", "screen"}},
+      {"tablet", {"tablet", "ipad"}},
+  };
+  return kDevices;
+}
+
+std::string detect_room(const std::string& lowered,
+                        const std::string& fallback) {
+  static const std::vector<std::pair<std::string, std::string>> kRooms = {
+      {"meeting room", "meeting_room"}, {"living room", "living_room"},
+      {"bedroom", "bedroom"},           {"kitchen", "kitchen"},
+      {"office", "office"},             {"this room", "this_room"},
+  };
+  for (const auto& [phrase, id] : kRooms) {
+    if (contains(lowered, phrase)) return id;
+  }
+  return fallback;
+}
+
+/// Extracts "... N hour(s)/minute(s) ..." into seconds, if present.
+bool extract_duration(const std::string& lowered, double& seconds_out) {
+  const auto words = util::split_words(lowered);
+  for (std::size_t i = 0; i + 1 < words.size(); ++i) {
+    double value = 0.0;
+    if (!util::parse_double(words[i], value)) continue;
+    const std::string_view unit = words[i + 1];
+    if (util::starts_with(unit, "hour")) {
+      seconds_out = value * 3600.0;
+      return true;
+    }
+    if (util::starts_with(unit, "minute") || util::starts_with(unit, "min")) {
+      seconds_out = value * 60.0;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string ServiceCall::render() const {
+  std::string out = function + "(";
+  bool first = true;
+  for (const auto& arg : positional) {
+    if (!first) out += ", ";
+    out += "\"" + arg + "\"";
+    first = false;
+  }
+  for (const auto& [key, value] : named) {
+    if (!first) out += ", ";
+    out += key + "=" + util::format("%.1f", value);
+    first = false;
+  }
+  out += ")";
+  return out;
+}
+
+IntentEngine::IntentEngine(IntentContext context)
+    : context_(std::move(context)) {}
+
+IntentResult IntentEngine::interpret(const std::string& utterance) const {
+  IntentResult result;
+  const std::string lowered = util::to_lower(utterance);
+
+  // Activity detection, ordered by first keyword occurrence in the text so
+  // multi-intent sentences ("online meeting while charging my phone") emit
+  // calls in the user's order.
+  std::vector<std::pair<std::size_t, AppClass>> found;
+  for (const auto& rule : rules()) {
+    std::size_t best = std::string::npos;
+    for (const auto& keyword : rule.keywords) {
+      const auto at = lowered.find(keyword);
+      if (at != std::string::npos) best = std::min(best, at);
+    }
+    if (best != std::string::npos) found.emplace_back(best, rule.app_class);
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Entity extraction: collect every mentioned device so multi-intent
+  // sentences can bind each activity to its own device ("online meeting
+  // while charging my phone" -> meeting on the laptop, power to the phone).
+  std::vector<std::string> mentioned;
+  for (const auto& rule : device_rules()) {
+    for (const auto& keyword : rule.keywords) {
+      if (contains(lowered, keyword)) {
+        mentioned.push_back(rule.device_id);
+        break;
+      }
+    }
+  }
+  result.device = mentioned.empty() ? context_.default_device : mentioned[0];
+  const auto device_for = [&](AppClass app_class) -> std::string {
+    const auto prefer = [&](std::initializer_list<const char*> order)
+        -> std::string {
+      for (const char* want : order) {
+        for (const auto& m : mentioned) {
+          if (m == want) return m;
+        }
+      }
+      // None of the activity's preferred devices was mentioned: fall back to
+      // the session default rather than an unrelated mention (a meeting does
+      // not move onto the phone just because charging it was requested).
+      return context_.default_device;
+    };
+    switch (app_class) {
+      case AppClass::kVrGaming:
+        return "VR_headset";
+      case AppClass::kWirelessCharging:
+        return prefer({"phone", "tablet", "laptop"});
+      case AppClass::kVideoConference:
+      case AppClass::kVideoStreaming:
+      case AppClass::kFileTransfer:
+      case AppClass::kSensitiveData:
+        return prefer({"laptop", "tv", "tablet"});
+      case AppClass::kSmartHome:
+        return prefer({"laptop", "phone"});
+    }
+    return context_.default_device;
+  };
+  result.room = detect_room(lowered, context_.default_room);
+  double duration_s = 3600.0;
+  extract_duration(lowered, duration_s);
+
+  em::LinkBudget budget;
+  budget.bandwidth_hz = context_.bandwidth_hz;
+
+  for (const auto& [pos, app_class] : found) {
+    result.activities.push_back(app_class);
+    const std::string device = device_for(app_class);
+    AppDemand demand = demand_profile(app_class, device, result.room);
+    if (demand.duration_s) demand.duration_s = duration_s;
+
+    switch (app_class) {
+      case AppClass::kVrGaming: {
+        ServiceCall link{"enhance_link", {device}, {}};
+        link.named.emplace_back(
+            "snr", required_snr_db(*demand.throughput_mbps, budget));
+        link.named.emplace_back("latency", *demand.max_latency_ms);
+        result.calls.push_back(std::move(link));
+        // VR play spaces also get room tracking and headroom coverage, the
+        // combination the paper's Fig 6 example produces.
+        ServiceCall sensing{"enable_sensing", {result.room, "tracking"}, {}};
+        sensing.named.emplace_back("duration", duration_s);
+        result.calls.push_back(std::move(sensing));
+        ServiceCall coverage{"optimize_coverage", {result.room}, {}};
+        coverage.named.emplace_back("median_snr", 25.0);
+        result.calls.push_back(std::move(coverage));
+        break;
+      }
+      case AppClass::kVideoConference:
+      case AppClass::kVideoStreaming:
+      case AppClass::kFileTransfer: {
+        ServiceCall link{"enhance_link", {device}, {}};
+        link.named.emplace_back(
+            "snr", required_snr_db(*demand.throughput_mbps, budget));
+        link.named.emplace_back("latency", *demand.max_latency_ms);
+        result.calls.push_back(std::move(link));
+        break;
+      }
+      case AppClass::kWirelessCharging: {
+        ServiceCall power{"init_powering", {device}, {}};
+        power.named.emplace_back("duration", duration_s);
+        result.calls.push_back(std::move(power));
+        break;
+      }
+      case AppClass::kSmartHome: {
+        ServiceCall sensing{"enable_sensing", {result.room, "tracking"}, {}};
+        sensing.named.emplace_back("duration", duration_s);
+        result.calls.push_back(std::move(sensing));
+        break;
+      }
+      case AppClass::kSensitiveData: {
+        ServiceCall protect{"protect", {result.room}, {}};
+        protect.named.emplace_back("max_leak", -75.0);
+        result.calls.push_back(std::move(protect));
+        break;
+      }
+    }
+  }
+
+  result.understood = !result.calls.empty();
+  return result;
+}
+
+}  // namespace surfos::broker

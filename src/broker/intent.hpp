@@ -1,0 +1,57 @@
+// Intent engine: natural-language user demands -> SurfOS service calls.
+//
+// Stands in for the paper's GPT-4o workflow (Fig 6) with a deterministic
+// grammar: tokenize, detect activities (VR gaming, meetings, streaming,
+// charging, tracking, privacy, coverage), extract entities (device, room,
+// durations, numeric targets), then expand each activity through the demand
+// profiles + translation layer into the same service calls the paper shows
+// (enhance_link, enable_sensing, optimize_coverage, init_powering). The
+// substitution preserves the architectural point — user intent drives the
+// clean service API — without a network-attached model; a real LLM can be
+// dropped in behind the same interface.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "broker/demand.hpp"
+
+namespace surfos::broker {
+
+/// One rendered service call, e.g.
+///   enhance_link("VR_headset", snr=30.0, latency=10.0)
+struct ServiceCall {
+  std::string function;
+  std::vector<std::string> positional;           ///< Quoted string args.
+  std::vector<std::pair<std::string, double>> named;  ///< key=value args.
+
+  std::string render() const;
+};
+
+struct IntentResult {
+  std::vector<AppClass> activities;   ///< Detected, in textual order.
+  std::vector<ServiceCall> calls;     ///< Expanded service calls.
+  std::string device;                 ///< Best-guess serving device.
+  std::string room;                   ///< Best-guess region.
+  bool understood = false;            ///< False when nothing matched.
+};
+
+struct IntentContext {
+  std::string default_room = "this_room";
+  std::string default_device = "laptop";
+  double bandwidth_hz = 400e6;  ///< For throughput -> SNR expansion.
+};
+
+class IntentEngine {
+ public:
+  explicit IntentEngine(IntentContext context = {});
+
+  /// Parses one user utterance into service calls.
+  IntentResult interpret(const std::string& utterance) const;
+
+ private:
+  IntentContext context_;
+};
+
+}  // namespace surfos::broker

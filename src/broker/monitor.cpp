@@ -1,0 +1,174 @@
+#include "broker/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace surfos::broker {
+
+FlowFeatures extract_features(const std::vector<PacketRecord>& records,
+                              hal::Micros window_start,
+                              hal::Micros window_end) {
+  FlowFeatures features;
+  if (window_end <= window_start) return features;
+  const double window_s =
+      static_cast<double>(window_end - window_start) / 1e6;
+
+  double down_bytes = 0.0;
+  double up_bytes = 0.0;
+  std::vector<double> down_gaps_ms;
+  std::optional<hal::Micros> last_down;
+  for (const PacketRecord& record : records) {
+    if (record.timestamp < window_start || record.timestamp > window_end) {
+      continue;
+    }
+    ++features.packets;
+    if (record.direction == Direction::kDownlink) {
+      down_bytes += static_cast<double>(record.bytes);
+      if (last_down) {
+        down_gaps_ms.push_back(
+            static_cast<double>(record.timestamp - *last_down) / 1e3);
+      }
+      last_down = record.timestamp;
+    } else {
+      up_bytes += static_cast<double>(record.bytes);
+    }
+  }
+  features.down_mbps = down_bytes * 8.0 / (window_s * 1e6);
+  features.up_mbps = up_bytes * 8.0 / (window_s * 1e6);
+  const double total = features.down_mbps + features.up_mbps;
+  features.symmetry = total > 0.0 ? features.up_mbps / total : 0.0;
+  if (!down_gaps_ms.empty()) {
+    double mean = 0.0;
+    for (const double g : down_gaps_ms) mean += g;
+    mean /= static_cast<double>(down_gaps_ms.size());
+    double var = 0.0;
+    for (const double g : down_gaps_ms) var += (g - mean) * (g - mean);
+    var /= static_cast<double>(down_gaps_ms.size());
+    features.mean_gap_ms = mean;
+    features.gap_jitter = mean > 1e-9 ? std::sqrt(var) / mean : 0.0;
+  }
+  return features;
+}
+
+std::optional<Classification> classify(const FlowFeatures& features) {
+  // Near-idle flows carry no demand signal.
+  if (features.total_mbps() < 0.05 || features.packets < 10) {
+    return std::nullopt;
+  }
+  // VR: very high throughput, noticeable uplink (pose stream), tight cadence.
+  if (features.down_mbps > 150.0 && features.symmetry > 0.05 &&
+      features.mean_gap_ms < 3.0) {
+    return Classification{AppClass::kVrGaming, 0.9};
+  }
+  // Conference: moderate symmetric media in both directions.
+  if (features.symmetry > 0.3 && features.total_mbps() > 2.0 &&
+      features.total_mbps() < 60.0) {
+    return Classification{AppClass::kVideoConference, 0.85};
+  }
+  // Bulk transfer: very heavy one-way rate (line-rate, unlike paced video).
+  if (features.total_mbps() > 100.0) {
+    return Classification{AppClass::kFileTransfer, 0.7};
+  }
+  // Streaming: heavy-but-paced downlink, almost no uplink.
+  if (features.down_mbps > 10.0 && features.symmetry < 0.1 &&
+      features.gap_jitter < 1.0) {
+    return Classification{AppClass::kVideoStreaming, 0.8};
+  }
+  // Bursty medium one-way rates are still most likely transfers.
+  if (features.total_mbps() > 50.0) {
+    return Classification{AppClass::kFileTransfer, 0.6};
+  }
+  // Low-rate periodic chatter: telemetry from smart-home sensors.
+  if (features.total_mbps() < 1.0 && features.gap_jitter < 0.6) {
+    return Classification{AppClass::kSmartHome, 0.5};
+  }
+  return Classification{AppClass::kFileTransfer, 0.3};
+}
+
+void TrafficMonitor::ingest(const std::string& endpoint_id,
+                            PacketRecord record) {
+  flows_[endpoint_id].push_back(record);
+}
+
+std::vector<DemandSuggestion> TrafficMonitor::analyze(hal::Micros now) {
+  const hal::Micros start = now > window_us_ ? now - window_us_ : 0;
+  std::vector<DemandSuggestion> suggestions;
+  for (auto& [endpoint, records] : flows_) {
+    // Prune anything older than the window.
+    records.erase(std::remove_if(records.begin(), records.end(),
+                                 [&](const PacketRecord& r) {
+                                   return r.timestamp < start;
+                                 }),
+                  records.end());
+    const FlowFeatures features = extract_features(records, start, now);
+    if (const auto result = classify(features)) {
+      suggestions.push_back({endpoint, *result, features});
+    }
+  }
+  return suggestions;
+}
+
+std::vector<PacketRecord> synthesize_traffic(AppClass app_class,
+                                             hal::Micros start,
+                                             hal::Micros duration,
+                                             util::Rng& rng) {
+  // Archetype signatures: (down Mbps, up Mbps, downlink cadence us, jitter).
+  double down_mbps = 1.0, up_mbps = 0.05;
+  double cadence_us = 10000.0, jitter = 0.3;
+  switch (app_class) {
+    case AppClass::kVrGaming:
+      down_mbps = 350.0; up_mbps = 30.0; cadence_us = 1100.0; jitter = 0.15;
+      break;
+    case AppClass::kVideoStreaming:
+      down_mbps = 35.0; up_mbps = 0.3; cadence_us = 4000.0; jitter = 0.2;
+      break;
+    case AppClass::kVideoConference:
+      down_mbps = 8.0; up_mbps = 6.0; cadence_us = 10000.0; jitter = 0.3;
+      break;
+    case AppClass::kFileTransfer:
+      down_mbps = 180.0; up_mbps = 2.0; cadence_us = 700.0; jitter = 1.6;
+      break;
+    case AppClass::kSmartHome:
+      down_mbps = 0.1; up_mbps = 0.3; cadence_us = 50000.0; jitter = 0.2;
+      break;
+    case AppClass::kSensitiveData:
+      down_mbps = 4.0; up_mbps = 4.0; cadence_us = 15000.0; jitter = 0.5;
+      break;
+    case AppClass::kWirelessCharging:
+      down_mbps = 0.01; up_mbps = 0.01; cadence_us = 200000.0; jitter = 0.1;
+      break;
+  }
+
+  std::vector<PacketRecord> records;
+  const double window_s = static_cast<double>(duration) / 1e6;
+  // Downlink packets at the archetype cadence; sizes derived from the rate.
+  const double down_count = window_s * 1e6 / cadence_us;
+  const double down_packet_bytes =
+      down_mbps * 1e6 * window_s / 8.0 / std::max(1.0, down_count);
+  double t = static_cast<double>(start);
+  while (t < static_cast<double>(start + duration)) {
+    records.push_back({static_cast<hal::Micros>(t), Direction::kDownlink,
+                       static_cast<std::size_t>(std::max(
+                           64.0, down_packet_bytes * (1.0 + 0.1 * rng.normal())))});
+    t += cadence_us * std::max(0.05, 1.0 + jitter * rng.normal());
+  }
+  // Uplink as a steadier low-rate stream.
+  const double up_cadence_us = cadence_us * 4.0;
+  const double up_count = window_s * 1e6 / up_cadence_us;
+  const double up_packet_bytes =
+      up_mbps * 1e6 * window_s / 8.0 / std::max(1.0, up_count);
+  t = static_cast<double>(start) + up_cadence_us / 2.0;
+  while (t < static_cast<double>(start + duration)) {
+    records.push_back({static_cast<hal::Micros>(t), Direction::kUplink,
+                       static_cast<std::size_t>(std::max(
+                           64.0, up_packet_bytes * (1.0 + 0.1 * rng.normal())))});
+    t += up_cadence_us;
+  }
+  std::sort(records.begin(), records.end(),
+            [](const PacketRecord& a, const PacketRecord& b) {
+              return a.timestamp < b.timestamp;
+            });
+  return records;
+}
+
+}  // namespace surfos::broker

@@ -1,0 +1,90 @@
+// Traffic monitor: inferring application demands from observed wireless
+// traffic (paper 3.3: "We can potentially sense or monitor wireless traffic
+// to understand user demands").
+//
+// The monitor ingests per-endpoint packet records, extracts flow features
+// over a sliding window (rates, direction symmetry, inter-packet cadence),
+// classifies the running application archetype, and emits demand
+// suggestions the broker can turn into service calls — letting SurfOS serve
+// applications that never talk to it explicitly. A synthetic traffic
+// generator for each archetype backs the tests and benches.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "broker/demand.hpp"
+#include "hal/clock.hpp"
+#include "util/rng.hpp"
+
+namespace surfos::broker {
+
+enum class Direction { kDownlink, kUplink };
+
+struct PacketRecord {
+  hal::Micros timestamp = 0;
+  Direction direction = Direction::kDownlink;
+  std::size_t bytes = 0;
+};
+
+/// Flow features over an observation window.
+struct FlowFeatures {
+  double down_mbps = 0.0;
+  double up_mbps = 0.0;
+  double symmetry = 0.0;       ///< up / (up + down) in [0, 1].
+  double mean_gap_ms = 0.0;    ///< Mean inter-packet gap (downlink).
+  double gap_jitter = 0.0;     ///< Coefficient of variation of the gaps.
+  std::size_t packets = 0;
+
+  double total_mbps() const noexcept { return down_mbps + up_mbps; }
+};
+
+/// Computes features from records inside [window_start, window_end].
+FlowFeatures extract_features(const std::vector<PacketRecord>& records,
+                              hal::Micros window_start,
+                              hal::Micros window_end);
+
+struct Classification {
+  AppClass app_class = AppClass::kFileTransfer;
+  double confidence = 0.0;  ///< [0, 1], heuristic.
+};
+
+/// Rule-based archetype classifier over flow features.
+/// Returns nullopt for near-idle flows.
+std::optional<Classification> classify(const FlowFeatures& features);
+
+struct DemandSuggestion {
+  std::string endpoint_id;
+  Classification classification;
+  FlowFeatures features;
+};
+
+class TrafficMonitor {
+ public:
+  explicit TrafficMonitor(hal::Micros window_us = 2 * hal::kMicrosPerSecond)
+      : window_us_(window_us) {}
+
+  void ingest(const std::string& endpoint_id, PacketRecord record);
+
+  /// Classify every endpoint's current window; prunes records older than
+  /// the window.
+  std::vector<DemandSuggestion> analyze(hal::Micros now);
+
+  std::size_t tracked_endpoints() const noexcept { return flows_.size(); }
+
+ private:
+  hal::Micros window_us_;
+  std::map<std::string, std::vector<PacketRecord>> flows_;
+};
+
+/// Synthesizes a window of traffic with an archetype's signature
+/// (deterministic given the seed). Records are sorted by timestamp.
+std::vector<PacketRecord> synthesize_traffic(AppClass app_class,
+                                             hal::Micros start,
+                                             hal::Micros duration,
+                                             util::Rng& rng);
+
+}  // namespace surfos::broker

@@ -1,0 +1,216 @@
+#include "broker/specgen.hpp"
+
+#include <cmath>
+
+#include "em/propagation.hpp"
+#include "util/strings.hpp"
+
+namespace surfos::broker {
+
+namespace {
+
+using util::contains;
+using util::to_lower;
+using util::trim;
+
+std::optional<em::Band> band_from_ghz(double ghz) {
+  if (ghz >= 0.7 && ghz < 1.5) return em::Band::kSub1GHz;
+  if (ghz >= 2.0 && ghz < 3.5) return em::Band::k2_4GHz;
+  if (ghz >= 4.5 && ghz < 7.5) return em::Band::k5GHz;
+  if (ghz >= 20.0 && ghz < 26.0) return em::Band::k24GHz;
+  if (ghz >= 26.0 && ghz < 40.0) return em::Band::k28GHz;
+  if (ghz >= 50.0 && ghz < 75.0) return em::Band::k60GHz;
+  return std::nullopt;
+}
+
+/// Parses "<number> <unit>" with unit scaling into a base unit.
+std::optional<double> parse_scaled(std::string_view text,
+                                   std::initializer_list<
+                                       std::pair<const char*, double>>
+                                       units) {
+  const std::string lowered = to_lower(trim(text));
+  for (const auto& [suffix, scale] : units) {
+    const auto at = lowered.find(suffix);
+    if (at == std::string::npos) continue;
+    double value = 0.0;
+    if (util::parse_double(trim(std::string_view(lowered).substr(0, at)),
+                           value)) {
+      return value * scale;
+    }
+  }
+  double bare = 0.0;
+  if (util::parse_double(lowered, bare)) return bare;
+  return std::nullopt;
+}
+
+}  // namespace
+
+hal::HardwareSpec DriverBlueprint::to_spec() const {
+  hal::HardwareSpec spec;
+  spec.model = model;
+  spec.op_mode = op_mode;
+  spec.reconfigurability = reconfigurability;
+  spec.granularity = granularity;
+  spec.band_response[band] = 0.9;
+  spec.control_delay_us =
+      reconfigurability == surface::Reconfigurability::kPassive
+          ? hal::kInfiniteDelay
+          : control_delay_us;
+  spec.config_slots =
+      reconfigurability == surface::Reconfigurability::kPassive ? 1
+                                                                : config_slots;
+  spec.power_mw = reconfigurability == surface::Reconfigurability::kPassive
+                      ? 0.0
+                      : 0.05 * static_cast<double>(rows * cols);
+  return spec;
+}
+
+SpecGenResult parse_datasheet(const std::string& text) {
+  SpecGenResult result;
+  DriverBlueprint bp;
+  bool have_model = false;
+  bool have_band = false;
+  bool spacing_set = false;
+
+  for (const auto raw_line : util::split(text, '\n')) {
+    const auto line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      result.warnings.push_back("no key: " + std::string(line));
+      continue;
+    }
+    const std::string key = to_lower(trim(line.substr(0, colon)));
+    const std::string_view value = trim(line.substr(colon + 1));
+    const std::string value_lower = to_lower(value);
+
+    if (key == "model" || key == "name") {
+      bp.model = std::string(value);
+      have_model = true;
+    } else if (key == "frequency" || key == "band") {
+      const auto hz = parse_scaled(value, {{"ghz", 1e9}, {"mhz", 1e6}});
+      const auto band = hz ? band_from_ghz(*hz / 1e9) : std::nullopt;
+      if (band) {
+        bp.band = *band;
+        have_band = true;
+      } else {
+        result.warnings.push_back("unparsable frequency: " +
+                                  std::string(value));
+      }
+    } else if (key == "mode" || key == "operation") {
+      if (contains(value_lower, "transflect") ||
+          (contains(value_lower, "t") && contains(value_lower, "r") &&
+           contains(value_lower, "&"))) {
+        bp.op_mode = surface::OperationMode::kTransflective;
+      } else if (contains(value_lower, "transmis")) {
+        bp.op_mode = surface::OperationMode::kTransmissive;
+      } else if (contains(value_lower, "reflect")) {
+        bp.op_mode = surface::OperationMode::kReflective;
+      } else {
+        result.warnings.push_back("unknown mode: " + std::string(value));
+      }
+    } else if (key == "reconfigurable" || key == "reconfigurability") {
+      if (contains(value_lower, "no") || contains(value_lower, "passive") ||
+          contains(value_lower, "one-time")) {
+        bp.reconfigurability = surface::Reconfigurability::kPassive;
+      } else {
+        bp.reconfigurability = surface::Reconfigurability::kProgrammable;
+        if (contains(value_lower, "column")) {
+          bp.granularity = surface::ControlGranularity::kColumn;
+        } else if (contains(value_lower, "row")) {
+          bp.granularity = surface::ControlGranularity::kRow;
+        } else {
+          bp.granularity = surface::ControlGranularity::kElement;
+        }
+      }
+    } else if (key == "elements" || key == "array") {
+      const auto x_at = value_lower.find('x');
+      std::uint64_t rows = 0;
+      std::uint64_t cols = 0;
+      if (x_at != std::string::npos &&
+          util::parse_uint(trim(std::string_view(value_lower).substr(0, x_at)),
+                           rows) &&
+          util::parse_uint(trim(std::string_view(value_lower).substr(x_at + 1)),
+                           cols) &&
+          rows > 0 && cols > 0) {
+        bp.rows = rows;
+        bp.cols = cols;
+      } else {
+        result.warnings.push_back("unparsable elements: " +
+                                  std::string(value));
+      }
+    } else if (key == "spacing" || key == "pitch") {
+      if (contains(value_lower, "half-wavelength") ||
+          contains(value_lower, "lambda/2")) {
+        spacing_set = false;  // resolved after the band is known
+      } else if (const auto m = parse_scaled(
+                     value, {{"mm", 1e-3}, {"cm", 1e-2}, {"m", 1.0}})) {
+        bp.element.spacing_m = *m;
+        spacing_set = true;
+      } else {
+        result.warnings.push_back("unparsable spacing: " + std::string(value));
+      }
+    } else if (key == "phase_bits" || key == "phase bits") {
+      std::uint64_t bits = 0;
+      if (util::parse_uint(value, bits) && bits <= 8) {
+        bp.element.phase_bits = static_cast<int>(bits);
+      } else {
+        result.warnings.push_back("unparsable phase_bits: " +
+                                  std::string(value));
+      }
+    } else if (key == "insertion_loss" || key == "loss") {
+      if (const auto db = parse_scaled(value, {{"db", 1.0}})) {
+        bp.element.insertion_loss_db = *db;
+      } else {
+        result.warnings.push_back("unparsable loss: " + std::string(value));
+      }
+    } else if (key == "control_delay" || key == "latency") {
+      if (const auto us = parse_scaled(
+              value, {{"ms", 1e3}, {"us", 1.0}, {"s", 1e6}})) {
+        bp.control_delay_us = static_cast<hal::Micros>(*us);
+      } else {
+        result.warnings.push_back("unparsable control_delay: " +
+                                  std::string(value));
+      }
+    } else if (key == "slots" || key == "configurations") {
+      std::uint64_t slots = 0;
+      if (util::parse_uint(value, slots) && slots >= 1 && slots <= 256) {
+        bp.config_slots = slots;
+      } else {
+        result.warnings.push_back("unparsable slots: " + std::string(value));
+      }
+    } else {
+      result.warnings.push_back("unknown key: " + key);
+    }
+  }
+
+  if (!have_model || !have_band) {
+    result.warnings.push_back("datasheet missing required model/frequency");
+    return result;
+  }
+  if (!spacing_set) {
+    bp.element.spacing_m = em::wavelength(em::band_center(bp.band)) / 2.0;
+  }
+  result.blueprint = std::move(bp);
+  return result;
+}
+
+surface::SurfacePanel build_panel(const DriverBlueprint& blueprint,
+                                  const geom::Frame& pose) {
+  return surface::SurfacePanel(
+      blueprint.model, pose, blueprint.rows, blueprint.cols, blueprint.element,
+      blueprint.op_mode, blueprint.reconfigurability, blueprint.granularity);
+}
+
+std::unique_ptr<hal::SurfaceDriver> synthesize_driver(
+    const DriverBlueprint& blueprint, const surface::SurfacePanel* panel,
+    std::string device_id, const hal::SimClock* clock) {
+  if (blueprint.reconfigurability == surface::Reconfigurability::kPassive) {
+    return std::make_unique<hal::PassiveSurfaceDriver>(
+        std::move(device_id), panel, blueprint.to_spec());
+  }
+  return std::make_unique<hal::ProgrammableSurfaceDriver>(
+      std::move(device_id), panel, blueprint.to_spec(), clock);
+}
+
+}  // namespace surfos::broker

@@ -1,0 +1,63 @@
+// Datasheet-to-driver generation (paper 3.4: "LLMs can assist by parsing and
+// summarizing long text, such as datasheets ... to generate surface hardware
+// specifications ... [and] further synthesize the driver code").
+//
+// The substitute here is a tolerant key:value datasheet parser that emits a
+// HardwareSpec + panel geometry blueprint, and a factory that instantiates a
+// ready-to-register driver from it. Unknown keys are collected as warnings
+// rather than errors — real datasheets are messy.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/frame.hpp"
+#include "hal/clock.hpp"
+#include "hal/driver.hpp"
+#include "surface/panel.hpp"
+
+namespace surfos::broker {
+
+/// Everything needed to build and drive one surface.
+struct DriverBlueprint {
+  std::string model;
+  em::Band band = em::Band::k28GHz;
+  surface::OperationMode op_mode = surface::OperationMode::kReflective;
+  surface::Reconfigurability reconfigurability =
+      surface::Reconfigurability::kProgrammable;
+  surface::ControlGranularity granularity =
+      surface::ControlGranularity::kElement;
+  surface::ElementDesign element;
+  std::size_t rows = 16;
+  std::size_t cols = 16;
+  hal::Micros control_delay_us = 500;
+  std::size_t config_slots = 4;
+
+  hal::HardwareSpec to_spec() const;
+};
+
+struct SpecGenResult {
+  std::optional<DriverBlueprint> blueprint;  ///< Empty on fatal parse failure.
+  std::vector<std::string> warnings;         ///< Ignored/unparsable lines.
+};
+
+/// Parses "key: value" datasheet text. Recognized keys (case-insensitive):
+/// model, frequency (e.g. "28 GHz"), mode (reflective/transmissive/
+/// transflective), reconfigurable (yes/no/column/row), elements ("16x32"),
+/// spacing ("5.4 mm" or "half-wavelength"), phase_bits, insertion_loss
+/// ("2 dB"), control_delay ("500 us" / "2 ms"), slots.
+SpecGenResult parse_datasheet(const std::string& text);
+
+/// Builds the panel described by a blueprint at a deployment pose.
+surface::SurfacePanel build_panel(const DriverBlueprint& blueprint,
+                                  const geom::Frame& pose);
+
+/// Synthesizes a driver for a panel built from the blueprint. The panel must
+/// have been produced by build_panel (same geometry) and outlive the driver.
+std::unique_ptr<hal::SurfaceDriver> synthesize_driver(
+    const DriverBlueprint& blueprint, const surface::SurfacePanel* panel,
+    std::string device_id, const hal::SimClock* clock);
+
+}  // namespace surfos::broker

@@ -1,0 +1,71 @@
+#include "broker/translate.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace surfos::broker {
+
+double required_snr_db(double throughput_mbps, const em::LinkBudget& budget,
+                       const TranslationOptions& options) {
+  // App goodput -> PHY rate the link must sustain during its share.
+  const double phy_rate_bps = throughput_mbps * 1e6 /
+                              (options.mac_efficiency *
+                               options.assumed_time_share);
+  // Inverse Shannon: snr = 2^(R/B) - 1, then add the implementation gap and
+  // operating margin.
+  const double spectral = phy_rate_bps / budget.bandwidth_hz;
+  const double snr_linear = std::pow(2.0, spectral) - 1.0;
+  return util::to_db(std::max(snr_linear, 1e-12)) + options.shannon_gap_db +
+         options.snr_margin_db;
+}
+
+orch::Priority priority_for_latency(double max_latency_ms) {
+  if (max_latency_ms <= 20.0) return orch::kPriorityCritical;
+  if (max_latency_ms <= 100.0) return orch::kPriorityInteractive;
+  if (max_latency_ms <= 500.0) return orch::kPriorityNormal;
+  return orch::kPriorityBackground;
+}
+
+std::vector<ServiceRequest> translate(const AppDemand& demand,
+                                      const em::LinkBudget& budget,
+                                      const geom::SampleGrid& region,
+                                      const TranslationOptions& options) {
+  std::vector<ServiceRequest> out;
+
+  if (demand.throughput_mbps) {
+    orch::LinkGoal link;
+    link.endpoint_id = demand.endpoint_id;
+    link.target_snr_db = required_snr_db(*demand.throughput_mbps, budget,
+                                         options);
+    link.max_latency_ms = demand.max_latency_ms.value_or(1000.0);
+    out.push_back({link, priority_for_latency(link.max_latency_ms)});
+  }
+
+  if (demand.needs_sensing) {
+    orch::SensingGoal sensing;
+    sensing.region_id = demand.region_id;
+    sensing.region = region;
+    sensing.mode = orch::SensingMode::kTracking;
+    sensing.duration_s = demand.duration_s.value_or(3600.0);
+    out.push_back({sensing, orch::kPriorityNormal});
+  }
+
+  if (demand.needs_security) {
+    orch::SecurityGoal security;
+    security.region_id = demand.region_id;
+    security.region = region;
+    out.push_back({security, orch::kPriorityCritical});
+  }
+
+  if (demand.needs_power) {
+    orch::PowerGoal power;
+    power.endpoint_id = demand.endpoint_id;
+    power.duration_s = demand.duration_s.value_or(3600.0);
+    out.push_back({power, orch::kPriorityBackground});
+  }
+
+  return out;
+}
+
+}  // namespace surfos::broker

@@ -1,0 +1,52 @@
+// Demand translation: application-level targets -> signal-level service
+// goals (paper 3.3: "It is challenging to translate user demands or
+// application performance targets to low-level service targets for surfaces
+// ... involves multiple non-linear mappings across network stack layers").
+//
+// The non-linear chain implemented here:
+//   app throughput -> MAC goodput (protocol efficiency, retransmissions)
+//               -> PHY rate       (time-share of the TDM frame)
+//               -> required SNR   (inverse Shannon with an implementation gap)
+// and latency -> scheduling priority.
+#pragma once
+
+#include <vector>
+
+#include "broker/demand.hpp"
+#include "em/propagation.hpp"
+#include "geom/grid.hpp"
+#include "orch/task.hpp"
+
+namespace surfos::broker {
+
+struct TranslationOptions {
+  double mac_efficiency = 0.7;     ///< App goodput / PHY rate.
+  double shannon_gap_db = 3.0;     ///< Implementation gap to capacity.
+  double snr_margin_db = 3.0;      ///< Fading / mobility headroom.
+  /// Expected TDM share of the link: a multi-client channel gives each app a
+  /// fraction of airtime, so the PHY must run proportionally faster.
+  double assumed_time_share = 0.2;
+};
+
+/// Required SNR (dB) for an application throughput over a bandwidth.
+double required_snr_db(double throughput_mbps, const em::LinkBudget& budget,
+                       const TranslationOptions& options = {});
+
+/// Priority from the latency requirement (tighter latency -> higher).
+orch::Priority priority_for_latency(double max_latency_ms);
+
+/// The service calls a demand expands into, with priorities.
+struct ServiceRequest {
+  orch::ServiceGoal goal;
+  orch::Priority priority = orch::kPriorityNormal;
+};
+
+/// Translate one application demand into service requests. Region-based
+/// goals (sensing, security) use `region`; link goals use the demand's
+/// endpoint id.
+std::vector<ServiceRequest> translate(const AppDemand& demand,
+                                      const em::LinkBudget& budget,
+                                      const geom::SampleGrid& region,
+                                      const TranslationOptions& options = {});
+
+}  // namespace surfos::broker

@@ -1,0 +1,72 @@
+#include "core/fleet.hpp"
+
+#include <stdexcept>
+
+namespace surfos {
+
+SurfOS& Fleet::add_site(std::string site_id, std::unique_ptr<SurfOS> os) {
+  if (!os) throw std::invalid_argument("Fleet: null site");
+  if (site_id.empty()) throw std::invalid_argument("Fleet: empty site id");
+  const auto [it, inserted] = sites_.emplace(std::move(site_id), std::move(os));
+  if (!inserted) {
+    throw std::invalid_argument("Fleet: duplicate site id " + it->first);
+  }
+  return *it->second;
+}
+
+SurfOS& Fleet::site(const std::string& site_id) {
+  const auto it = sites_.find(site_id);
+  if (it == sites_.end()) {
+    throw std::invalid_argument("Fleet: unknown site " + site_id);
+  }
+  return *it->second;
+}
+
+const SurfOS* Fleet::find_site(const std::string& site_id) const noexcept {
+  const auto it = sites_.find(site_id);
+  return it == sites_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Fleet::site_ids() const {
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [id, os] : sites_) out.push_back(id);
+  return out;
+}
+
+broker::IntentResult Fleet::handle_utterance(const std::string& site_id,
+                                             const std::string& text) {
+  return site(site_id).broker().handle_utterance(text);
+}
+
+FleetReport Fleet::step_all() {
+  FleetReport report;
+  for (auto& [id, os] : sites_) {
+    SiteReport site_report;
+    site_report.site_id = id;
+    site_report.step = os->step();
+    report.total_assignments += site_report.step.assignment_count;
+    report.total_optimizations += site_report.step.optimizations_run;
+    report.total_starved += site_report.step.starved.size();
+    report.sites.push_back(std::move(site_report));
+  }
+  return report;
+}
+
+FleetInventory Fleet::inventory() const {
+  FleetInventory inventory;
+  inventory.sites = sites_.size();
+  for (const auto& [id, os] : sites_) {
+    inventory.surfaces += os->registry().surface_count();
+    inventory.endpoints += os->registry().endpoints().size();
+    for (const auto* task : os->orchestrator().tasks()) {
+      if (task->active()) {
+        ++inventory.active_tasks;
+        if (task->goal_met) ++inventory.tasks_meeting_goals;
+      }
+    }
+  }
+  return inventory;
+}
+
+}  // namespace surfos

@@ -1,0 +1,97 @@
+#include "core/surfos.hpp"
+
+#include <stdexcept>
+
+#include "hal/driver.hpp"
+
+namespace surfos {
+
+SurfOS::SurfOS(const sim::Environment* environment, sim::TxSpec ap,
+               em::Band band, em::LinkBudget budget,
+               orch::OrchestratorOptions options)
+    : band_(band) {
+  orch::OrchestratorContext context;
+  context.environment = environment;
+  context.ap = ap;
+  context.default_band = band;
+  context.budget = budget;
+  orchestrator_ = std::make_unique<orch::Orchestrator>(&registry_, &clock_,
+                                                       context, options);
+  // Default broker region: a 1 m patch at the AP until callers add regions.
+  geom::SampleGrid default_region(ap.position.x - 0.5, ap.position.x + 0.5,
+                                  ap.position.y - 0.5, ap.position.y + 0.5,
+                                  1.0, 3, 3);
+  broker_ = std::make_unique<broker::ServiceBroker>(orchestrator_.get(),
+                                                    default_region);
+}
+
+const std::string& SurfOS::install_programmable(
+    const surface::CatalogEntry& entry, const geom::Frame& pose,
+    std::size_t rows, std::size_t cols, std::string device_id) {
+  if (entry.reconfigurability != surface::Reconfigurability::kProgrammable) {
+    throw std::invalid_argument("install_programmable: passive design " +
+                                entry.name);
+  }
+  panels_.push_back(std::make_unique<surface::SurfacePanel>(
+      surface::instantiate(entry, pose, rows, cols)));
+  auto spec = hal::spec_for_panel(*panels_.back(), band_);
+  auto driver = std::make_unique<hal::ProgrammableSurfaceDriver>(
+      std::move(device_id), panels_.back().get(), std::move(spec), &clock_);
+  return registry_.add_surface(std::move(driver));
+}
+
+const std::string& SurfOS::install_passive(
+    const surface::CatalogEntry& entry, const geom::Frame& pose,
+    std::size_t rows, std::size_t cols, std::string device_id,
+    const surface::SurfaceConfig& fabricated_config) {
+  panels_.push_back(std::make_unique<surface::SurfacePanel>(
+      surface::instantiate(entry, pose, rows, cols)));
+  auto spec = hal::spec_for_panel(*panels_.back(), band_);
+  auto driver = std::make_unique<hal::PassiveSurfaceDriver>(
+      std::move(device_id), panels_.back().get(), std::move(spec));
+  if (!fabricated_config.empty()) {
+    const auto status = driver->fabricate(fabricated_config);
+    if (status != hal::DriverStatus::kOk) {
+      throw std::invalid_argument(std::string("install_passive: ") +
+                                  hal::to_string(status));
+    }
+  }
+  return registry_.add_surface(std::move(driver));
+}
+
+const std::string& SurfOS::install_from_datasheet(
+    const std::string& datasheet_text, const geom::Frame& pose,
+    std::string device_id, std::vector<std::string>* warnings) {
+  const auto parsed = broker::parse_datasheet(datasheet_text);
+  if (warnings != nullptr) *warnings = parsed.warnings;
+  if (!parsed.blueprint) {
+    throw std::invalid_argument("install_from_datasheet: unusable datasheet");
+  }
+  panels_.push_back(std::make_unique<surface::SurfacePanel>(
+      broker::build_panel(*parsed.blueprint, pose)));
+  auto driver = broker::synthesize_driver(*parsed.blueprint,
+                                          panels_.back().get(),
+                                          std::move(device_id), &clock_);
+  return registry_.add_surface(std::move(driver));
+}
+
+void SurfOS::register_endpoint(std::string id, hal::EndpointKind kind,
+                               const geom::Vec3& position) {
+  hal::EndpointDevice endpoint;
+  endpoint.id = std::move(id);
+  endpoint.kind = kind;
+  endpoint.position = position;
+  endpoint.band = band_;
+  registry_.add_endpoint(std::move(endpoint));
+}
+
+const surface::SurfacePanel& SurfOS::panel_of(
+    const std::string& device_id) const {
+  const auto* driver = registry_.find_surface(device_id);
+  if (driver == nullptr) {
+    throw std::invalid_argument("panel_of: unknown device " + device_id);
+  }
+  return driver->panel();
+}
+
+}  // namespace surfos

@@ -1,0 +1,11 @@
+// Library version constants.
+#pragma once
+
+namespace surfos {
+
+inline constexpr int kVersionMajor = 0;
+inline constexpr int kVersionMinor = 1;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "0.1.0";
+
+}  // namespace surfos

@@ -1,0 +1,54 @@
+#include "em/antenna.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace surfos::em {
+
+CosinePowerAntenna::CosinePowerAntenna(const geom::Vec3& boresight,
+                                       double exponent)
+    : boresight_(boresight.normalized()), q_(exponent) {
+  if (exponent < 0.0) {
+    throw std::invalid_argument("CosinePowerAntenna: exponent must be >= 0");
+  }
+}
+
+double CosinePowerAntenna::amplitude_gain(
+    const geom::Vec3& direction) const noexcept {
+  const double c = boresight_.dot(direction.normalized());
+  if (c <= 0.0) return 0.0;
+  // Power gain: 2(q+1) cos^q(theta); amplitude gain is its square root.
+  return std::sqrt(2.0 * (q_ + 1.0) * std::pow(c, q_));
+}
+
+std::string CosinePowerAntenna::name() const {
+  return util::format("cos^%.1f", q_);
+}
+
+SectorAntenna::SectorAntenna(const geom::Vec3& boresight, double beamwidth_deg,
+                             double sidelobe_db)
+    : boresight_(boresight.normalized()) {
+  if (beamwidth_deg <= 0.0 || beamwidth_deg > 360.0) {
+    throw std::invalid_argument("SectorAntenna: bad beamwidth");
+  }
+  const double half_rad = util::deg_to_rad(beamwidth_deg / 2.0);
+  cos_half_ = std::cos(half_rad);
+  // Gain from the beam solid angle of a cone: G = 2 / (1 - cos(half)).
+  peak_gain_ = 2.0 / std::max(1e-9, 1.0 - cos_half_);
+  sidelobe_amplitude_ =
+      std::sqrt(peak_gain_ * util::from_db(-sidelobe_db));
+}
+
+double SectorAntenna::amplitude_gain(const geom::Vec3& direction) const noexcept {
+  const double c = boresight_.dot(direction.normalized());
+  if (c >= cos_half_) return std::sqrt(peak_gain_);
+  return sidelobe_amplitude_;
+}
+
+std::string SectorAntenna::name() const {
+  return util::format("sector(G=%.1f dBi)", util::to_db(peak_gain_));
+}
+
+}  // namespace surfos::em

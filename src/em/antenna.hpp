@@ -1,0 +1,77 @@
+// Antenna radiation patterns.
+//
+// The simulator weights every ray departure/arrival by the endpoint's
+// pattern gain. APs in the mmWave scenarios use sectored horn-like patterns;
+// clients are near-isotropic; surface elements use the canonical cos(theta)
+// element factor.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "geom/vec3.hpp"
+
+namespace surfos::em {
+
+/// Interface: directional amplitude gain (sqrt of power gain) for a world
+/// direction, given the antenna's boresight.
+class AntennaPattern {
+ public:
+  virtual ~AntennaPattern() = default;
+
+  /// Amplitude gain in the given unit direction (departing for TX, arriving
+  /// reversed for RX). Must be >= 0.
+  virtual double amplitude_gain(const geom::Vec3& direction) const noexcept = 0;
+
+  /// Peak power gain (linear), for link-budget reporting.
+  virtual double peak_power_gain() const noexcept = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// 0 dBi isotropic radiator.
+class IsotropicAntenna final : public AntennaPattern {
+ public:
+  double amplitude_gain(const geom::Vec3&) const noexcept override { return 1.0; }
+  double peak_power_gain() const noexcept override { return 1.0; }
+  std::string name() const override { return "isotropic"; }
+};
+
+/// cos^q(theta) pattern about a boresight, normalized so total radiated power
+/// matches an ideal directivity of 2(q+1) (standard element-factor model).
+class CosinePowerAntenna final : public AntennaPattern {
+ public:
+  CosinePowerAntenna(const geom::Vec3& boresight, double exponent);
+
+  double amplitude_gain(const geom::Vec3& direction) const noexcept override;
+  double peak_power_gain() const noexcept override { return 2.0 * (q_ + 1.0); }
+  std::string name() const override;
+
+  const geom::Vec3& boresight() const noexcept { return boresight_; }
+
+ private:
+  geom::Vec3 boresight_;
+  double q_;
+};
+
+/// Sectored horn: flat gain inside a half-power cone, strong rolloff outside.
+class SectorAntenna final : public AntennaPattern {
+ public:
+  /// `beamwidth_deg` is the full cone angle; gain follows from the beam solid
+  /// angle; sidelobes sit `sidelobe_db` below the main lobe.
+  SectorAntenna(const geom::Vec3& boresight, double beamwidth_deg,
+                double sidelobe_db = 20.0);
+
+  double amplitude_gain(const geom::Vec3& direction) const noexcept override;
+  double peak_power_gain() const noexcept override { return peak_gain_; }
+  std::string name() const override;
+
+ private:
+  geom::Vec3 boresight_;
+  double cos_half_;
+  double peak_gain_;
+  double sidelobe_amplitude_;
+};
+
+}  // namespace surfos::em

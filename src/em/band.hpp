@@ -1,0 +1,80 @@
+// Frequency bands. The paper's hardware catalog (Table 1) spans 0.9 GHz
+// through 60 GHz; SurfOS schedules services per band (frequency-division
+// multiplexing across surfaces, Section 3.2).
+#pragma once
+
+#include <string_view>
+
+namespace surfos::em {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+inline constexpr double wavelength(double frequency_hz) noexcept {
+  return kSpeedOfLight / frequency_hz;
+}
+
+inline constexpr double kGHz = 1e9;
+inline constexpr double kMHz = 1e6;
+
+/// Canonical bands used by the catalog and the orchestrator's FDM planner.
+enum class Band {
+  kSub1GHz,    // 0.9 GHz (Scrolls lower edge)
+  k2_4GHz,     // 2.4 GHz ISM (LAIA, RFocus, LLAMA, LAVA)
+  k5GHz,       // 5 GHz Wi-Fi (ScatterMIMO, RFlens, Diffract)
+  k24GHz,      // 24 GHz (mmWall, NR-Surface)
+  k28GHz,      // 28 GHz 5G NR FR2
+  k60GHz,      // 60 GHz WiGig (MilliMirror, AutoMS)
+};
+
+/// Representative carrier frequency for a band [Hz].
+constexpr double band_center(Band band) noexcept {
+  switch (band) {
+    case Band::kSub1GHz: return 0.9 * kGHz;
+    case Band::k2_4GHz: return 2.4 * kGHz;
+    case Band::k5GHz: return 5.2 * kGHz;
+    case Band::k24GHz: return 24.0 * kGHz;
+    case Band::k28GHz: return 28.0 * kGHz;
+    case Band::k60GHz: return 60.0 * kGHz;
+  }
+  return 0.0;
+}
+
+/// Typical channel bandwidth for a band [Hz] (used in noise/capacity math).
+constexpr double band_bandwidth(Band band) noexcept {
+  switch (band) {
+    case Band::kSub1GHz: return 20.0 * kMHz;
+    case Band::k2_4GHz: return 20.0 * kMHz;
+    case Band::k5GHz: return 80.0 * kMHz;
+    case Band::k24GHz: return 400.0 * kMHz;
+    case Band::k28GHz: return 400.0 * kMHz;
+    case Band::k60GHz: return 2160.0 * kMHz;
+  }
+  return 0.0;
+}
+
+constexpr std::string_view band_name(Band band) noexcept {
+  switch (band) {
+    case Band::kSub1GHz: return "0.9 GHz";
+    case Band::k2_4GHz: return "2.4 GHz";
+    case Band::k5GHz: return "5 GHz";
+    case Band::k24GHz: return "24 GHz";
+    case Band::k28GHz: return "28 GHz";
+    case Band::k60GHz: return "60 GHz";
+  }
+  return "?";
+}
+
+/// True when two bands overlap enough that a surface resonant on `a` affects
+/// signals on `b` (first-order adjacency model for the interference checks
+/// the paper raises in Section 2.1, e.g. a 2.4 GHz surface blocking 3 GHz).
+constexpr bool bands_adjacent(Band a, Band b) noexcept {
+  if (a == b) return true;
+  const double fa = band_center(a);
+  const double fb = band_center(b);
+  const double lo = fa < fb ? fa : fb;
+  const double hi = fa < fb ? fb : fa;
+  return hi / lo < 1.6;  // within ~60% fractional separation
+}
+
+}  // namespace surfos::em

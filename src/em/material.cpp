@@ -1,0 +1,126 @@
+#include "em/material.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "em/band.hpp"
+
+namespace surfos::em {
+
+namespace {
+constexpr double kEps0 = 8.8541878128e-12;  // vacuum permittivity [F/m]
+
+struct FresnelAmplitudes {
+  std::complex<double> te;  // perpendicular (s) polarization
+  std::complex<double> tm;  // parallel (p) polarization
+  std::complex<double> te_t;
+  std::complex<double> tm_t;
+};
+
+// Fresnel coefficients at a half-space boundary air -> material.
+FresnelAmplitudes fresnel(std::complex<double> eps_r, double cos_i) {
+  const double sin_i2 = 1.0 - cos_i * cos_i;
+  const std::complex<double> root = std::sqrt(eps_r - sin_i2);
+  FresnelAmplitudes out;
+  out.te = (cos_i - root) / (cos_i + root);
+  out.tm = (eps_r * cos_i - root) / (eps_r * cos_i + root);
+  out.te_t = 2.0 * cos_i / (cos_i + root);
+  out.tm_t = 2.0 * std::sqrt(eps_r) * cos_i / (eps_r * cos_i + root);
+  return out;
+}
+
+// Field attenuation through `thickness` of lossy material at frequency f.
+std::complex<double> internal_propagation(std::complex<double> eps_r,
+                                          double frequency_hz,
+                                          double thickness_m, double cos_i) {
+  const double k0 = 2.0 * M_PI * frequency_hz / kSpeedOfLight;
+  const double sin_i2 = 1.0 - cos_i * cos_i;
+  // Longitudinal wavenumber inside the slab.
+  const std::complex<double> kz = k0 * std::sqrt(eps_r - sin_i2);
+  // exp(-j kz d): the imaginary part of kz (negative for our convention
+  // Im(eps) < 0) yields exponential decay.
+  const std::complex<double> j{0.0, 1.0};
+  return std::exp(-j * kz * thickness_m);
+}
+}  // namespace
+
+std::complex<double> Material::permittivity(double frequency_hz) const noexcept {
+  const double f_ghz = frequency_hz / 1e9;
+  const double sigma = conductivity_a * std::pow(f_ghz, conductivity_b);
+  const double imag = sigma / (2.0 * M_PI * frequency_hz * kEps0);
+  return {rel_permittivity, -imag};
+}
+
+SlabResponse slab_response(const Material& material, double frequency_hz,
+                           double incidence_rad) noexcept {
+  const double cos_i = std::cos(incidence_rad);
+  const auto eps = material.permittivity(frequency_hz);
+  const auto fr = fresnel(eps, cos_i);
+  const auto decay =
+      internal_propagation(eps, frequency_hz, material.thickness_m, cos_i);
+  SlabResponse out;
+  out.reflection = 0.5 * (std::norm(fr.te) + std::norm(fr.tm));
+  // Single-pass slab transmission: entry * internal decay * exit. Exit
+  // coefficients follow from reciprocity (1 + Gamma on each side); we use the
+  // standard slab formula without multiple internal bounces, which lossy
+  // building materials suppress.
+  const std::complex<double> t_te = (1.0 - fr.te * fr.te) * decay;
+  const std::complex<double> t_tm = (1.0 - fr.tm * fr.tm) * decay;
+  out.transmission = 0.5 * (std::norm(t_te) + std::norm(t_tm));
+  if (out.transmission > 1.0) out.transmission = 1.0;
+  if (out.reflection > 1.0) out.reflection = 1.0;
+  return out;
+}
+
+std::complex<double> reflection_coefficient(const Material& material,
+                                            double frequency_hz,
+                                            double incidence_rad) noexcept {
+  const double cos_i = std::cos(incidence_rad);
+  const auto fr = fresnel(material.permittivity(frequency_hz), cos_i);
+  // Unpolarized power magnitude with TE phase (scalar ray approximation).
+  const double mag =
+      std::sqrt(0.5 * (std::norm(fr.te) + std::norm(fr.tm)));
+  const double phase = std::arg(fr.te);
+  return std::polar(mag, phase);
+}
+
+std::complex<double> transmission_coefficient(const Material& material,
+                                              double frequency_hz,
+                                              double incidence_rad) noexcept {
+  const double cos_i = std::cos(incidence_rad);
+  const auto eps = material.permittivity(frequency_hz);
+  const auto fr = fresnel(eps, cos_i);
+  const auto decay =
+      internal_propagation(eps, frequency_hz, material.thickness_m, cos_i);
+  const std::complex<double> t_te = (1.0 - fr.te * fr.te) * decay;
+  const std::complex<double> t_tm = (1.0 - fr.tm * fr.tm) * decay;
+  const double mag = std::sqrt(0.5 * (std::norm(t_te) + std::norm(t_tm)));
+  return std::polar(std::fmin(mag, 1.0), std::arg(t_te));
+}
+
+int MaterialDb::add(Material material) {
+  materials_.push_back(std::move(material));
+  return static_cast<int>(materials_.size()) - 1;
+}
+
+const Material& MaterialDb::get(int id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= materials_.size()) {
+    throw std::out_of_range("MaterialDb: unknown material id");
+  }
+  return materials_[static_cast<std::size_t>(id)];
+}
+
+MaterialDb MaterialDb::standard() {
+  // Parameters follow ITU-R P.2040-1 Table 3 (a, b for sigma = a f^b).
+  MaterialDb db;
+  db.add({"concrete", 5.31, 0.0326, 0.8095, 0.20});      // kMatConcrete
+  db.add({"brick", 3.75, 0.038, 0.0, 0.15});              // kMatBrick
+  db.add({"plasterboard", 2.94, 0.0116, 0.7076, 0.03});   // kMatPlasterboard
+  db.add({"wood", 1.99, 0.0047, 1.0718, 0.04});           // kMatWood
+  db.add({"glass", 6.27, 0.0043, 1.1925, 0.006});         // kMatGlass
+  db.add({"metal", 1.0, 1e7, 0.0, 0.002});                // kMatMetal
+  db.add({"floor", 5.31, 0.0326, 0.8095, 0.30});          // kMatFloor
+  return db;
+}
+
+}  // namespace surfos::em

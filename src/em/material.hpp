@@ -1,0 +1,76 @@
+// Building materials and their electromagnetic behaviour.
+//
+// Reflection and transmission follow the Fresnel equations for a lossy
+// dielectric slab, with material parameters (relative permittivity,
+// conductivity, thickness) taken from ITU-R P.2040 building-material tables.
+// The ray tracer consults this to weight specular reflections and to
+// accumulate through-wall penetration loss — the effect that makes mmWave
+// coverage collapse behind walls and motivates surfaces in the first place.
+#pragma once
+
+#include <complex>
+#include <string>
+#include <vector>
+
+namespace surfos::em {
+
+struct Material {
+  std::string name;
+  double rel_permittivity = 1.0;   ///< Real part of epsilon_r.
+  double conductivity_a = 0.0;     ///< ITU-R P.2040 sigma = a * f_GHz^b [S/m].
+  double conductivity_b = 0.0;
+  double thickness_m = 0.1;        ///< Slab thickness for transmission loss.
+
+  /// Complex relative permittivity at a frequency.
+  std::complex<double> permittivity(double frequency_hz) const noexcept;
+};
+
+/// Power reflection / transmission coefficients for a slab at an incidence
+/// angle (radians from normal). Unpolarized: average of TE and TM.
+struct SlabResponse {
+  double reflection = 0.0;    ///< |Gamma|^2 in [0, 1].
+  double transmission = 0.0;  ///< |T|^2 through the slab in [0, 1].
+};
+
+SlabResponse slab_response(const Material& material, double frequency_hz,
+                           double incidence_rad) noexcept;
+
+/// Amplitude (field) reflection coefficient, unpolarized magnitude with the
+/// phase of the TE component (adequate for our scalar ray model).
+std::complex<double> reflection_coefficient(const Material& material,
+                                            double frequency_hz,
+                                            double incidence_rad) noexcept;
+
+/// Amplitude transmission coefficient through the slab, including internal
+/// attenuation.
+std::complex<double> transmission_coefficient(const Material& material,
+                                              double frequency_hz,
+                                              double incidence_rad) noexcept;
+
+/// Material database keyed by a small id (stored per-triangle in meshes).
+class MaterialDb {
+ public:
+  /// Registers a material; returns its id.
+  int add(Material material);
+
+  const Material& get(int id) const;
+  std::size_t size() const noexcept { return materials_.size(); }
+
+  /// Pre-populated database with ITU-R P.2040-style defaults. Ids are stable:
+  /// see the k* constants below.
+  static MaterialDb standard();
+
+ private:
+  std::vector<Material> materials_;
+};
+
+// Stable ids within MaterialDb::standard().
+inline constexpr int kMatConcrete = 0;
+inline constexpr int kMatBrick = 1;
+inline constexpr int kMatPlasterboard = 2;
+inline constexpr int kMatWood = 3;
+inline constexpr int kMatGlass = 4;
+inline constexpr int kMatMetal = 5;
+inline constexpr int kMatFloor = 6;
+
+}  // namespace surfos::em

@@ -1,0 +1,68 @@
+#include "em/propagation.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace surfos::em {
+
+Cx element_cascade_gain(double frequency_hz, double element_area_m2,
+                        double cos_in, double cos_out, double d1_m,
+                        double d2_m) noexcept {
+  if (cos_in <= 0.0 || cos_out <= 0.0) return {};
+  const double amplitude = element_area_m2 *
+                           std::sqrt(cos_in * cos_out) /
+                           (4.0 * M_PI * d1_m * d2_m);
+  const double phase = -wavenumber(frequency_hz) * (d1_m + d2_m);
+  return std::polar(amplitude, phase);
+}
+
+Cx element_hop_gain(double frequency_hz, double element_area_m2,
+                    double cos_angle, double distance_m) noexcept {
+  if (cos_angle <= 0.0) return {};
+  // Split the cascade symmetrically: each hop carries
+  // sqrt(area * cos) / (sqrt(4*pi) * d), so a two-hop product reproduces
+  // element_cascade_gain exactly: area*sqrt(cos_in*cos_out)/(4*pi*d1*d2).
+  const double amplitude = std::sqrt(element_area_m2 * cos_angle) /
+                           (std::sqrt(4.0 * M_PI) * distance_m);
+  const double phase = -wavenumber(frequency_hz) * distance_m;
+  return std::polar(amplitude, phase);
+}
+
+Cx element_to_element_gain(double frequency_hz, double area_p_m2, double cos_p,
+                           double area_q_m2, double cos_q,
+                           double distance_m) noexcept {
+  if (cos_p <= 0.0 || cos_q <= 0.0) return {};
+  const double amplitude = std::sqrt(area_p_m2 * cos_p) *
+                           std::sqrt(area_q_m2 * cos_q) /
+                           (wavelength(frequency_hz) * distance_m);
+  return std::polar(amplitude, -wavenumber(frequency_hz) * distance_m);
+}
+
+double noise_floor_dbm(double bandwidth_hz, double noise_figure_db) noexcept {
+  // kT at 290 K is -174 dBm/Hz.
+  return -174.0 + 10.0 * std::log10(bandwidth_hz) + noise_figure_db;
+}
+
+double shannon_capacity(double bandwidth_hz, double snr_linear) noexcept {
+  return bandwidth_hz * std::log2(1.0 + snr_linear);
+}
+
+double LinkBudget::rss_dbm(double channel_power_gain) const noexcept {
+  if (channel_power_gain <= 0.0) return -300.0;  // floor for "no path"
+  return tx_power_dbm + util::to_db(channel_power_gain);
+}
+
+double LinkBudget::snr(double channel_power_gain) const noexcept {
+  return util::from_db(rss_dbm(channel_power_gain) - noise_dbm());
+}
+
+double LinkBudget::snr_db(double channel_power_gain) const noexcept {
+  return rss_dbm(channel_power_gain) - noise_dbm();
+}
+
+double LinkBudget::capacity(double channel_power_gain) const noexcept {
+  return shannon_capacity(bandwidth_hz, snr(channel_power_gain));
+}
+
+}  // namespace surfos::em

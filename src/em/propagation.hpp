@@ -1,0 +1,85 @@
+// Scalar complex-gain propagation primitives.
+//
+// Model: narrowband complex channel amplitudes. A free-space leg of length d
+// contributes amplitude lambda/(4*pi*d) and phase -k*d; wall interactions
+// multiply Fresnel coefficients; surface elements multiply their coefficient
+// c_i and the element capture/re-radiation factor (A_e / (4*pi*d1*d2) form,
+// the standard RIS "product-distance" path loss).
+#pragma once
+
+#include <complex>
+
+#include "em/band.hpp"
+#include "em/cx.hpp"
+#include "geom/vec3.hpp"
+
+namespace surfos::em {
+
+/// Free-space wavenumber k = 2*pi / lambda.
+inline double wavenumber(double frequency_hz) noexcept {
+  return 2.0 * M_PI * frequency_hz / kSpeedOfLight;
+}
+
+/// Friis amplitude factor for a free-space leg: lambda / (4*pi*d).
+/// Squared, this is the free-space power path gain between isotropic
+/// antennas.
+inline double friis_amplitude(double frequency_hz, double distance_m) noexcept {
+  return wavelength(frequency_hz) / (4.0 * M_PI * distance_m);
+}
+
+/// Complex gain of a direct free-space leg including propagation phase.
+inline Cx free_space_gain(double frequency_hz, double distance_m) noexcept {
+  return std::polar(friis_amplitude(frequency_hz, distance_m),
+                    -wavenumber(frequency_hz) * distance_m);
+}
+
+/// Effective aperture of a surface element with physical area `area_m2` and
+/// incidence/emission angle cosines. Element amplitude factor for the
+/// cascaded TX -> element -> RX hop (excluding the element's own coefficient
+/// and the endpoint antenna gains):
+///   area * sqrt(cos_in * cos_out) / (4*pi*d1*d2) * exp(-jk(d1+d2))
+Cx element_cascade_gain(double frequency_hz, double element_area_m2,
+                        double cos_in, double cos_out, double d1_m,
+                        double d2_m) noexcept;
+
+/// One-hop gain used when composing surface-to-surface cascade matrices:
+/// the receiving element's capture factor * free-space leg. The emitting
+/// element's re-radiation factor is accounted on its own hop, so chaining
+/// hop gains reproduces element_cascade_gain for the two-hop case.
+Cx element_hop_gain(double frequency_hz, double element_area_m2,
+                    double cos_angle, double distance_m) noexcept;
+
+/// Element-to-element hop for surface-to-surface cascades. From the aperture
+/// formalism: the emitting element re-radiates with gain 4*pi*A_p*cos_p /
+/// lambda^2 and the receiving element captures with aperture A_q*cos_q,
+/// giving amplitude sqrt(A_p*cos_p) * sqrt(A_q*cos_q) / (lambda * d).
+Cx element_to_element_gain(double frequency_hz, double area_p_m2, double cos_p,
+                           double area_q_m2, double cos_q,
+                           double distance_m) noexcept;
+
+/// Thermal noise power [dBm] in `bandwidth_hz` with a receiver noise figure.
+double noise_floor_dbm(double bandwidth_hz, double noise_figure_db) noexcept;
+
+/// Shannon capacity [bit/s] for a given SNR (linear) and bandwidth.
+double shannon_capacity(double bandwidth_hz, double snr_linear) noexcept;
+
+/// Link-budget context: converts channel amplitude |h| to RSS / SNR /
+/// capacity. Immutable value type shared by the simulator and orchestrator.
+struct LinkBudget {
+  double tx_power_dbm = 20.0;
+  double bandwidth_hz = 400.0 * kMHz;
+  double noise_figure_db = 7.0;
+
+  double noise_dbm() const noexcept {
+    return noise_floor_dbm(bandwidth_hz, noise_figure_db);
+  }
+  /// Received signal strength [dBm] for channel power gain |h|^2.
+  double rss_dbm(double channel_power_gain) const noexcept;
+  /// Linear SNR for channel power gain |h|^2.
+  double snr(double channel_power_gain) const noexcept;
+  double snr_db(double channel_power_gain) const noexcept;
+  /// Capacity [bit/s] for channel power gain |h|^2.
+  double capacity(double channel_power_gain) const noexcept;
+};
+
+}  // namespace surfos::em

@@ -1,0 +1,66 @@
+// Orthonormal frames: local coordinate systems for surface panels and
+// antenna orientations. A frame maps local (u, v, n) coordinates to world
+// space, where n is the outward normal of the panel.
+#pragma once
+
+#include <cmath>
+
+#include "geom/vec3.hpp"
+
+namespace surfos::geom {
+
+class Frame {
+ public:
+  /// Identity frame at the origin.
+  Frame() : origin_{}, u_{1, 0, 0}, v_{0, 1, 0}, n_{0, 0, 1} {}
+
+  /// Build from an origin and a (not necessarily unit) normal; u/v are chosen
+  /// deterministically orthogonal to n, with u as horizontal as possible so
+  /// surface rows stay level in room scenes.
+  Frame(const Vec3& origin, const Vec3& normal) : origin_(origin) {
+    n_ = normal.normalized();
+    const Vec3 up = std::fabs(n_.z) < 0.999 ? Vec3{0, 0, 1} : Vec3{1, 0, 0};
+    u_ = up.cross(n_).normalized();
+    v_ = n_.cross(u_);
+  }
+
+  /// Fully specified frame. `u` is re-orthogonalized against n.
+  Frame(const Vec3& origin, const Vec3& normal, const Vec3& u_hint)
+      : origin_(origin) {
+    n_ = normal.normalized();
+    Vec3 u = u_hint - n_ * u_hint.dot(n_);
+    u_ = u.normalized();
+    v_ = n_.cross(u_);
+  }
+
+  const Vec3& origin() const noexcept { return origin_; }
+  const Vec3& u() const noexcept { return u_; }
+  const Vec3& v() const noexcept { return v_; }
+  const Vec3& normal() const noexcept { return n_; }
+
+  /// Local (u, v, n) -> world point.
+  Vec3 to_world(double lu, double lv, double ln = 0.0) const noexcept {
+    return origin_ + u_ * lu + v_ * lv + n_ * ln;
+  }
+
+  /// World point -> local (u, v, n) coordinates.
+  Vec3 to_local(const Vec3& world) const noexcept {
+    const Vec3 d = world - origin_;
+    return {d.dot(u_), d.dot(v_), d.dot(n_)};
+  }
+
+  /// World direction -> local direction (no translation).
+  Vec3 dir_to_local(const Vec3& dir) const noexcept {
+    return {dir.dot(u_), dir.dot(v_), dir.dot(n_)};
+  }
+
+  Vec3 dir_to_world(const Vec3& local_dir) const noexcept {
+    return u_ * local_dir.x + v_ * local_dir.y + n_ * local_dir.z;
+  }
+
+ private:
+  Vec3 origin_;
+  Vec3 u_, v_, n_;
+};
+
+}  // namespace surfos::geom

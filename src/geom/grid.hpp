@@ -1,0 +1,55 @@
+// Regular 2-D sampling grids at a fixed height: evaluation points for
+// coverage/localization heatmaps and CDFs-over-locations (paper Figs 2, 4, 5).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace surfos::geom {
+
+class SampleGrid {
+ public:
+  /// Grid over [x0, x1] x [y0, y1] at height z, with nx * ny points placed at
+  /// cell centers. nx, ny must be >= 1.
+  SampleGrid(double x0, double x1, double y0, double y1, double z,
+             std::size_t nx, std::size_t ny)
+      : x0_(x0), y0_(y0), z_(z), nx_(nx), ny_(ny) {
+    if (nx == 0 || ny == 0) throw std::invalid_argument("SampleGrid: empty");
+    if (x1 < x0 || y1 < y0) throw std::invalid_argument("SampleGrid: inverted");
+    dx_ = (x1 - x0) / static_cast<double>(nx);
+    dy_ = (y1 - y0) / static_cast<double>(ny);
+  }
+
+  std::size_t nx() const noexcept { return nx_; }
+  std::size_t ny() const noexcept { return ny_; }
+  std::size_t size() const noexcept { return nx_ * ny_; }
+  double cell_dx() const noexcept { return dx_; }
+  double cell_dy() const noexcept { return dy_; }
+
+  Vec3 point(std::size_t ix, std::size_t iy) const {
+    if (ix >= nx_ || iy >= ny_) throw std::out_of_range("SampleGrid: index");
+    return {x0_ + (static_cast<double>(ix) + 0.5) * dx_,
+            y0_ + (static_cast<double>(iy) + 0.5) * dy_, z_};
+  }
+
+  Vec3 point(std::size_t flat) const { return point(flat % nx_, flat / nx_); }
+
+  std::vector<Vec3> points() const {
+    std::vector<Vec3> out;
+    out.reserve(size());
+    for (std::size_t iy = 0; iy < ny_; ++iy) {
+      for (std::size_t ix = 0; ix < nx_; ++ix) out.push_back(point(ix, iy));
+    }
+    return out;
+  }
+
+ private:
+  double x0_, y0_, z_;
+  std::size_t nx_, ny_;
+  double dx_ = 0.0, dy_ = 0.0;
+};
+
+}  // namespace surfos::geom

@@ -1,0 +1,88 @@
+#include "geom/mesh.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geom/bvh.hpp"
+
+namespace surfos::geom {
+
+TriangleMesh::TriangleMesh() = default;
+TriangleMesh::~TriangleMesh() = default;
+TriangleMesh::TriangleMesh(TriangleMesh&&) noexcept = default;
+TriangleMesh& TriangleMesh::operator=(TriangleMesh&&) noexcept = default;
+
+void TriangleMesh::add_triangle(Triangle tri) {
+  triangles_.push_back(tri);
+  bvh_.reset();  // geometry changed; index is stale
+}
+
+void TriangleMesh::add_quad(const Vec3& a, const Vec3& b, const Vec3& c,
+                            const Vec3& d, int material_id) {
+  add_triangle({a, b, c, material_id});
+  add_triangle({a, c, d, material_id});
+}
+
+void TriangleMesh::add_box(const Vec3& lo, const Vec3& hi, int material_id) {
+  const Vec3 p000{lo.x, lo.y, lo.z}, p100{hi.x, lo.y, lo.z};
+  const Vec3 p010{lo.x, hi.y, lo.z}, p110{hi.x, hi.y, lo.z};
+  const Vec3 p001{lo.x, lo.y, hi.z}, p101{hi.x, lo.y, hi.z};
+  const Vec3 p011{lo.x, hi.y, hi.z}, p111{hi.x, hi.y, hi.z};
+  add_quad(p000, p100, p110, p010, material_id);  // bottom
+  add_quad(p001, p101, p111, p011, material_id);  // top
+  add_quad(p000, p100, p101, p001, material_id);  // y = lo
+  add_quad(p010, p110, p111, p011, material_id);  // y = hi
+  add_quad(p000, p010, p011, p001, material_id);  // x = lo
+  add_quad(p100, p110, p111, p101, material_id);  // x = hi
+}
+
+Aabb TriangleMesh::bounds() const {
+  Aabb box;
+  for (const Triangle& tri : triangles_) box.expand(tri.bounds());
+  return box;
+}
+
+void TriangleMesh::build_index() { bvh_ = std::make_unique<Bvh>(&triangles_); }
+
+bool TriangleMesh::index_built() const noexcept { return bvh_ != nullptr; }
+
+Hit TriangleMesh::closest_hit(const Ray& ray, double t_min, double t_max) const {
+  if (!bvh_) throw std::logic_error("TriangleMesh: build_index() not called");
+  return bvh_->closest_hit(ray, t_min, t_max);
+}
+
+bool TriangleMesh::occluded(const Ray& ray, double t_min, double t_max) const {
+  if (!bvh_) throw std::logic_error("TriangleMesh: build_index() not called");
+  return bvh_->occluded(ray, t_min, t_max);
+}
+
+bool TriangleMesh::segment_blocked(const Vec3& from, const Vec3& to) const {
+  const Vec3 delta = to - from;
+  const double length = delta.norm();
+  if (length < kRayEpsilon) return false;
+  const Ray ray{from, delta / length};
+  return occluded(ray, kRayEpsilon, length - kRayEpsilon);
+}
+
+std::vector<Hit> TriangleMesh::all_hits_on_segment(const Vec3& from,
+                                                   const Vec3& to) const {
+  if (!bvh_) throw std::logic_error("TriangleMesh: build_index() not called");
+  const Vec3 delta = to - from;
+  const double length = delta.norm();
+  std::vector<Hit> hits;
+  if (length < kRayEpsilon) return hits;
+  const Ray ray{from, delta / length};
+  bvh_->collect_hits(ray, kRayEpsilon, length - kRayEpsilon, hits);
+  std::sort(hits.begin(), hits.end(),
+            [](const Hit& a, const Hit& b) { return a.t < b.t; });
+  // A segment crossing a quad's shared diagonal (or any coplanar triangle
+  // pair) reports one hit per triangle; keep a single crossing per surface
+  // point so wall attenuation is not double-counted.
+  const auto duplicate = [](const Hit& a, const Hit& b) {
+    return std::abs(a.t - b.t) < 1e-9 && a.material_id == b.material_id;
+  };
+  hits.erase(std::unique(hits.begin(), hits.end(), duplicate), hits.end());
+  return hits;
+}
+
+}  // namespace surfos::geom

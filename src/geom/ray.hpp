@@ -1,0 +1,31 @@
+// Rays and ray-hit records for the image-method channel simulator.
+#pragma once
+
+#include <limits>
+
+#include "geom/vec3.hpp"
+
+namespace surfos::geom {
+
+struct Ray {
+  Vec3 origin;
+  Vec3 direction;  ///< Unit length by convention; callers normalize.
+
+  Vec3 at(double t) const noexcept { return origin + direction * t; }
+};
+
+/// Result of the closest-hit query against a mesh.
+struct Hit {
+  double t = std::numeric_limits<double>::infinity();  ///< Ray parameter.
+  Vec3 point;
+  Vec3 normal;            ///< Geometric normal, unit, front-facing (against ray).
+  int triangle_index = -1;
+  int material_id = -1;
+
+  bool valid() const noexcept { return triangle_index >= 0; }
+};
+
+/// Epsilon used to offset ray origins off surfaces to avoid self-hits.
+inline constexpr double kRayEpsilon = 1e-7;
+
+}  // namespace surfos::geom

@@ -1,0 +1,55 @@
+// Triangle primitive with Moller-Trumbore intersection.
+#pragma once
+
+#include <cmath>
+#include <optional>
+
+#include "geom/aabb.hpp"
+#include "geom/ray.hpp"
+#include "geom/vec3.hpp"
+
+namespace surfos::geom {
+
+struct Triangle {
+  Vec3 a, b, c;
+  int material_id = 0;
+
+  Vec3 geometric_normal() const noexcept {
+    return (b - a).cross(c - a).normalized();
+  }
+
+  double area() const noexcept { return 0.5 * (b - a).cross(c - a).norm(); }
+
+  Aabb bounds() const noexcept {
+    Aabb box;
+    box.expand(a);
+    box.expand(b);
+    box.expand(c);
+    return box;
+  }
+
+  Vec3 centroid() const noexcept { return (a + b + c) / 3.0; }
+
+  /// Moller-Trumbore. Returns the ray parameter t on hit within (t_min, t_max).
+  std::optional<double> intersect(const Ray& ray, double t_min,
+                                  double t_max) const noexcept {
+    const Vec3 e1 = b - a;
+    const Vec3 e2 = c - a;
+    const Vec3 p = ray.direction.cross(e2);
+    const double det = e1.dot(p);
+    // Two-sided: walls must block rays from both directions.
+    if (std::fabs(det) < 1e-14) return std::nullopt;
+    const double inv_det = 1.0 / det;
+    const Vec3 s = ray.origin - a;
+    const double u = s.dot(p) * inv_det;
+    if (u < -1e-12 || u > 1.0 + 1e-12) return std::nullopt;
+    const Vec3 q = s.cross(e1);
+    const double v = ray.direction.dot(q) * inv_det;
+    if (v < -1e-12 || u + v > 1.0 + 1e-12) return std::nullopt;
+    const double t = e2.dot(q) * inv_det;
+    if (t <= t_min || t >= t_max) return std::nullopt;
+    return t;
+  }
+};
+
+}  // namespace surfos::geom

@@ -1,0 +1,81 @@
+// 3-D vector algebra for the ray tracer and array geometry.
+//
+// Plain value type: no invariant beyond "three doubles", so members are
+// public (Core Guidelines C.2). All operations are constexpr-friendly and
+// noexcept.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace surfos::geom {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const noexcept {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const noexcept {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator-() const noexcept { return {-x, -y, -z}; }
+  constexpr Vec3 operator*(double s) const noexcept { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const noexcept { return {x / s, y / s, z / s}; }
+
+  Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) noexcept {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) noexcept {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3& o) const noexcept = default;
+
+  constexpr double dot(const Vec3& o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 cross(const Vec3& o) const noexcept {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  constexpr double norm_squared() const noexcept { return dot(*this); }
+  double norm() const noexcept { return std::sqrt(norm_squared()); }
+
+  /// Unit vector in the same direction. Undefined for the zero vector; the
+  /// caller checks (geometry code never normalizes degenerate edges).
+  Vec3 normalized() const noexcept { return *this / norm(); }
+
+  double distance_to(const Vec3& o) const noexcept { return (*this - o).norm(); }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) noexcept { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+/// Reflect direction `d` about unit normal `n` (d need not be unit).
+inline Vec3 reflect(const Vec3& d, const Vec3& n) noexcept {
+  return d - 2.0 * d.dot(n) * n;
+}
+
+/// Component-wise min/max (for bounding boxes).
+inline Vec3 min(const Vec3& a, const Vec3& b) noexcept {
+  return {std::fmin(a.x, b.x), std::fmin(a.y, b.y), std::fmin(a.z, b.z)};
+}
+inline Vec3 max(const Vec3& a, const Vec3& b) noexcept {
+  return {std::fmax(a.x, b.x), std::fmax(a.y, b.y), std::fmax(a.z, b.z)};
+}
+
+}  // namespace surfos::geom

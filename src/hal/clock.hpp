@@ -1,0 +1,38 @@
+// Simulated monotonic clock (microsecond resolution).
+//
+// Every time-dependent component — control links, driver config-apply
+// delays, the orchestrator's scheduler slots — reads one shared SimClock,
+// which tests and benches advance explicitly. This keeps the entire OS
+// deterministic and lets a test "wait" a millisecond in zero wall time.
+#pragma once
+
+#include <cstdint>
+
+namespace surfos::hal {
+
+using Micros = std::uint64_t;
+
+class SimClock {
+ public:
+  Micros now() const noexcept { return now_us_; }
+
+  void advance(Micros delta_us) noexcept { now_us_ += delta_us; }
+
+  /// Jump to an absolute time; never moves backwards.
+  void advance_to(Micros t_us) noexcept {
+    if (t_us > now_us_) now_us_ = t_us;
+  }
+
+ private:
+  Micros now_us_ = 0;
+};
+
+inline constexpr Micros kMicrosPerMilli = 1000;
+inline constexpr Micros kMicrosPerSecond = 1'000'000;
+
+/// "Infinite" delay marker used for passive hardware's control delay
+/// ("Passive surfaces only have one-time configurability ... i.e., infinite
+/// control delay, similar to ROM" — paper 3.1).
+inline constexpr Micros kInfiniteDelay = ~Micros{0};
+
+}  // namespace surfos::hal

@@ -1,0 +1,33 @@
+#include "hal/codebook.hpp"
+
+namespace surfos::hal {
+
+std::vector<surface::SurfaceConfig> build_steering_codebook(
+    const surface::SurfacePanel& panel, const geom::Vec3& source,
+    std::span<const geom::Vec3> targets, double frequency_hz) {
+  std::vector<surface::SurfaceConfig> codebook;
+  codebook.reserve(targets.size());
+  for (const geom::Vec3& target : targets) {
+    codebook.push_back(panel.focus_config(source, target, frequency_hz));
+  }
+  return codebook;
+}
+
+std::size_t load_steering_codebook(SurfaceDriver& driver,
+                                   const geom::Vec3& source,
+                                   std::span<const geom::Vec3> targets,
+                                   double frequency_hz) {
+  const auto codebook = build_steering_codebook(driver.panel(), source,
+                                                targets, frequency_hz);
+  std::size_t written = 0;
+  for (std::size_t slot = 0;
+       slot < codebook.size() && slot < driver.slot_count(); ++slot) {
+    if (driver.write_config(static_cast<std::uint16_t>(slot),
+                            codebook[slot]) == DriverStatus::kOk) {
+      ++written;
+    }
+  }
+  return written;
+}
+
+}  // namespace surfos::hal

@@ -1,0 +1,32 @@
+// Beam-codebook helpers: build per-target steering configurations and load
+// them into a driver's configuration slots — the beamforming-codebook
+// pattern the paper cites from 802.11ad APs ("analogous to ... beamforming
+// codebooks"). Combined with CodebookSelector, this is SurfOS's complete
+// data plane: the control plane writes the codebook once, endpoint feedback
+// switches beams locally thereafter.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "hal/driver.hpp"
+
+namespace surfos::hal {
+
+/// One focus configuration per target, for a beam swept from `source`
+/// (the AP or the upstream surface) through the panel to each target.
+std::vector<surface::SurfaceConfig> build_steering_codebook(
+    const surface::SurfacePanel& panel, const geom::Vec3& source,
+    std::span<const geom::Vec3> targets, double frequency_hz);
+
+/// Writes the codebook into the driver's slots (slot i = target i).
+/// Returns the number of slots written; targets beyond the hardware's slot
+/// count are dropped. The writes travel the driver's normal control path —
+/// call poll() after advancing the clock to let them land.
+std::size_t load_steering_codebook(SurfaceDriver& driver,
+                                   const geom::Vec3& source,
+                                   std::span<const geom::Vec3> targets,
+                                   double frequency_hz);
+
+}  // namespace surfos::hal

@@ -1,0 +1,11 @@
+// CRC-32 (IEEE 802.3 polynomial) for control-protocol frame integrity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace surfos::hal {
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace surfos::hal

@@ -1,0 +1,192 @@
+#include "hal/driver.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace surfos::hal {
+
+SurfaceDriver::SurfaceDriver(std::string device_id,
+                             const surface::SurfacePanel* panel,
+                             HardwareSpec spec)
+    : device_id_(std::move(device_id)), panel_(panel), spec_(std::move(spec)) {
+  if (panel_ == nullptr) throw std::invalid_argument("SurfaceDriver: null panel");
+  init_slots(spec_.config_slots == 0 ? 1 : spec_.config_slots);
+}
+
+void SurfaceDriver::init_slots(std::size_t count) {
+  slots_.assign(count, surface::SurfaceConfig(panel_->element_count()));
+  active_config_ = panel_->realizable(slots_[0]);
+  active_slot_ = 0;
+}
+
+const surface::SurfaceConfig& SurfaceDriver::stored_config(
+    std::uint16_t slot) const {
+  if (slot >= slots_.size()) throw std::out_of_range("SurfaceDriver: slot");
+  return slots_[slot];
+}
+
+void SurfaceDriver::commit_slot(std::uint16_t slot,
+                                const surface::SurfaceConfig& config) {
+  slots_.at(slot) = panel_->realizable(config);
+  if (slot == active_slot_) active_config_ = slots_[slot];
+}
+
+void SurfaceDriver::activate_slot(std::uint16_t slot) {
+  active_slot_ = slot;
+  active_config_ = slots_.at(slot);
+}
+
+DriverStatus SurfaceDriver::shift_phase(double radians) {
+  surface::SurfaceConfig shifted = active_config_;
+  shifted.shift_all_phases(radians);
+  return write_config(active_slot_, shifted);
+}
+
+DriverStatus SurfaceDriver::set_amplitude(std::span<const double> amplitudes) {
+  if (amplitudes.size() != panel().element_count()) {
+    return DriverStatus::kBadConfig;
+  }
+  if (!panel().design().amplitude_control) return DriverStatus::kUnsupported;
+  surface::SurfaceConfig updated = active_config_;
+  for (std::size_t i = 0; i < amplitudes.size(); ++i) {
+    updated.set_amplitude(i, amplitudes[i]);
+  }
+  return write_config(active_slot_, updated);
+}
+
+// --- ProgrammableSurfaceDriver ----------------------------------------------
+
+ProgrammableSurfaceDriver::ProgrammableSurfaceDriver(
+    std::string device_id, const surface::SurfacePanel* panel,
+    HardwareSpec spec, const SimClock* clock, LinkOptions link_options)
+    : SurfaceDriver(std::move(device_id), panel, [&] {
+        return spec;
+      }()),
+      link_(clock, [&] {
+        // Control delay is modeled as link latency end to end.
+        link_options.latency_us = spec.control_delay_us;
+        return link_options;
+      }()) {}
+
+DriverStatus ProgrammableSurfaceDriver::write_config(
+    std::uint16_t slot, const surface::SurfaceConfig& config) {
+  if (slot >= slot_count()) return DriverStatus::kBadSlot;
+  if (config.size() != panel().element_count()) return DriverStatus::kBadConfig;
+  Frame frame;
+  frame.type = MessageType::kWriteConfig;
+  frame.sequence = next_sequence_++;
+  frame.slot = slot;
+  frame.payload = config.serialize();
+  link_.send(encode_frame(frame));
+  return DriverStatus::kOk;
+}
+
+DriverStatus ProgrammableSurfaceDriver::select_config(std::uint16_t slot) {
+  if (slot >= slot_count()) return DriverStatus::kBadSlot;
+  Frame frame;
+  frame.type = MessageType::kSelectConfig;
+  frame.sequence = next_sequence_++;
+  frame.slot = slot;
+  link_.send(encode_frame(frame));
+  return DriverStatus::kOk;
+}
+
+void ProgrammableSurfaceDriver::poll() {
+  for (const auto& datagram : link_.receive_ready()) {
+    const DecodeResult decoded = decode_frame(datagram);
+    if (!decoded.frame) {
+      ++frames_rejected_;
+      SURFOS_DEBUG("hal") << device_id() << ": rejected control frame";
+      continue;
+    }
+    const Frame& frame = *decoded.frame;
+    switch (frame.type) {
+      case MessageType::kWriteConfig: {
+        if (frame.slot >= slot_count()) {
+          ++frames_rejected_;
+          break;
+        }
+        try {
+          commit_slot(frame.slot,
+                      surface::SurfaceConfig::deserialize(frame.payload));
+          ++frames_applied_;
+        } catch (const std::invalid_argument&) {
+          ++frames_rejected_;
+        }
+        break;
+      }
+      case MessageType::kSelectConfig:
+        if (frame.slot < slot_count()) {
+          activate_slot(frame.slot);
+          ++frames_applied_;
+        } else {
+          ++frames_rejected_;
+        }
+        break;
+      default:
+        ++frames_rejected_;
+        break;
+    }
+  }
+}
+
+// --- PassiveSurfaceDriver ----------------------------------------------------
+
+PassiveSurfaceDriver::PassiveSurfaceDriver(std::string device_id,
+                                           const surface::SurfacePanel* panel,
+                                           HardwareSpec spec)
+    : SurfaceDriver(std::move(device_id), panel, [&] {
+        spec.reconfigurability = surface::Reconfigurability::kPassive;
+        spec.control_delay_us = kInfiniteDelay;
+        spec.config_slots = 1;
+        spec.power_mw = 0.0;
+        return spec;
+      }()) {}
+
+DriverStatus PassiveSurfaceDriver::fabricate(
+    const surface::SurfaceConfig& config) {
+  if (fabricated_) return DriverStatus::kAlreadyFixed;
+  if (config.size() != panel().element_count()) return DriverStatus::kBadConfig;
+  commit_slot(0, config);
+  fabricated_ = true;
+  return DriverStatus::kOk;
+}
+
+DriverStatus PassiveSurfaceDriver::write_config(
+    std::uint16_t slot, const surface::SurfaceConfig& config) {
+  if (slot != 0) return DriverStatus::kBadSlot;
+  if (fabricated_) return DriverStatus::kAlreadyFixed;
+  return fabricate(config);
+}
+
+DriverStatus PassiveSurfaceDriver::select_config(std::uint16_t slot) {
+  return slot == 0 ? DriverStatus::kOk : DriverStatus::kBadSlot;
+}
+
+// --- Spec synthesis ----------------------------------------------------------
+
+HardwareSpec spec_for_panel(const surface::SurfacePanel& panel, em::Band band) {
+  HardwareSpec spec;
+  spec.model = panel.id();
+  spec.op_mode = panel.op_mode();
+  spec.reconfigurability = panel.reconfigurability();
+  spec.granularity = panel.granularity();
+  spec.band_response[band] = 0.9;
+  if (spec.reconfigurability == surface::Reconfigurability::kPassive) {
+    spec.control_delay_us = kInfiniteDelay;
+    spec.config_slots = 1;
+    spec.power_mw = 0.0;
+  } else {
+    // Element-wise designs shift more state per update; column/row-wise
+    // hardware has shorter update paths.
+    spec.control_delay_us =
+        panel.granularity() == surface::ControlGranularity::kElement ? 1000
+                                                                     : 200;
+    spec.config_slots = 8;
+    spec.power_mw = 0.05 * static_cast<double>(panel.element_count());
+  }
+  return spec;
+}
+
+}  // namespace surfos::hal

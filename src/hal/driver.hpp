@@ -1,0 +1,148 @@
+// Unified surface driver API (paper 3.1 "Hardware Manager").
+//
+// Drivers mask hardware heterogeneity behind one programming interface whose
+// currency is the element-wise SurfaceConfig: write_config() updates a
+// locally stored configuration slot (asynchronously, through the control
+// link — the control plane), select_config() switches the active slot (the
+// cheap data-plane action an endpoint-feedback loop exercises), and the
+// shift_phase()/set_amplitude() primitives mirror the paper's examples.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hal/clock.hpp"
+#include "hal/link.hpp"
+#include "hal/protocol.hpp"
+#include "hal/spec.hpp"
+#include "surface/config.hpp"
+#include "surface/panel.hpp"
+
+namespace surfos::hal {
+
+enum class DriverStatus {
+  kOk,
+  kUnsupported,   ///< Operation not available on this hardware class.
+  kBadSlot,       ///< Slot index out of range.
+  kBadConfig,     ///< Configuration does not match the element count.
+  kAlreadyFixed,  ///< Passive surface already fabricated.
+};
+
+constexpr const char* to_string(DriverStatus s) noexcept {
+  switch (s) {
+    case DriverStatus::kOk: return "ok";
+    case DriverStatus::kUnsupported: return "unsupported";
+    case DriverStatus::kBadSlot: return "bad-slot";
+    case DriverStatus::kBadConfig: return "bad-config";
+    case DriverStatus::kAlreadyFixed: return "already-fixed";
+  }
+  return "?";
+}
+
+class SurfaceDriver {
+ public:
+  SurfaceDriver(std::string device_id, const surface::SurfacePanel* panel,
+                HardwareSpec spec);
+  virtual ~SurfaceDriver() = default;
+  SurfaceDriver(const SurfaceDriver&) = delete;
+  SurfaceDriver& operator=(const SurfaceDriver&) = delete;
+
+  const std::string& device_id() const noexcept { return device_id_; }
+  const surface::SurfacePanel& panel() const noexcept { return *panel_; }
+  const HardwareSpec& spec() const noexcept { return spec_; }
+
+  /// Writes a configuration into a storage slot. May apply asynchronously;
+  /// kOk means accepted for delivery.
+  virtual DriverStatus write_config(std::uint16_t slot,
+                                    const surface::SurfaceConfig& config) = 0;
+
+  /// Activates a stored slot.
+  virtual DriverStatus select_config(std::uint16_t slot) = 0;
+
+  /// Processes any in-flight control traffic; call when simulated time has
+  /// advanced.
+  virtual void poll() {}
+
+  /// The configuration currently actuating the hardware (after granularity /
+  /// quantization projection).
+  const surface::SurfaceConfig& active_config() const noexcept {
+    return active_config_;
+  }
+  std::uint16_t active_slot() const noexcept { return active_slot_; }
+
+  /// The stored (not necessarily active) configuration of a slot.
+  const surface::SurfaceConfig& stored_config(std::uint16_t slot) const;
+  std::size_t slot_count() const noexcept { return slots_.size(); }
+
+  // --- Convenience primitives over the active slot ------------------------
+
+  /// Adds a uniform phase offset to the active configuration.
+  DriverStatus shift_phase(double radians);
+  /// Replaces the per-element amplitudes of the active configuration.
+  DriverStatus set_amplitude(std::span<const double> amplitudes);
+
+ protected:
+  void init_slots(std::size_t count);
+  /// Stores `config` (projected to what the hardware realizes) into a slot
+  /// and refreshes the active config when the slot is active.
+  void commit_slot(std::uint16_t slot, const surface::SurfaceConfig& config);
+  void activate_slot(std::uint16_t slot);
+
+ private:
+  std::string device_id_;
+  const surface::SurfacePanel* panel_;
+  HardwareSpec spec_;
+  std::vector<surface::SurfaceConfig> slots_;
+  surface::SurfaceConfig active_config_;
+  std::uint16_t active_slot_ = 0;
+};
+
+/// Runtime-reconfigurable surface behind a lossy/latent control link.
+class ProgrammableSurfaceDriver final : public SurfaceDriver {
+ public:
+  ProgrammableSurfaceDriver(std::string device_id,
+                            const surface::SurfacePanel* panel,
+                            HardwareSpec spec, const SimClock* clock,
+                            LinkOptions link_options = {});
+
+  DriverStatus write_config(std::uint16_t slot,
+                            const surface::SurfaceConfig& config) override;
+  DriverStatus select_config(std::uint16_t slot) override;
+  void poll() override;
+
+  std::size_t frames_applied() const noexcept { return frames_applied_; }
+  std::size_t frames_rejected() const noexcept { return frames_rejected_; }
+  ControlLink& link() noexcept { return link_; }
+
+ private:
+  ControlLink link_;
+  std::uint32_t next_sequence_ = 1;
+  std::size_t frames_applied_ = 0;
+  std::size_t frames_rejected_ = 0;
+};
+
+/// Fabrication-time-configurable surface: one slot, written exactly once.
+class PassiveSurfaceDriver final : public SurfaceDriver {
+ public:
+  PassiveSurfaceDriver(std::string device_id,
+                       const surface::SurfacePanel* panel, HardwareSpec spec);
+
+  /// The single fabrication-time write.
+  DriverStatus fabricate(const surface::SurfaceConfig& config);
+
+  DriverStatus write_config(std::uint16_t slot,
+                            const surface::SurfaceConfig& config) override;
+  DriverStatus select_config(std::uint16_t slot) override;
+
+  bool fabricated() const noexcept { return fabricated_; }
+
+ private:
+  bool fabricated_ = false;
+};
+
+/// Builds the natural spec for a catalog design (band response from its
+/// band(s), control delay by hardware class, slots by granularity).
+HardwareSpec spec_for_panel(const surface::SurfacePanel& panel, em::Band band);
+
+}  // namespace surfos::hal

@@ -1,0 +1,48 @@
+// Endpoint-feedback codebook selection — the paper's data plane.
+//
+// "Based on the endpoint feedback, a surface reacts locally to choose the
+// best configuration" (paper 3.1, following mmWall/NR-Surface): the driver
+// holds several stored configurations (a beam codebook); an endpoint reports
+// the RSS it measures under each; the selector activates the winner. The
+// measurement itself comes from a caller-supplied probe so the same loop
+// runs against the channel simulator here and against real hardware later.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "hal/driver.hpp"
+
+namespace surfos::hal {
+
+struct SweepResult {
+  std::uint16_t best_slot = 0;
+  double best_metric = 0.0;
+  std::vector<double> per_slot_metric;
+};
+
+/// Measures a metric (e.g. RSS dBm) with a given slot active.
+using SlotProbe = std::function<double(std::uint16_t slot)>;
+
+class CodebookSelector {
+ public:
+  /// Hysteresis: a new slot must beat the current one by this margin [same
+  /// units as the probe metric] to trigger a switch — avoids flapping under
+  /// small channel fluctuations.
+  explicit CodebookSelector(double switch_margin = 0.5)
+      : switch_margin_(switch_margin) {}
+
+  /// Sweeps every stored slot of the driver, measures each with `probe`,
+  /// and activates the best (if it clears the hysteresis margin over the
+  /// currently active slot). Passive drivers are measured but never
+  /// switched. Returns the sweep outcome.
+  SweepResult sweep_and_select(SurfaceDriver& driver, const SlotProbe& probe);
+
+  std::size_t switches() const noexcept { return switches_; }
+
+ private:
+  double switch_margin_;
+  std::size_t switches_ = 0;
+};
+
+}  // namespace surfos::hal

@@ -1,0 +1,40 @@
+#include "hal/link.hpp"
+
+#include <stdexcept>
+
+namespace surfos::hal {
+
+ControlLink::ControlLink(const SimClock* clock, LinkOptions options)
+    : clock_(clock), options_(options), rng_(options.seed) {
+  if (clock_ == nullptr) throw std::invalid_argument("ControlLink: null clock");
+}
+
+void ControlLink::send(std::span<const std::uint8_t> datagram) {
+  ++sent_;
+  if (options_.loss_probability > 0.0 &&
+      rng_.uniform() < options_.loss_probability) {
+    ++dropped_;
+    return;
+  }
+  Pending pending;
+  pending.deliver_at = clock_->now() + options_.latency_us;
+  pending.bytes.assign(datagram.begin(), datagram.end());
+  if (!pending.bytes.empty() && options_.corrupt_probability > 0.0 &&
+      rng_.uniform() < options_.corrupt_probability) {
+    ++corrupted_;
+    const std::size_t byte_index = rng_.below(pending.bytes.size());
+    pending.bytes[byte_index] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+  }
+  queue_.push_back(std::move(pending));
+}
+
+std::vector<std::vector<std::uint8_t>> ControlLink::receive_ready() {
+  std::vector<std::vector<std::uint8_t>> out;
+  while (!queue_.empty() && queue_.front().deliver_at <= clock_->now()) {
+    out.push_back(std::move(queue_.front().bytes));
+    queue_.pop_front();
+  }
+  return out;
+}
+
+}  // namespace surfos::hal

@@ -1,0 +1,57 @@
+// Simulated control link: a unidirectional byte pipe with latency, loss and
+// bit-corruption knobs. Drives the protocol layer the way a serial/UDP
+// controller link would, and gives tests a place to inject failures.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "hal/clock.hpp"
+#include "util/rng.hpp"
+
+namespace surfos::hal {
+
+struct LinkOptions {
+  Micros latency_us = 200;
+  double loss_probability = 0.0;     ///< Whole-datagram drop probability.
+  double corrupt_probability = 0.0;  ///< Single-bit-flip probability.
+  std::uint64_t seed = 7;
+};
+
+class ControlLink {
+ public:
+  /// `clock` must outlive the link.
+  ControlLink(const SimClock* clock, LinkOptions options = {});
+
+  /// Enqueue a datagram; it becomes receivable after the link latency.
+  void send(std::span<const std::uint8_t> datagram);
+
+  /// Datagrams whose delivery time has arrived, in order. Lost datagrams
+  /// simply never appear; corrupted ones appear with a flipped bit.
+  std::vector<std::vector<std::uint8_t>> receive_ready();
+
+  std::size_t in_flight() const noexcept { return queue_.size(); }
+  const SimClock& clock() const noexcept { return *clock_; }
+
+  std::size_t sent_count() const noexcept { return sent_; }
+  std::size_t dropped_count() const noexcept { return dropped_; }
+  std::size_t corrupted_count() const noexcept { return corrupted_; }
+
+ private:
+  struct Pending {
+    Micros deliver_at;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  const SimClock* clock_;
+  LinkOptions options_;
+  util::Rng rng_;
+  std::deque<Pending> queue_;
+  std::size_t sent_ = 0;
+  std::size_t dropped_ = 0;
+  std::size_t corrupted_ = 0;
+};
+
+}  // namespace surfos::hal

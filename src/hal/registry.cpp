@@ -1,0 +1,138 @@
+#include "hal/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace surfos::hal {
+
+const std::string& DeviceRegistry::add_surface(
+    std::unique_ptr<SurfaceDriver> driver) {
+  if (!driver) throw std::invalid_argument("DeviceRegistry: null driver");
+  if (find_surface(driver->device_id()) != nullptr) {
+    throw std::invalid_argument("DeviceRegistry: duplicate id " +
+                                driver->device_id());
+  }
+  drivers_.push_back(std::move(driver));
+  return drivers_.back()->device_id();
+}
+
+bool DeviceRegistry::remove_surface(const std::string& device_id) {
+  const auto it = std::find_if(
+      drivers_.begin(), drivers_.end(),
+      [&](const auto& d) { return d->device_id() == device_id; });
+  if (it == drivers_.end()) return false;
+  drivers_.erase(it);
+  return true;
+}
+
+SurfaceDriver* DeviceRegistry::find_surface(
+    const std::string& device_id) noexcept {
+  for (auto& d : drivers_) {
+    if (d->device_id() == device_id) return d.get();
+  }
+  return nullptr;
+}
+
+const SurfaceDriver* DeviceRegistry::find_surface(
+    const std::string& device_id) const noexcept {
+  for (const auto& d : drivers_) {
+    if (d->device_id() == device_id) return d.get();
+  }
+  return nullptr;
+}
+
+std::vector<SurfaceDriver*> DeviceRegistry::surfaces() {
+  std::vector<SurfaceDriver*> out;
+  out.reserve(drivers_.size());
+  for (auto& d : drivers_) out.push_back(d.get());
+  return out;
+}
+
+std::vector<const SurfaceDriver*> DeviceRegistry::surfaces() const {
+  std::vector<const SurfaceDriver*> out;
+  out.reserve(drivers_.size());
+  for (const auto& d : drivers_) out.push_back(d.get());
+  return out;
+}
+
+std::vector<SurfaceDriver*> DeviceRegistry::surfaces_on_band(em::Band band) {
+  std::vector<SurfaceDriver*> out;
+  for (auto& d : drivers_) {
+    // Usable for service only when the hardware is tuned for the band (an
+    // explicit band_response entry); mere off-band transparency does not
+    // let a surface *actuate* signals there.
+    const auto& response = d->spec().band_response;
+    const auto it = response.find(band);
+    if (it != response.end() && it->second >= 0.5) out.push_back(d.get());
+  }
+  return out;
+}
+
+std::vector<SurfaceDriver*> DeviceRegistry::programmable_surfaces() {
+  std::vector<SurfaceDriver*> out;
+  for (auto& d : drivers_) {
+    if (!d->spec().is_passive()) out.push_back(d.get());
+  }
+  return out;
+}
+
+void DeviceRegistry::add_endpoint(EndpointDevice endpoint) {
+  if (endpoint.id.empty()) {
+    throw std::invalid_argument("DeviceRegistry: empty endpoint id");
+  }
+  for (const auto& e : endpoints_) {
+    if (e.id == endpoint.id) {
+      throw std::invalid_argument("DeviceRegistry: duplicate endpoint id " +
+                                  endpoint.id);
+    }
+  }
+  endpoints_.push_back(std::move(endpoint));
+}
+
+bool DeviceRegistry::remove_endpoint(const std::string& id) {
+  const auto it =
+      std::find_if(endpoints_.begin(), endpoints_.end(),
+                   [&](const EndpointDevice& e) { return e.id == id; });
+  if (it == endpoints_.end()) return false;
+  endpoints_.erase(it);
+  return true;
+}
+
+EndpointDevice* DeviceRegistry::find_endpoint(const std::string& id) noexcept {
+  for (auto& e : endpoints_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+const EndpointDevice* DeviceRegistry::find_endpoint(
+    const std::string& id) const noexcept {
+  for (const auto& e : endpoints_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+void DeviceRegistry::poll_all() {
+  for (auto& d : drivers_) d->poll();
+}
+
+std::vector<const SurfaceDriver*> DeviceRegistry::blocking_hazards(
+    em::Band band, double threshold) const {
+  std::vector<const SurfaceDriver*> out;
+  for (const auto& d : drivers_) {
+    const auto& response = d->spec().band_response;
+    if (response.find(band) != response.end()) continue;  // tuned for it
+    bool adjacent = false;
+    for (const auto& [tuned_band, efficiency] : response) {
+      (void)efficiency;
+      if (em::bands_adjacent(tuned_band, band)) adjacent = true;
+    }
+    if (adjacent && d->spec().response_on(band) < threshold) {
+      out.push_back(d.get());
+    }
+  }
+  return out;
+}
+
+}  // namespace surfos::hal

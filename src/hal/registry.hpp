@@ -1,0 +1,86 @@
+// Device registry: SurfOS's inventory of surface and non-surface hardware
+// across the managed environment (paper 3.1: surfaces, plus "sensors, APs,
+// base stations" whose feedback guides reconfiguration). Surfaces can be
+// added incrementally over time — the paper's incremental deployment case —
+// and removed when decommissioned.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "em/band.hpp"
+#include "geom/vec3.hpp"
+#include "hal/driver.hpp"
+
+namespace surfos::hal {
+
+enum class EndpointKind { kAccessPoint, kClient, kSensor, kBaseStation };
+
+constexpr const char* to_string(EndpointKind k) noexcept {
+  switch (k) {
+    case EndpointKind::kAccessPoint: return "access-point";
+    case EndpointKind::kClient: return "client";
+    case EndpointKind::kSensor: return "sensor";
+    case EndpointKind::kBaseStation: return "base-station";
+  }
+  return "?";
+}
+
+/// Non-surface hardware SurfOS interacts with.
+struct EndpointDevice {
+  std::string id;
+  EndpointKind kind = EndpointKind::kClient;
+  geom::Vec3 position;
+  em::Band band = em::Band::k28GHz;
+  /// Latest reported signal measurement (RSS dBm etc.), when the device
+  /// feeds measurements back to SurfOS.
+  std::optional<double> last_report;
+};
+
+class DeviceRegistry {
+ public:
+  /// Registers a surface driver; the id must be unique. Returns the id.
+  const std::string& add_surface(std::unique_ptr<SurfaceDriver> driver);
+
+  /// Removes a surface (decommissioning). Returns false if unknown.
+  bool remove_surface(const std::string& device_id);
+
+  SurfaceDriver* find_surface(const std::string& device_id) noexcept;
+  const SurfaceDriver* find_surface(const std::string& device_id) const noexcept;
+
+  std::vector<SurfaceDriver*> surfaces();
+  std::vector<const SurfaceDriver*> surfaces() const;
+
+  /// Surfaces that respond meaningfully on a band (spec response >= 0.5).
+  std::vector<SurfaceDriver*> surfaces_on_band(em::Band band);
+
+  /// Programmable surfaces only.
+  std::vector<SurfaceDriver*> programmable_surfaces();
+
+  void add_endpoint(EndpointDevice endpoint);
+  bool remove_endpoint(const std::string& id);
+  EndpointDevice* find_endpoint(const std::string& id) noexcept;
+  const EndpointDevice* find_endpoint(const std::string& id) const noexcept;
+  const std::vector<EndpointDevice>& endpoints() const noexcept {
+    return endpoints_;
+  }
+
+  /// Drains in-flight control traffic on every surface driver.
+  void poll_all();
+
+  std::size_t surface_count() const noexcept { return drivers_.size(); }
+
+  /// Surfaces whose off-band blocking would degrade another network's band
+  /// (the paper's 2.4 GHz-surface-blocks-5 GHz-Wi-Fi hazard check): returns
+  /// surfaces NOT tuned for `band` whose response on it is below `threshold`.
+  std::vector<const SurfaceDriver*> blocking_hazards(em::Band band,
+                                                     double threshold = 0.7) const;
+
+ private:
+  std::vector<std::unique_ptr<SurfaceDriver>> drivers_;
+  std::vector<EndpointDevice> endpoints_;
+};
+
+}  // namespace surfos::hal

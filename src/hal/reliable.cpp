@@ -1,0 +1,154 @@
+#include "hal/reliable.hpp"
+
+#include <stdexcept>
+
+namespace surfos::hal {
+
+ReliableLink::ReliableLink(const SimClock* clock, ReliableOptions options)
+    : clock_(clock),
+      options_(options),
+      forward_(clock, options.forward),
+      reverse_(clock, [&] {
+        // The ack path shares the forward path's latency by default.
+        LinkOptions reverse = options.reverse;
+        if (reverse.latency_us == LinkOptions{}.latency_us &&
+            options.forward.latency_us != LinkOptions{}.latency_us) {
+          reverse.latency_us = options.forward.latency_us;
+        }
+        reverse.seed ^= 0x9E37u;  // decorrelate loss from the forward path
+        return reverse;
+      }()) {
+  if (clock_ == nullptr) throw std::invalid_argument("ReliableLink: null clock");
+}
+
+void ReliableLink::send(Frame frame) {
+  frame.sequence = next_seq_++;
+  Outstanding outstanding;
+  outstanding.bytes = encode_frame(frame);
+  outstanding.last_sent = clock_->now();
+  outstanding.attempts = 1;
+  forward_.send(outstanding.bytes);
+  in_flight_.emplace(frame.sequence, std::move(outstanding));
+}
+
+void ReliableLink::emit_ack() {
+  Frame ack;
+  ack.type = MessageType::kAck;
+  ack.sequence = expected_seq_ - 1;  // highest in-order frame received
+  reverse_.send(encode_frame(ack));
+}
+
+void ReliableLink::poll() {
+  // Receiver side: drain arrived data frames.
+  bool received_any = false;
+  for (const auto& datagram : forward_.receive_ready()) {
+    const DecodeResult decoded = decode_frame(datagram);
+    if (!decoded.frame) continue;  // corrupted: sender's timer will resend
+    const Frame& frame = *decoded.frame;
+    received_any = true;
+    if (frame.sequence < expected_seq_) {
+      ++duplicates_;  // already delivered; re-ack below
+      continue;
+    }
+    reorder_.emplace(frame.sequence, frame);
+    while (!reorder_.empty() && reorder_.begin()->first == expected_seq_) {
+      if (deliver_) deliver_(reorder_.begin()->second);
+      ++delivered_;
+      reorder_.erase(reorder_.begin());
+      ++expected_seq_;
+    }
+  }
+  if (received_any) emit_ack();
+
+  // Sender side: process acknowledgements.
+  for (const auto& datagram : reverse_.receive_ready()) {
+    const DecodeResult decoded = decode_frame(datagram);
+    if (!decoded.frame || decoded.frame->type != MessageType::kAck) continue;
+    const std::uint32_t acked = decoded.frame->sequence;
+    for (auto it = in_flight_.begin();
+         it != in_flight_.end() && it->first <= acked;) {
+      it = in_flight_.erase(it);
+    }
+  }
+
+  // Retransmit anything stale.
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    Outstanding& out = it->second;
+    if (clock_->now() - out.last_sent >= options_.rto_us) {
+      if (out.attempts > options_.max_retransmissions) {
+        ++abandoned_;
+        it = in_flight_.erase(it);
+        continue;
+      }
+      forward_.send(out.bytes);
+      out.last_sent = clock_->now();
+      ++out.attempts;
+      ++retransmissions_;
+    }
+    ++it;
+  }
+}
+
+// --- ReliableSurfaceDriver ----------------------------------------------------
+
+ReliableSurfaceDriver::ReliableSurfaceDriver(std::string device_id,
+                                             const surface::SurfacePanel* panel,
+                                             HardwareSpec spec,
+                                             const SimClock* clock,
+                                             ReliableOptions options)
+    : SurfaceDriver(std::move(device_id), panel, [&] {
+        options.forward.latency_us = spec.control_delay_us;
+        return spec;
+      }()),
+      link_(clock, options) {
+  link_.set_receiver([this](const Frame& frame) { apply(frame); });
+}
+
+DriverStatus ReliableSurfaceDriver::write_config(
+    std::uint16_t slot, const surface::SurfaceConfig& config) {
+  if (slot >= slot_count()) return DriverStatus::kBadSlot;
+  if (config.size() != panel().element_count()) return DriverStatus::kBadConfig;
+  Frame frame;
+  frame.type = MessageType::kWriteConfig;
+  frame.slot = slot;
+  frame.payload = config.serialize();
+  link_.send(std::move(frame));
+  return DriverStatus::kOk;
+}
+
+DriverStatus ReliableSurfaceDriver::select_config(std::uint16_t slot) {
+  if (slot >= slot_count()) return DriverStatus::kBadSlot;
+  Frame frame;
+  frame.type = MessageType::kSelectConfig;
+  frame.slot = slot;
+  link_.send(std::move(frame));
+  return DriverStatus::kOk;
+}
+
+void ReliableSurfaceDriver::poll() { link_.poll(); }
+
+void ReliableSurfaceDriver::apply(const Frame& frame) {
+  switch (frame.type) {
+    case MessageType::kWriteConfig:
+      if (frame.slot < slot_count()) {
+        try {
+          commit_slot(frame.slot,
+                      surface::SurfaceConfig::deserialize(frame.payload));
+          ++frames_applied_;
+        } catch (const std::invalid_argument&) {
+          // Payload malformed despite CRC (should not happen): ignore.
+        }
+      }
+      break;
+    case MessageType::kSelectConfig:
+      if (frame.slot < slot_count()) {
+        activate_slot(frame.slot);
+        ++frames_applied_;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace surfos::hal

@@ -1,0 +1,53 @@
+// Hardware specifications exposed by drivers to the upper layers
+// (paper 3.1 "Hardware specifications"): wideband frequency response,
+// operation mode, control delay, granularity, configuration storage.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "em/band.hpp"
+#include "hal/clock.hpp"
+#include "surface/types.hpp"
+
+namespace surfos::hal {
+
+struct HardwareSpec {
+  std::string model;
+  surface::OperationMode op_mode = surface::OperationMode::kReflective;
+  surface::Reconfigurability reconfigurability =
+      surface::Reconfigurability::kProgrammable;
+  surface::ControlGranularity granularity =
+      surface::ControlGranularity::kElement;
+
+  /// Reflection/transmission power efficiency per band in [0, 1]. Bands not
+  /// listed are treated as transparent pass-through with `offband_response`
+  /// efficiency — the "unintended blocking" figure the orchestrator checks
+  /// when co-locating surfaces for different networks (paper 2.1).
+  std::map<em::Band, double> band_response;
+  double offband_blocking = 0.1;  ///< Fractional attenuation off-band.
+
+  /// Latency from issuing a configuration update to it taking effect.
+  /// kInfiniteDelay for passive (fabrication-time-only) hardware.
+  Micros control_delay_us = 500;
+
+  /// Number of locally stored configurations the hardware can switch among
+  /// (beamforming-codebook style; 1 for single-register designs).
+  std::size_t config_slots = 4;
+
+  /// Power draw when actively holding a configuration [mW]; 0 for passive.
+  double power_mw = 0.0;
+
+  bool is_passive() const noexcept {
+    return reconfigurability == surface::Reconfigurability::kPassive;
+  }
+
+  /// Response efficiency on a band (on-band entry, or off-band default).
+  double response_on(em::Band band) const {
+    const auto it = band_response.find(band);
+    if (it != band_response.end()) return it->second;
+    return 1.0 - offband_blocking;
+  }
+};
+
+}  // namespace surfos::hal

@@ -1,0 +1,61 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "opt/optimizer.hpp"
+
+namespace surfos::opt {
+
+OptimizeResult Adam::minimize(const Objective& objective,
+                              std::vector<double> x0) const {
+  if (x0.size() != objective.dimension()) {
+    throw std::invalid_argument("Adam: x0 dimension mismatch");
+  }
+  OptimizeResult result;
+  result.x = std::move(x0);
+  const std::size_t n = result.x.size();
+  std::vector<double> gradient(n);
+  std::vector<double> m(n, 0.0);
+  std::vector<double> v(n, 0.0);
+
+  double best_value = objective.value(result.x);
+  ++result.evaluations;
+  std::vector<double> best_x = result.x;
+  std::vector<double> x = result.x;
+
+  for (std::size_t t = 1; t <= options_.max_iterations; ++t) {
+    ++result.iterations;
+    const double value = objective.value_and_gradient(x, gradient);
+    ++result.evaluations;
+    if (value < best_value) {
+      best_value = value;
+      best_x = x;
+    }
+    double inf_norm = 0.0;
+    for (double g : gradient) inf_norm = std::fmax(inf_norm, std::fabs(g));
+    if (inf_norm < options_.tolerance) {
+      result.converged = true;
+      break;
+    }
+    const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t));
+    const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t));
+    for (std::size_t i = 0; i < n; ++i) {
+      m[i] = options_.beta1 * m[i] + (1.0 - options_.beta1) * gradient[i];
+      v[i] = options_.beta2 * v[i] + (1.0 - options_.beta2) * gradient[i] * gradient[i];
+      const double m_hat = m[i] / bc1;
+      const double v_hat = v[i] / bc2;
+      x[i] -= options_.learning_rate * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+  // Adam is not monotone; return the best iterate seen.
+  const double final_value = objective.value(x);
+  ++result.evaluations;
+  if (final_value < best_value) {
+    best_value = final_value;
+    best_x = x;
+  }
+  result.x = std::move(best_x);
+  result.value = best_value;
+  return result;
+}
+
+}  // namespace surfos::opt

@@ -1,0 +1,52 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "opt/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace surfos::opt {
+
+OptimizeResult SimulatedAnnealing::minimize(const Objective& objective,
+                                            std::vector<double> x0) const {
+  if (x0.size() != objective.dimension()) {
+    throw std::invalid_argument("SimulatedAnnealing: x0 dimension mismatch");
+  }
+  util::Rng rng(options_.seed);
+  OptimizeResult result;
+  std::vector<double> x = std::move(x0);
+  double value = objective.value(x);
+  ++result.evaluations;
+  result.x = x;
+  result.value = value;
+
+  double temperature = options_.initial_temperature;
+  std::vector<double> candidate = x;
+  while (result.evaluations < options_.max_evaluations) {
+    ++result.iterations;
+    // Perturb a single random coordinate — cheap moves mix better than
+    // full-vector jumps once the configuration is mostly settled.
+    const std::size_t i = static_cast<std::size_t>(rng.below(x.size()));
+    const double saved = candidate[i];
+    candidate[i] = x[i] + options_.sigma * temperature * rng.normal();
+    const double trial = objective.value(candidate);
+    ++result.evaluations;
+    const bool accept =
+        trial < value ||
+        rng.uniform() < std::exp(-(trial - value) / std::fmax(1e-12, temperature));
+    if (accept) {
+      x[i] = candidate[i];
+      value = trial;
+      if (value < result.value) {
+        result.value = value;
+        result.x = x;
+      }
+    } else {
+      candidate[i] = saved;
+    }
+    temperature *= options_.cooling;
+  }
+  result.converged = true;
+  return result;
+}
+
+}  // namespace surfos::opt

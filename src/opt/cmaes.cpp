@@ -1,0 +1,125 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "opt/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace surfos::opt {
+
+// (mu/mu_w, lambda)-CMA-ES with diagonal covariance. The full-covariance
+// variant is overkill for phase vectors (the landscape's coupling is mild
+// and dimensions reach thousands); the diagonal update keeps each iteration
+// O(n * lambda) while retaining step-size adaptation, which is what actually
+// matters on multimodal coverage objectives.
+OptimizeResult CmaEs::minimize(const Objective& objective,
+                               std::vector<double> x0) const {
+  const std::size_t n = x0.size();
+  if (n != objective.dimension()) {
+    throw std::invalid_argument("CmaEs: x0 dimension mismatch");
+  }
+  util::Rng rng(options_.seed);
+
+  const std::size_t lambda =
+      options_.population > 0
+          ? options_.population
+          : 4 + static_cast<std::size_t>(3.0 * std::log(static_cast<double>(n)));
+  const std::size_t mu = lambda / 2;
+
+  // Log-rank recombination weights.
+  std::vector<double> weights(mu);
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < mu; ++i) {
+    weights[i] = std::log(static_cast<double>(mu) + 0.5) -
+                 std::log(static_cast<double>(i) + 1.0);
+    weight_sum += weights[i];
+  }
+  for (double& w : weights) w /= weight_sum;
+  double mu_eff = 0.0;
+  for (const double w : weights) mu_eff += w * w;
+  mu_eff = 1.0 / mu_eff;
+
+  const double nd = static_cast<double>(n);
+  const double c_sigma = (mu_eff + 2.0) / (nd + mu_eff + 5.0);
+  const double d_sigma =
+      1.0 + 2.0 * std::max(0.0, std::sqrt((mu_eff - 1.0) / (nd + 1.0)) - 1.0) +
+      c_sigma;
+  const double c_cov = std::min(1.0, 2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) /
+                                         ((nd + 2.0) * (nd + 2.0) + mu_eff));
+  const double chi_n = std::sqrt(nd) * (1.0 - 1.0 / (4.0 * nd));
+
+  std::vector<double> mean = std::move(x0);
+  std::vector<double> variance(n, 1.0);  // diagonal C
+  std::vector<double> path_sigma(n, 0.0);
+  double sigma = options_.initial_sigma;
+
+  OptimizeResult result;
+  result.x = mean;
+  result.value = objective.value(mean);
+  ++result.evaluations;
+
+  struct Sample {
+    std::vector<double> z;  // standard normal draw
+    std::vector<double> x;
+    double value = 0.0;
+  };
+  std::vector<Sample> population(lambda);
+  for (auto& s : population) {
+    s.z.resize(n);
+    s.x.resize(n);
+  }
+
+  while (result.evaluations + lambda <= options_.max_evaluations) {
+    ++result.iterations;
+    for (auto& s : population) {
+      for (std::size_t i = 0; i < n; ++i) {
+        s.z[i] = rng.normal();
+        s.x[i] = mean[i] + sigma * std::sqrt(variance[i]) * s.z[i];
+      }
+      s.value = objective.value(s.x);
+      ++result.evaluations;
+      if (s.value < result.value) {
+        result.value = s.value;
+        result.x = s.x;
+      }
+    }
+    std::sort(population.begin(), population.end(),
+              [](const Sample& a, const Sample& b) { return a.value < b.value; });
+
+    // Recombine mean and the evolution path.
+    std::vector<double> z_mean(n, 0.0);
+    for (std::size_t k = 0; k < mu; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        z_mean[i] += weights[k] * population[k].z[i];
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      mean[i] += sigma * std::sqrt(variance[i]) * z_mean[i];
+      path_sigma[i] = (1.0 - c_sigma) * path_sigma[i] +
+                      std::sqrt(c_sigma * (2.0 - c_sigma) * mu_eff) * z_mean[i];
+    }
+    double path_norm = 0.0;
+    for (const double p : path_sigma) path_norm += p * p;
+    path_norm = std::sqrt(path_norm);
+    sigma *= std::exp((c_sigma / d_sigma) * (path_norm / chi_n - 1.0));
+
+    // Diagonal covariance update from the selected samples.
+    for (std::size_t i = 0; i < n; ++i) {
+      double rank_mu = 0.0;
+      for (std::size_t k = 0; k < mu; ++k) {
+        rank_mu += weights[k] * population[k].z[i] * population[k].z[i];
+      }
+      variance[i] = (1.0 - c_cov) * variance[i] + c_cov * variance[i] * rank_mu;
+      variance[i] = std::clamp(variance[i], 1e-12, 1e12);
+    }
+    if (sigma < options_.sigma_stop) {
+      result.converged = true;
+      break;
+    }
+  }
+  if (!result.converged) result.converged = true;  // budget exhausted
+  return result;
+}
+
+}  // namespace surfos::opt

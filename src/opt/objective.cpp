@@ -1,0 +1,65 @@
+#include "opt/objective.hpp"
+
+#include <stdexcept>
+
+namespace surfos::opt {
+
+double Objective::value_and_gradient(std::span<const double> x,
+                                     std::span<double> gradient) const {
+  if (gradient.size() != x.size()) {
+    throw std::invalid_argument("Objective: gradient size mismatch");
+  }
+  std::vector<double> probe(x.begin(), x.end());
+  const double h = fd_step();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double original = probe[i];
+    probe[i] = original + h;
+    const double plus = value(probe);
+    probe[i] = original - h;
+    const double minus = value(probe);
+    probe[i] = original;
+    gradient[i] = (plus - minus) / (2.0 * h);
+  }
+  return value(x);
+}
+
+void WeightedSumObjective::add_term(const Objective* objective, double weight) {
+  if (objective == nullptr) {
+    throw std::invalid_argument("WeightedSumObjective: null term");
+  }
+  if (!terms_.empty() && objective->dimension() != dimension()) {
+    throw std::invalid_argument("WeightedSumObjective: dimension mismatch");
+  }
+  terms_.emplace_back(objective, weight);
+}
+
+std::size_t WeightedSumObjective::dimension() const {
+  return terms_.empty() ? 0 : terms_.front().first->dimension();
+}
+
+double WeightedSumObjective::value(std::span<const double> x) const {
+  double sum = 0.0;
+  for (const auto& [objective, weight] : terms_) {
+    sum += weight * objective->value(x);
+  }
+  return sum;
+}
+
+double WeightedSumObjective::value_and_gradient(
+    std::span<const double> x, std::span<double> gradient) const {
+  if (gradient.size() != x.size()) {
+    throw std::invalid_argument("WeightedSumObjective: gradient size");
+  }
+  std::vector<double> partial(x.size());
+  std::fill(gradient.begin(), gradient.end(), 0.0);
+  double sum = 0.0;
+  for (const auto& [objective, weight] : terms_) {
+    sum += weight * objective->value_and_gradient(x, partial);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      gradient[i] += weight * partial[i];
+    }
+  }
+  return sum;
+}
+
+}  // namespace surfos::opt

@@ -1,0 +1,65 @@
+// Objective abstraction for surface-configuration optimization.
+//
+// The orchestrator phrases every service goal as a scalar loss over the
+// concatenated control phases of all scheduled panels (paper 3.2: "an
+// optimizer searches the surface configurations ... with surface
+// configurations as variables"). Losses are minimized.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace surfos::opt {
+
+class Objective {
+ public:
+  virtual ~Objective() = default;
+
+  virtual std::size_t dimension() const = 0;
+
+  /// Loss at x.
+  virtual double value(std::span<const double> x) const = 0;
+
+  /// Loss and gradient. Default: central finite differences over value()
+  /// (analytic overrides in the orchestrator are ~2N times faster).
+  virtual double value_and_gradient(std::span<const double> x,
+                                    std::span<double> gradient) const;
+
+  /// Finite-difference step used by the default gradient.
+  virtual double fd_step() const { return 1e-5; }
+};
+
+/// Objective from plain functions (tests, ablations).
+class FunctionObjective final : public Objective {
+ public:
+  using ValueFn = std::function<double(std::span<const double>)>;
+
+  FunctionObjective(std::size_t dimension, ValueFn fn)
+      : dimension_(dimension), fn_(std::move(fn)) {}
+
+  std::size_t dimension() const override { return dimension_; }
+  double value(std::span<const double> x) const override { return fn_(x); }
+
+ private:
+  std::size_t dimension_;
+  ValueFn fn_;
+};
+
+/// Weighted sum of sub-objectives over the same variable vector — the joint
+/// multitasking loss of paper Fig 5 is CoverageLoss + LocalizationLoss.
+class WeightedSumObjective final : public Objective {
+ public:
+  /// Terms are non-owning and must outlive this object.
+  void add_term(const Objective* objective, double weight);
+
+  std::size_t dimension() const override;
+  double value(std::span<const double> x) const override;
+  double value_and_gradient(std::span<const double> x,
+                            std::span<double> gradient) const override;
+
+ private:
+  std::vector<std::pair<const Objective*, double>> terms_;
+};
+
+}  // namespace surfos::opt

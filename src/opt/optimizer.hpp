@@ -1,0 +1,163 @@
+// Optimizer interface. The paper's prototype "uses gradient descent, while
+// other algorithms can be easily supported" — this is the seam that makes
+// that true: every algorithm minimizes an Objective over unconstrained
+// phase variables (phases are 2*pi-periodic, so no box constraints needed).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "opt/objective.hpp"
+
+namespace surfos::opt {
+
+struct OptimizeResult {
+  std::vector<double> x;
+  double value = 0.0;
+  std::size_t iterations = 0;
+  std::size_t evaluations = 0;  ///< Objective value (or value+grad) calls.
+  bool converged = false;
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  virtual OptimizeResult minimize(const Objective& objective,
+                                  std::vector<double> x0) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+struct GradientDescentOptions {
+  std::size_t max_iterations = 200;
+  double initial_step = 0.5;
+  double tolerance = 1e-6;       ///< Stop when |improvement| < tolerance.
+  double backtrack_factor = 0.5; ///< Step shrink on failed line-search probe.
+  std::size_t max_backtracks = 20;
+};
+
+/// Steepest descent with backtracking line search (monotone, derivative
+/// based). The paper prototype's optimizer.
+class GradientDescent final : public Optimizer {
+ public:
+  explicit GradientDescent(GradientDescentOptions options = {})
+      : options_(options) {}
+  OptimizeResult minimize(const Objective& objective,
+                          std::vector<double> x0) const override;
+  std::string name() const override { return "gradient-descent"; }
+
+ private:
+  GradientDescentOptions options_;
+};
+
+struct AdamOptions {
+  std::size_t max_iterations = 300;
+  double learning_rate = 0.1;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double tolerance = 1e-7;  ///< Stop when gradient inf-norm falls below.
+};
+
+/// Adam: adaptive first-order method, robust to the badly scaled gradients
+/// that mixed coverage+sensing losses produce.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(AdamOptions options = {}) : options_(options) {}
+  OptimizeResult minimize(const Objective& objective,
+                          std::vector<double> x0) const override;
+  std::string name() const override { return "adam"; }
+
+ private:
+  AdamOptions options_;
+};
+
+struct SpsaOptions {
+  std::size_t max_iterations = 600;
+  double a = 0.4;       ///< Step-size numerator.
+  double c = 0.15;      ///< Perturbation size.
+  double alpha = 0.602; ///< Step decay exponent (Spall's defaults).
+  double gamma = 0.101; ///< Perturbation decay exponent.
+  std::uint64_t seed = 1;
+};
+
+/// Simultaneous-perturbation stochastic approximation: two evaluations per
+/// iteration regardless of dimension; the derivative-free choice when only
+/// endpoint RSS feedback is available (no channel model).
+class Spsa final : public Optimizer {
+ public:
+  explicit Spsa(SpsaOptions options = {}) : options_(options) {}
+  OptimizeResult minimize(const Objective& objective,
+                          std::vector<double> x0) const override;
+  std::string name() const override { return "spsa"; }
+
+ private:
+  SpsaOptions options_;
+};
+
+struct RandomSearchOptions {
+  std::size_t max_evaluations = 2000;
+  double sigma = 0.8;  ///< Gaussian mutation scale (radians).
+  std::uint64_t seed = 2;
+};
+
+/// (1+1) random search baseline.
+class RandomSearch final : public Optimizer {
+ public:
+  explicit RandomSearch(RandomSearchOptions options = {}) : options_(options) {}
+  OptimizeResult minimize(const Objective& objective,
+                          std::vector<double> x0) const override;
+  std::string name() const override { return "random-search"; }
+
+ private:
+  RandomSearchOptions options_;
+};
+
+struct AnnealingOptions {
+  std::size_t max_evaluations = 4000;
+  double initial_temperature = 1.0;
+  double cooling = 0.999;  ///< Geometric cooling per evaluation.
+  double sigma = 0.6;
+  std::uint64_t seed = 3;
+};
+
+/// Simulated annealing over per-coordinate phase perturbations; escapes the
+/// local optima quantized configurations create.
+class SimulatedAnnealing final : public Optimizer {
+ public:
+  explicit SimulatedAnnealing(AnnealingOptions options = {})
+      : options_(options) {}
+  OptimizeResult minimize(const Objective& objective,
+                          std::vector<double> x0) const override;
+  std::string name() const override { return "annealing"; }
+
+ private:
+  AnnealingOptions options_;
+};
+
+struct CmaEsOptions {
+  std::size_t max_evaluations = 6000;
+  std::size_t population = 0;     ///< 0 -> 4 + floor(3 ln n).
+  double initial_sigma = 0.5;
+  double sigma_stop = 1e-8;       ///< Converged when the step size collapses.
+  std::uint64_t seed = 4;
+};
+
+/// Diagonal (mu/mu_w, lambda)-CMA-ES: population-based, derivative-free,
+/// with step-size adaptation — the strongest black-box option when the
+/// objective is multimodal and no gradients exist.
+class CmaEs final : public Optimizer {
+ public:
+  explicit CmaEs(CmaEsOptions options = {}) : options_(options) {}
+  OptimizeResult minimize(const Objective& objective,
+                          std::vector<double> x0) const override;
+  std::string name() const override { return "cma-es"; }
+
+ private:
+  CmaEsOptions options_;
+};
+
+}  // namespace surfos::opt

@@ -1,0 +1,36 @@
+#include <stdexcept>
+
+#include "opt/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace surfos::opt {
+
+OptimizeResult RandomSearch::minimize(const Objective& objective,
+                                      std::vector<double> x0) const {
+  if (x0.size() != objective.dimension()) {
+    throw std::invalid_argument("RandomSearch: x0 dimension mismatch");
+  }
+  util::Rng rng(options_.seed);
+  OptimizeResult result;
+  result.x = std::move(x0);
+  result.value = objective.value(result.x);
+  ++result.evaluations;
+
+  std::vector<double> candidate(result.x.size());
+  while (result.evaluations < options_.max_evaluations) {
+    ++result.iterations;
+    for (std::size_t i = 0; i < result.x.size(); ++i) {
+      candidate[i] = result.x[i] + options_.sigma * rng.normal();
+    }
+    const double value = objective.value(candidate);
+    ++result.evaluations;
+    if (value < result.value) {
+      result.value = value;
+      result.x = candidate;
+    }
+  }
+  result.converged = true;
+  return result;
+}
+
+}  // namespace surfos::opt

@@ -1,0 +1,63 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "opt/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace surfos::opt {
+
+OptimizeResult Spsa::minimize(const Objective& objective,
+                              std::vector<double> x0) const {
+  if (x0.size() != objective.dimension()) {
+    throw std::invalid_argument("Spsa: x0 dimension mismatch");
+  }
+  util::Rng rng(options_.seed);
+  OptimizeResult result;
+  const std::size_t n = x0.size();
+  std::vector<double> x = std::move(x0);
+  std::vector<double> delta(n);
+  std::vector<double> plus(n);
+  std::vector<double> minus(n);
+
+  double best_value = objective.value(x);
+  ++result.evaluations;
+  std::vector<double> best_x = x;
+
+  for (std::size_t k = 1; k <= options_.max_iterations; ++k) {
+    ++result.iterations;
+    const double ak =
+        options_.a / std::pow(static_cast<double>(k) + 50.0, options_.alpha);
+    const double ck =
+        options_.c / std::pow(static_cast<double>(k), options_.gamma);
+    for (std::size_t i = 0; i < n; ++i) {
+      delta[i] = rng.sign();
+      plus[i] = x[i] + ck * delta[i];
+      minus[i] = x[i] - ck * delta[i];
+    }
+    const double f_plus = objective.value(plus);
+    const double f_minus = objective.value(minus);
+    result.evaluations += 2;
+    const double diff = (f_plus - f_minus) / (2.0 * ck);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] -= ak * diff / delta[i];
+    }
+    // Track the best iterate (SPSA is stochastic and non-monotone).
+    const double f = std::fmin(f_plus, f_minus);
+    if (f < best_value) {
+      best_value = f;
+      best_x = (f_plus < f_minus) ? plus : minus;
+    }
+  }
+  const double final_value = objective.value(x);
+  ++result.evaluations;
+  if (final_value < best_value) {
+    best_value = final_value;
+    best_x = std::move(x);
+  }
+  result.x = std::move(best_x);
+  result.value = best_value;
+  result.converged = true;  // budget-based method: completion == convergence
+  return result;
+}
+
+}  // namespace surfos::opt

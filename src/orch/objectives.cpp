@@ -1,0 +1,211 @@
+#include "orch/objectives.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sense/steering.hpp"
+
+namespace surfos::orch {
+
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+void check(const void* channel, const void* variables) {
+  if (channel == nullptr || variables == nullptr) {
+    throw std::invalid_argument("objective: null channel or variables");
+  }
+}
+
+/// Accumulates d|h|^2/dphi for one RX into per-panel element gradients:
+/// d|h|^2/dphi_e = 2 Re(conj(h) * j * c_e * dh/dc_e), scaled by `weight`.
+void accumulate_power_gradient(const em::Cx& h,
+                               const std::vector<em::CVec>& dh_dc,
+                               const std::vector<em::CVec>& coefficients,
+                               double weight,
+                               std::vector<std::vector<double>>& elem_grads) {
+  const em::Cx h_conj = std::conj(h);
+  for (std::size_t p = 0; p < dh_dc.size(); ++p) {
+    for (std::size_t e = 0; e < dh_dc[p].size(); ++e) {
+      const em::Cx dh_dphi = em::Cx{0.0, 1.0} * coefficients[p][e] * dh_dc[p][e];
+      elem_grads[p][e] += weight * 2.0 * (h_conj * dh_dphi).real();
+    }
+  }
+}
+
+}  // namespace
+
+// --- CapacityObjective -------------------------------------------------------
+
+CapacityObjective::CapacityObjective(const sim::SceneChannel* channel,
+                                     const PanelVariables* variables,
+                                     std::vector<std::size_t> rx_indices,
+                                     double rho, double sign)
+    : channel_(channel),
+      variables_(variables),
+      rx_indices_(std::move(rx_indices)),
+      rho_(rho),
+      sign_(sign) {
+  check(channel_, variables_);
+  if (rx_indices_.empty()) {
+    throw std::invalid_argument("CapacityObjective: no RX indices");
+  }
+  if (rho_ <= 0.0) throw std::invalid_argument("CapacityObjective: rho <= 0");
+}
+
+std::size_t CapacityObjective::dimension() const {
+  return variables_->dimension();
+}
+
+double CapacityObjective::value(std::span<const double> x) const {
+  const auto coefficients = variables_->coefficients(x);
+  double sum = 0.0;
+  for (std::size_t j : rx_indices_) {
+    const double power = std::norm(channel_->evaluate(j, coefficients));
+    sum += std::log2(1.0 + rho_ * power);
+  }
+  return -sign_ * sum / static_cast<double>(rx_indices_.size());
+}
+
+double CapacityObjective::value_and_gradient(std::span<const double> x,
+                                             std::span<double> gradient) const {
+  const auto coefficients = variables_->coefficients(x);
+  std::fill(gradient.begin(), gradient.end(), 0.0);
+  std::vector<std::vector<double>> elem_grads(variables_->panel_count());
+  for (std::size_t p = 0; p < variables_->panel_count(); ++p) {
+    elem_grads[p].assign(variables_->panel(p).element_count(), 0.0);
+  }
+  const double inv_m = 1.0 / static_cast<double>(rx_indices_.size());
+  double sum = 0.0;
+  em::Cx h;
+  std::vector<em::CVec> dh_dc;
+  for (std::size_t j : rx_indices_) {
+    channel_->evaluate_with_partials(j, coefficients, h, dh_dc);
+    const double power = std::norm(h);
+    sum += std::log2(1.0 + rho_ * power);
+    // dL/d|h|^2 = -sign/M * rho / ((1 + rho |h|^2) ln 2).
+    const double weight =
+        -sign_ * inv_m * rho_ / ((1.0 + rho_ * power) * kLn2);
+    accumulate_power_gradient(h, dh_dc, coefficients, weight, elem_grads);
+  }
+  for (std::size_t p = 0; p < variables_->panel_count(); ++p) {
+    variables_->reduce_gradient(p, elem_grads[p], gradient);
+  }
+  return -sign_ * sum * inv_m;
+}
+
+// --- PowerDeliveryObjective --------------------------------------------------
+
+PowerDeliveryObjective::PowerDeliveryObjective(
+    const sim::SceneChannel* channel, const PanelVariables* variables,
+    std::vector<std::size_t> rx_indices, double p0)
+    : channel_(channel),
+      variables_(variables),
+      rx_indices_(std::move(rx_indices)),
+      p0_(p0) {
+  check(channel_, variables_);
+  if (rx_indices_.empty()) {
+    throw std::invalid_argument("PowerDeliveryObjective: no RX indices");
+  }
+  if (p0_ <= 0.0) throw std::invalid_argument("PowerDeliveryObjective: p0 <= 0");
+}
+
+std::size_t PowerDeliveryObjective::dimension() const {
+  return variables_->dimension();
+}
+
+double PowerDeliveryObjective::value(std::span<const double> x) const {
+  const auto coefficients = variables_->coefficients(x);
+  double sum = 0.0;
+  for (std::size_t j : rx_indices_) {
+    sum += std::norm(channel_->evaluate(j, coefficients));
+  }
+  return -sum / (p0_ * static_cast<double>(rx_indices_.size()));
+}
+
+double PowerDeliveryObjective::value_and_gradient(
+    std::span<const double> x, std::span<double> gradient) const {
+  const auto coefficients = variables_->coefficients(x);
+  std::fill(gradient.begin(), gradient.end(), 0.0);
+  std::vector<std::vector<double>> elem_grads(variables_->panel_count());
+  for (std::size_t p = 0; p < variables_->panel_count(); ++p) {
+    elem_grads[p].assign(variables_->panel(p).element_count(), 0.0);
+  }
+  const double scale = 1.0 / (p0_ * static_cast<double>(rx_indices_.size()));
+  double sum = 0.0;
+  em::Cx h;
+  std::vector<em::CVec> dh_dc;
+  for (std::size_t j : rx_indices_) {
+    channel_->evaluate_with_partials(j, coefficients, h, dh_dc);
+    sum += std::norm(h);
+    accumulate_power_gradient(h, dh_dc, coefficients, -scale, elem_grads);
+  }
+  for (std::size_t p = 0; p < variables_->panel_count(); ++p) {
+    variables_->reduce_gradient(p, elem_grads[p], gradient);
+  }
+  return -sum * scale;
+}
+
+// --- LocalizationObjective ---------------------------------------------------
+
+LocalizationObjective::LocalizationObjective(
+    const sim::SceneChannel* channel, const PanelVariables* variables,
+    std::size_t sensing_panel, std::vector<std::size_t> rx_indices,
+    std::size_t spectrum_bins)
+    : channel_(channel),
+      variables_(variables),
+      sensing_panel_(sensing_panel),
+      rx_indices_(std::move(rx_indices)) {
+  check(channel_, variables_);
+  if (sensing_panel_ >= variables_->panel_count()) {
+    throw std::invalid_argument("LocalizationObjective: bad panel index");
+  }
+  if (rx_indices_.empty()) {
+    throw std::invalid_argument("LocalizationObjective: no RX indices");
+  }
+  const auto& panel = variables_->panel(sensing_panel_);
+  model_ = std::make_unique<sense::AoaSensingModel>(&panel,
+                                                    channel_->frequency_hz(),
+                                                    spectrum_bins);
+  targets_.reserve(rx_indices_.size());
+  for (std::size_t j : rx_indices_) {
+    const double truth = sense::true_azimuth(panel, channel_->rx_point(j));
+    targets_.push_back(model_->target_distribution(truth));
+  }
+}
+
+std::size_t LocalizationObjective::dimension() const {
+  return variables_->dimension();
+}
+
+double LocalizationObjective::value(std::span<const double> x) const {
+  const auto coefficients = variables_->coefficients(x);
+  const em::CVec& c = coefficients[sensing_panel_];
+  double sum = 0.0;
+  for (std::size_t k = 0; k < rx_indices_.size(); ++k) {
+    const em::CVec& g = channel_->rx_vector(sensing_panel_, rx_indices_[k]);
+    sum += model_->loss(c, g, targets_[k]);
+  }
+  return sum / static_cast<double>(rx_indices_.size());
+}
+
+double LocalizationObjective::value_and_gradient(
+    std::span<const double> x, std::span<double> gradient) const {
+  const auto coefficients = variables_->coefficients(x);
+  const em::CVec& c = coefficients[sensing_panel_];
+  std::fill(gradient.begin(), gradient.end(), 0.0);
+  const std::size_t n = variables_->panel(sensing_panel_).element_count();
+  std::vector<double> elem_grad(n, 0.0);
+  std::vector<double> per_location(n);
+  const double inv_m = 1.0 / static_cast<double>(rx_indices_.size());
+  double sum = 0.0;
+  for (std::size_t k = 0; k < rx_indices_.size(); ++k) {
+    const em::CVec& g = channel_->rx_vector(sensing_panel_, rx_indices_[k]);
+    sum += model_->loss(c, g, targets_[k], per_location);
+    for (std::size_t e = 0; e < n; ++e) elem_grad[e] += inv_m * per_location[e];
+  }
+  variables_->reduce_gradient(sensing_panel_, elem_grad, gradient);
+  return sum * inv_m;
+}
+
+}  // namespace surfos::orch

@@ -1,0 +1,525 @@
+#include "orch/orchestrator.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace surfos::orch {
+
+namespace {
+constexpr const char* kLog = "orchestrator";
+}
+
+Orchestrator::Orchestrator(hal::DeviceRegistry* registry, hal::SimClock* clock,
+                           OrchestratorContext context,
+                           OrchestratorOptions options)
+    : registry_(registry),
+      clock_(clock),
+      context_(std::move(context)),
+      options_(options),
+      scheduler_(options.policy),
+      optimizer_(std::make_unique<opt::GradientDescent>()) {
+  if (registry_ == nullptr || clock_ == nullptr) {
+    throw std::invalid_argument("Orchestrator: null registry or clock");
+  }
+  if (context_.environment == nullptr) {
+    throw std::invalid_argument("Orchestrator: null environment");
+  }
+}
+
+// --- Service API --------------------------------------------------------------
+
+TaskId Orchestrator::admit(ServiceGoal goal, Priority priority,
+                           std::optional<double> duration_s,
+                           std::optional<em::Band> band) {
+  Task task;
+  task.id = next_task_id_++;
+  task.goal = std::move(goal);
+  task.priority = priority;
+  task.band = band.value_or(context_.default_band);
+  task.created_at = clock_->now();
+  if (duration_s) {
+    task.expires_at = clock_->now() + static_cast<hal::Micros>(
+                                          *duration_s * hal::kMicrosPerSecond);
+  }
+  SURFOS_INFO(kLog) << "admit task " << task.id << " ("
+                    << to_string(task.type()) << ", prio " << priority << ")";
+  const TaskId id = task.id;
+  tasks_.emplace(id, std::move(task));
+  return id;
+}
+
+TaskId Orchestrator::enhance_link(LinkGoal goal, Priority priority,
+                                  std::optional<em::Band> band) {
+  return admit(std::move(goal), priority, std::nullopt, band);
+}
+
+TaskId Orchestrator::optimize_coverage(CoverageGoal goal, Priority priority,
+                                       std::optional<em::Band> band) {
+  return admit(std::move(goal), priority, std::nullopt, band);
+}
+
+TaskId Orchestrator::enable_sensing(SensingGoal goal, Priority priority,
+                                    std::optional<em::Band> band) {
+  const double duration = goal.duration_s;
+  return admit(std::move(goal), priority, duration, band);
+}
+
+TaskId Orchestrator::init_powering(PowerGoal goal, Priority priority,
+                                   std::optional<em::Band> band) {
+  const double duration = goal.duration_s;
+  return admit(std::move(goal), priority, duration, band);
+}
+
+TaskId Orchestrator::protect(SecurityGoal goal, Priority priority,
+                             std::optional<em::Band> band) {
+  return admit(std::move(goal), priority, std::nullopt, band);
+}
+
+// --- Task lifecycle -------------------------------------------------------------
+
+void Orchestrator::set_task_idle(TaskId id, bool idle) {
+  const auto it = tasks_.find(id);
+  if (it == tasks_.end()) throw std::invalid_argument("unknown task");
+  Task& task = it->second;
+  if (idle && task.active()) {
+    task.state = TaskState::kIdle;
+  } else if (!idle && task.state == TaskState::kIdle) {
+    task.state = TaskState::kPending;
+  }
+}
+
+void Orchestrator::cancel_task(TaskId id) {
+  const auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  it->second.state = TaskState::kCompleted;
+}
+
+const Task* Orchestrator::find_task(TaskId id) const noexcept {
+  const auto it = tasks_.find(id);
+  return it == tasks_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Task*> Orchestrator::tasks() const {
+  std::vector<const Task*> out;
+  out.reserve(tasks_.size());
+  for (const auto& [id, task] : tasks_) out.push_back(&task);
+  return out;
+}
+
+void Orchestrator::notify_environment_changed() {
+  ++env_revision_;
+  SURFOS_INFO(kLog) << "environment changed (revision " << env_revision_ << ")";
+}
+
+void Orchestrator::set_optimizer(std::unique_ptr<opt::Optimizer> optimizer) {
+  if (!optimizer) throw std::invalid_argument("Orchestrator: null optimizer");
+  optimizer_ = std::move(optimizer);
+  // Optimizer choice invalidates cached optimizations.
+  for (auto& [key, plan] : plans_) plan.optimized = false;
+}
+
+// --- Planning helpers -----------------------------------------------------------
+
+std::vector<geom::Vec3> Orchestrator::probe_points(const Task& task,
+                                                   bool& ok) const {
+  ok = true;
+  struct Visitor {
+    const hal::DeviceRegistry& registry;
+    bool& ok;
+    std::vector<geom::Vec3> operator()(const LinkGoal& g) const {
+      return endpoint(g.endpoint_id);
+    }
+    std::vector<geom::Vec3> operator()(const PowerGoal& g) const {
+      return endpoint(g.endpoint_id);
+    }
+    std::vector<geom::Vec3> operator()(const CoverageGoal& g) const {
+      return g.region.points();
+    }
+    std::vector<geom::Vec3> operator()(const SensingGoal& g) const {
+      return g.region.points();
+    }
+    std::vector<geom::Vec3> operator()(const SecurityGoal& g) const {
+      return g.region.points();
+    }
+    std::vector<geom::Vec3> endpoint(const std::string& id) const {
+      const auto* e = registry.find_endpoint(id);
+      if (e == nullptr) {
+        ok = false;
+        return {};
+      }
+      return {e->position};
+    }
+  };
+  return std::visit(Visitor{*registry_, ok}, task.goal);
+}
+
+std::string Orchestrator::signature_of(const Assignment& assignment) const {
+  std::ostringstream oss;
+  oss << static_cast<int>(assignment.band) << "|slot" << assignment.slot << "|";
+  for (const TaskId id : assignment.tasks) oss << id << ",";
+  oss << "|";
+  for (const auto& device : assignment.devices) oss << device << ",";
+  return oss.str();
+}
+
+Orchestrator::Plan& Orchestrator::plan_for(const Assignment& assignment,
+                                           bool& fresh) {
+  const std::string key = signature_of(assignment);
+  const auto it = plans_.find(key);
+  if (it != plans_.end() && it->second.env_revision == env_revision_) {
+    fresh = false;
+    return it->second;
+  }
+  fresh = true;
+  Plan plan;
+  plan.env_revision = env_revision_;
+
+  for (const auto& device : assignment.devices) {
+    const auto* driver = registry_->find_surface(device);
+    if (driver == nullptr) {
+      throw std::logic_error("Orchestrator: scheduled unknown device " + device);
+    }
+    plan.panels.push_back(&driver->panel());
+  }
+
+  std::vector<geom::Vec3> rx_points;
+  for (const TaskId id : assignment.tasks) {
+    const Task& task = tasks_.at(id);
+    bool ok = true;
+    const auto points = probe_points(task, ok);
+    if (!ok || points.empty()) {
+      tasks_.at(id).state = TaskState::kFailed;
+      continue;
+    }
+    std::vector<std::size_t> indices(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      indices[i] = rx_points.size() + i;
+    }
+    plan.task_rx[id] = std::move(indices);
+    rx_points.insert(rx_points.end(), points.begin(), points.end());
+  }
+  if (rx_points.empty()) {
+    // Every task in the assignment failed; park an empty plan.
+    plans_[key] = std::move(plan);
+    return plans_[key];
+  }
+
+  plan.channel = std::make_unique<sim::SceneChannel>(
+      context_.environment, em::band_center(assignment.band), context_.ap,
+      plan.panels, std::move(rx_points), nullptr, context_.channel_options);
+  plan.variables = std::make_unique<PanelVariables>(plan.panels);
+
+  // Pick each sensing task's aperture: the panel with the strongest mean
+  // element response over the task's probe points.
+  for (const TaskId id : assignment.tasks) {
+    const auto rx_it = plan.task_rx.find(id);
+    if (rx_it == plan.task_rx.end()) continue;
+    if (tasks_.at(id).type() != ServiceType::kSensing) continue;
+    std::size_t best_panel = 0;
+    double best_power = -1.0;
+    for (std::size_t p = 0; p < plan.panels.size(); ++p) {
+      double power = 0.0;
+      for (const std::size_t j : rx_it->second) {
+        power += em::power(plan.channel->rx_vector(p, j));
+      }
+      if (power > best_power) {
+        best_power = power;
+        best_panel = p;
+      }
+    }
+    plan.sensing_panel_of[id] = best_panel;
+  }
+
+  plans_[key] = std::move(plan);
+  return plans_[key];
+}
+
+std::vector<std::vector<double>> Orchestrator::initial_candidates(
+    const Assignment& assignment, Plan& plan) const {
+  // Warm-start from what the hardware already stores in this slot when the
+  // slot is no longer the all-zero default.
+  std::vector<surface::SurfaceConfig> stored;
+  bool all_zero = true;
+  for (std::size_t i = 0; i < assignment.devices.size(); ++i) {
+    const auto* driver = registry_->find_surface(assignment.devices[i]);
+    const auto& config = driver->stored_config(assignment.slot);
+    const surface::SurfaceConfig zero(config.size());
+    if (config.max_phase_delta(zero) > 1e-9) all_zero = false;
+    stored.push_back(config);
+  }
+  if (!all_zero) return {plan.variables->from_configs(stored)};
+
+  // Centroid of all probe points as the final focus target.
+  geom::Vec3 target{};
+  std::size_t count = 0;
+  for (const auto& [id, indices] : plan.task_rx) {
+    for (const std::size_t j : indices) {
+      target += plan.channel->rx_point(j);
+      ++count;
+    }
+  }
+  if (count > 0) target = target / static_cast<double>(count);
+  const double frequency = em::band_center(assignment.band);
+
+  std::vector<std::vector<double>> candidates;
+
+  // Candidate 1: relay chain — panel k focuses the previous stage's source
+  // onto the next panel (or the target for the last panel), ordered by
+  // distance from the AP. Best when surfaces cascade around blockage.
+  {
+    std::vector<std::size_t> order(plan.panels.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return plan.panels[a]->center().distance_to(context_.ap.position) <
+             plan.panels[b]->center().distance_to(context_.ap.position);
+    });
+    std::vector<surface::SurfaceConfig> init(plan.panels.size(),
+                                             surface::SurfaceConfig{});
+    geom::Vec3 source = context_.ap.position;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const auto& panel = *plan.panels[order[k]];
+      const geom::Vec3 next_target = (k + 1 < order.size())
+                                         ? plan.panels[order[k + 1]]->center()
+                                         : target;
+      init[order[k]] = panel.focus_config(source, next_target, frequency);
+      source = panel.center();
+    }
+    candidates.push_back(plan.variables->from_configs(init));
+  }
+
+  // Candidate 2: every panel independently focuses the AP onto the target.
+  // Best when each surface has its own usable AP->target route.
+  if (plan.panels.size() > 1) {
+    std::vector<surface::SurfaceConfig> init;
+    init.reserve(plan.panels.size());
+    for (const auto* panel : plan.panels) {
+      init.push_back(panel->focus_config(context_.ap.position, target,
+                                         frequency));
+    }
+    candidates.push_back(plan.variables->from_configs(init));
+  }
+  return candidates;
+}
+
+// --- Optimization / actuation / measurement ------------------------------------
+
+void Orchestrator::optimize_plan(const Assignment& assignment, Plan& plan) {
+  const double rho = context_.budget.snr(1.0);  // linear SNR per unit |h|^2
+
+  std::vector<std::unique_ptr<opt::Objective>> terms;
+  opt::WeightedSumObjective joint;
+  for (std::size_t k = 0; k < assignment.tasks.size(); ++k) {
+    const TaskId id = assignment.tasks[k];
+    const auto rx_it = plan.task_rx.find(id);
+    if (rx_it == plan.task_rx.end()) continue;
+    const Task& task = tasks_.at(id);
+    const double weight = assignment.weights[k];
+    switch (task.type()) {
+      case ServiceType::kConnectivity:
+      case ServiceType::kCoverage:
+        terms.push_back(std::make_unique<CapacityObjective>(
+            plan.channel.get(), plan.variables.get(), rx_it->second, rho, 1.0));
+        break;
+      case ServiceType::kSecurity: {
+        // Suppress *linear* received power (not log capacity): the linear
+        // mean is dominated by the worst leaks, which is exactly what a
+        // protection ceiling cares about. Negative weight turns the
+        // power-delivery objective into power suppression; p0 normalizes it
+        // to the pre-optimization leak level.
+        const auto x0 = initial_candidates(assignment, plan).front();
+        const auto coefficients = plan.variables->coefficients(x0);
+        double p0 = 0.0;
+        for (const std::size_t j : rx_it->second) {
+          p0 += std::norm(plan.channel->evaluate(j, coefficients));
+        }
+        p0 = std::max(p0 / static_cast<double>(rx_it->second.size()), 1e-30);
+        terms.push_back(std::make_unique<PowerDeliveryObjective>(
+            plan.channel.get(), plan.variables.get(), rx_it->second, p0));
+        joint.add_term(terms.back().get(), -weight);
+        continue;  // weight already applied (negated)
+      }
+      case ServiceType::kSensing:
+        terms.push_back(std::make_unique<LocalizationObjective>(
+            plan.channel.get(), plan.variables.get(),
+            plan.sensing_panel_of.at(id), rx_it->second,
+            options_.sensing_bins));
+        break;
+      case ServiceType::kPowering: {
+        // Normalize by the focus-init power at the device so the loss is O(1).
+        const auto x0 = initial_candidates(assignment, plan).front();
+        const auto coefficients = plan.variables->coefficients(x0);
+        double p0 = 0.0;
+        for (const std::size_t j : rx_it->second) {
+          p0 += std::norm(plan.channel->evaluate(j, coefficients));
+        }
+        p0 = std::max(p0 / static_cast<double>(rx_it->second.size()), 1e-30);
+        terms.push_back(std::make_unique<PowerDeliveryObjective>(
+            plan.channel.get(), plan.variables.get(), rx_it->second, p0));
+        break;
+      }
+    }
+    joint.add_term(terms.back().get(), weight);
+  }
+  if (terms.empty()) return;
+
+  const std::vector<std::vector<double>> starts =
+      plan.x.empty() ? initial_candidates(assignment, plan)
+                     : std::vector<std::vector<double>>{plan.x};
+  opt::OptimizeResult best;
+  bool have_best = false;
+  for (const auto& x0 : starts) {
+    opt::OptimizeResult result = optimizer_->minimize(joint, x0);
+    if (!have_best || result.value < best.value) {
+      best = std::move(result);
+      have_best = true;
+    }
+  }
+  plan.x = best.x;
+  plan.last_loss = best.value;
+  plan.optimized = true;
+  SURFOS_INFO(kLog) << "optimized assignment (" << assignment.tasks.size()
+                    << " tasks, " << starts.size() << " start(s)): loss "
+                    << best.value << " after " << best.evaluations
+                    << " evaluations";
+}
+
+void Orchestrator::actuate(const Assignment& assignment, const Plan& plan) {
+  if (plan.x.empty()) return;
+  const auto realized = plan.variables->realize(plan.x);
+  hal::Micros worst_delay = 0;
+  for (std::size_t i = 0; i < assignment.devices.size(); ++i) {
+    auto* driver = registry_->find_surface(assignment.devices[i]);
+    const auto status = driver->write_config(assignment.slot, realized[i]);
+    if (status == hal::DriverStatus::kOk) {
+      driver->select_config(assignment.slot);
+      if (!driver->spec().is_passive()) {
+        worst_delay = std::max(worst_delay, driver->spec().control_delay_us);
+      }
+    } else if (status != hal::DriverStatus::kAlreadyFixed) {
+      SURFOS_WARN(kLog) << "write_config on " << driver->device_id()
+                        << " failed: " << hal::to_string(status);
+    }
+  }
+  // Wait out the slowest control path, then drain the links.
+  clock_->advance(worst_delay + 1);
+  registry_->poll_all();
+}
+
+std::vector<surface::SurfaceConfig> Orchestrator::hardware_configs(
+    const Assignment& assignment, const Plan&) const {
+  std::vector<surface::SurfaceConfig> configs;
+  for (const auto& device : assignment.devices) {
+    const auto* driver = registry_->find_surface(device);
+    configs.push_back(driver->stored_config(assignment.slot));
+  }
+  return configs;
+}
+
+void Orchestrator::measure(const Assignment& assignment, Plan& plan,
+                           StepReport& report) {
+  if (!plan.channel) return;
+  const auto configs = hardware_configs(assignment, plan);
+  for (const TaskId id : assignment.tasks) {
+    const auto rx_it = plan.task_rx.find(id);
+    if (rx_it == plan.task_rx.end()) continue;
+    Task& task = tasks_.at(id);
+    if (!task.active()) continue;
+    task.state = TaskState::kRunning;
+    struct Visitor {
+      const sim::SceneChannel& channel;
+      const em::LinkBudget& budget;
+      const std::vector<surface::SurfaceConfig>& configs;
+      const std::vector<std::size_t>& rx;
+      const Plan& plan;
+      TaskId id;
+      double operator()(const LinkGoal& g, bool& met) const {
+        const auto m = link_metrics(channel, budget, configs, rx.front());
+        met = m.snr_db >= g.target_snr_db;
+        return m.snr_db;
+      }
+      double operator()(const CoverageGoal& g, bool& met) const {
+        const auto m = coverage_metrics(channel, budget, configs, rx);
+        met = m.median_snr_db >= g.target_median_snr_db;
+        return m.median_snr_db;
+      }
+      double operator()(const SensingGoal& g, bool& met) const {
+        const auto m = sensing_metrics(
+            channel, configs, plan.sensing_panel_of.at(id), rx);
+        met = m.median_error_m <= g.target_accuracy_m;
+        return m.median_error_m;
+      }
+      double operator()(const PowerGoal& g, bool& met) const {
+        const auto m = power_metrics(channel, budget, configs, rx.front());
+        met = m.delivered_dbm >= g.min_power_dbm;
+        return m.delivered_dbm;
+      }
+      double operator()(const SecurityGoal& g, bool& met) const {
+        const auto m = coverage_metrics(channel, budget, configs, rx);
+        double worst = -300.0;
+        for (const double snr : m.snr_db) {
+          worst = std::max(worst, snr + budget.noise_dbm());  // RSS dBm
+        }
+        met = worst <= g.max_leak_dbm;
+        return worst;
+      }
+    };
+    bool met = false;
+    Visitor visitor{*plan.channel, context_.budget, configs, rx_it->second,
+                    plan, id};
+    task.achieved = std::visit(
+        [&](const auto& goal) { return visitor(goal, met); }, task.goal);
+    task.goal_met = met;
+    report.tasks.push_back(
+        {task.id, task.type(), task.state, task.achieved, task.goal_met});
+  }
+}
+
+StepReport Orchestrator::step() {
+  StepReport report;
+
+  // Expire duration-bound tasks.
+  for (auto& [id, task] : tasks_) {
+    if (task.active() && task.expires_at && clock_->now() >= *task.expires_at) {
+      task.state = TaskState::kCompleted;
+    }
+  }
+
+  std::vector<const Task*> active;
+  for (const auto& [id, task] : tasks_) {
+    if (task.active()) active.push_back(&task);
+  }
+  if (active.empty()) return report;
+
+  const Schedule schedule = scheduler_.build(active, *registry_);
+  report.assignment_count = schedule.assignments.size();
+  report.starved = schedule.starved;
+  for (const TaskId id : schedule.starved) {
+    tasks_.at(id).state = TaskState::kFailed;
+    SURFOS_WARN(kLog) << "task " << id << " starved: no capable surface";
+  }
+
+  for (const Assignment& assignment : schedule.assignments) {
+    bool fresh = false;
+    Plan& plan = plan_for(assignment, fresh);
+    if (!plan.channel) continue;
+    if (fresh || !plan.optimized || options_.always_reoptimize) {
+      optimize_plan(assignment, plan);
+      actuate(assignment, plan);
+      ++report.optimizations_run;
+    }
+    measure(assignment, plan, report);
+  }
+  return report;
+}
+
+std::optional<surface::SurfaceConfig> Orchestrator::last_realized(
+    const std::string& device_id) const {
+  const auto* driver = registry_->find_surface(device_id);
+  if (driver == nullptr) return std::nullopt;
+  return driver->active_config();
+}
+
+}  // namespace surfos::orch

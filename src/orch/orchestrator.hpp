@@ -1,0 +1,161 @@
+// The surface orchestrator: SurfOS's central control plane (paper 3.2).
+//
+// Exposes the environment-wide service APIs — enhance_link(),
+// optimize_coverage(), enable_sensing(), init_powering(), protect() — each
+// creating a Task. step() then: (1) schedules active tasks onto slices of
+// time/frequency/space, (2) jointly optimizes surface configurations per
+// slice against the channel model, (3) actuates the configurations through
+// the hardware manager's drivers (write_config/select_config over control
+// links), and (4) measures achieved service metrics from the *hardware's*
+// realized state, not the optimizer's intent.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "em/propagation.hpp"
+#include "hal/registry.hpp"
+#include "opt/optimizer.hpp"
+#include "orch/objectives.hpp"
+#include "orch/perf.hpp"
+#include "orch/scheduler.hpp"
+#include "orch/task.hpp"
+#include "orch/variables.hpp"
+#include "sim/channel.hpp"
+#include "sim/environment.hpp"
+
+namespace surfos::orch {
+
+struct OrchestratorContext {
+  const sim::Environment* environment = nullptr;
+  sim::TxSpec ap;  ///< The serving AP/base station this control plane models.
+  em::Band default_band = em::Band::k28GHz;
+  em::LinkBudget budget;
+  sim::ChannelOptions channel_options;
+};
+
+struct OrchestratorOptions {
+  SchedulePolicy policy = SchedulePolicy::kPriorityJoint;
+  std::size_t sensing_bins = 121;
+  /// Re-run optimization every step even when nothing changed (for ablations;
+  /// normally plans are reused until tasks or the environment change).
+  bool always_reoptimize = false;
+};
+
+struct TaskReport {
+  TaskId id = 0;
+  ServiceType type = ServiceType::kConnectivity;
+  TaskState state = TaskState::kPending;
+  std::optional<double> achieved;
+  bool goal_met = false;
+};
+
+struct StepReport {
+  std::size_t assignment_count = 0;
+  std::size_t optimizations_run = 0;
+  std::vector<TaskId> starved;
+  std::vector<TaskReport> tasks;
+};
+
+class Orchestrator {
+ public:
+  /// `registry`, `clock`, and everything in `context` must outlive the
+  /// orchestrator.
+  Orchestrator(hal::DeviceRegistry* registry, hal::SimClock* clock,
+               OrchestratorContext context, OrchestratorOptions options = {});
+
+  // --- Service API (paper Fig 6 function names) ---------------------------
+  // `band` overrides the environment's default band for the task — the
+  // frequency axis of the scheduler's multiplexing (tasks on different
+  // bands get independent slices over their bands' surfaces).
+
+  TaskId enhance_link(LinkGoal goal, Priority priority = kPriorityInteractive,
+                      std::optional<em::Band> band = std::nullopt);
+  TaskId optimize_coverage(CoverageGoal goal,
+                           Priority priority = kPriorityNormal,
+                           std::optional<em::Band> band = std::nullopt);
+  TaskId enable_sensing(SensingGoal goal, Priority priority = kPriorityNormal,
+                        std::optional<em::Band> band = std::nullopt);
+  TaskId init_powering(PowerGoal goal,
+                       Priority priority = kPriorityBackground,
+                       std::optional<em::Band> band = std::nullopt);
+  TaskId protect(SecurityGoal goal, Priority priority = kPriorityCritical,
+                 std::optional<em::Band> band = std::nullopt);
+
+  // --- Task lifecycle ------------------------------------------------------
+
+  /// Idle tasks stay registered but release their resource slices
+  /// ("setting a task idle when not used and releasing resources").
+  void set_task_idle(TaskId id, bool idle);
+  void cancel_task(TaskId id);
+  const Task* find_task(TaskId id) const noexcept;
+  std::vector<const Task*> tasks() const;
+
+  /// Environment dynamics (people moving, furniture): invalidates cached
+  /// channels and plans so the next step() re-optimizes.
+  void notify_environment_changed();
+
+  // --- Control knobs -------------------------------------------------------
+
+  void set_optimizer(std::unique_ptr<opt::Optimizer> optimizer);
+  const opt::Optimizer& optimizer() const noexcept { return *optimizer_; }
+  Scheduler& scheduler() noexcept { return scheduler_; }
+
+  /// One control-plane cycle: schedule -> optimize -> actuate -> measure.
+  StepReport step();
+
+  /// The configurations last realized for an assignment's devices (empty if
+  /// the device has not been programmed yet).
+  std::optional<surface::SurfaceConfig> last_realized(
+      const std::string& device_id) const;
+
+  const OrchestratorContext& context() const noexcept { return context_; }
+
+ private:
+  struct Plan {
+    std::unique_ptr<sim::SceneChannel> channel;
+    std::unique_ptr<PanelVariables> variables;
+    std::vector<const surface::SurfacePanel*> panels;
+    /// Per task: indices into the channel's RX points.
+    std::map<TaskId, std::vector<std::size_t>> task_rx;
+    std::map<TaskId, std::size_t> sensing_panel_of;  ///< For sensing tasks.
+    std::vector<double> x;  ///< Current control phases.
+    std::uint64_t env_revision = 0;
+    bool optimized = false;
+    double last_loss = 0.0;
+  };
+
+  TaskId admit(ServiceGoal goal, Priority priority,
+               std::optional<double> duration_s,
+               std::optional<em::Band> band = std::nullopt);
+  std::vector<geom::Vec3> probe_points(const Task& task, bool& ok) const;
+  Plan& plan_for(const Assignment& assignment, bool& fresh);
+  std::string signature_of(const Assignment& assignment) const;
+  void optimize_plan(const Assignment& assignment, Plan& plan);
+  void actuate(const Assignment& assignment, const Plan& plan);
+  void measure(const Assignment& assignment, Plan& plan, StepReport& report);
+  /// Candidate starting points for a fresh plan: the relay-chain focus and
+  /// the direct per-panel focus (multi-panel scenes can favor either
+  /// structure; the optimizer keeps whichever basin wins).
+  std::vector<std::vector<double>> initial_candidates(
+      const Assignment& assignment, Plan& plan) const;
+  std::vector<surface::SurfaceConfig> hardware_configs(
+      const Assignment& assignment, const Plan& plan) const;
+
+  hal::DeviceRegistry* registry_;
+  hal::SimClock* clock_;
+  OrchestratorContext context_;
+  OrchestratorOptions options_;
+  Scheduler scheduler_;
+  std::unique_ptr<opt::Optimizer> optimizer_;
+
+  std::map<TaskId, Task> tasks_;
+  TaskId next_task_id_ = 1;
+  std::uint64_t env_revision_ = 1;
+  std::map<std::string, Plan> plans_;
+};
+
+}  // namespace surfos::orch

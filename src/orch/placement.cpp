@@ -1,0 +1,133 @@
+#include "orch/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace surfos::orch {
+
+std::vector<MountCandidate> wall_mounts(double x0, double x1, double y0,
+                                        double y1, double z,
+                                        double spacing_m) {
+  if (x1 <= x0 || y1 <= y0 || spacing_m <= 0.0) {
+    throw std::invalid_argument("wall_mounts: bad rectangle or spacing");
+  }
+  // Mounts sit slightly off the wall plane so their propagation legs never
+  // graze the wall geometry itself.
+  constexpr double kStandoff = 0.06;
+  std::vector<MountCandidate> out;
+  const auto add_run = [&](geom::Vec3 start, geom::Vec3 step, double length,
+                           geom::Vec3 normal, const char* wall) {
+    const auto count = static_cast<std::size_t>(length / spacing_m);
+    for (std::size_t i = 1; i <= count; ++i) {
+      const geom::Vec3 p = start + step * (static_cast<double>(i) * spacing_m);
+      out.push_back({util::format("%s-%zu", wall, i), geom::Frame(p, normal)});
+    }
+  };
+  add_run({x0, y0 + kStandoff, z}, {1, 0, 0}, x1 - x0, {0, 1, 0}, "south");
+  add_run({x0, y1 - kStandoff, z}, {1, 0, 0}, x1 - x0, {0, -1, 0}, "north");
+  add_run({x0 + kStandoff, y0, z}, {0, 1, 0}, y1 - y0, {1, 0, 0}, "west");
+  add_run({x1 - kStandoff, y0, z}, {0, 1, 0}, y1 - y0, {-1, 0, 0}, "east");
+  return out;
+}
+
+namespace {
+
+/// Per-location steered SNR (dB) achievable from one candidate mount.
+std::vector<double> steered_snr(const sim::Environment& environment,
+                                const sim::TxSpec& ap, double frequency_hz,
+                                const em::LinkBudget& budget,
+                                const surface::SurfacePanel& panel,
+                                const std::vector<geom::Vec3>& points) {
+  const sim::SceneChannel channel(&environment, frequency_hz, ap, {&panel},
+                                  points);
+  std::vector<double> snr(points.size());
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    const auto config = panel.focus_config(ap.position, points[j],
+                                           frequency_hz);
+    const auto coeffs =
+        channel.coefficients_for(std::vector<surface::SurfaceConfig>{config});
+    snr[j] = budget.snr_db(std::norm(channel.evaluate(j, coeffs)));
+  }
+  return snr;
+}
+
+}  // namespace
+
+PlacementPlan plan_placement(const sim::Environment& environment,
+                             const sim::TxSpec& ap, em::Band band,
+                             const em::LinkBudget& budget,
+                             const std::vector<MountCandidate>& candidates,
+                             const geom::SampleGrid& region,
+                             const PlacementOptions& options) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("plan_placement: no candidates");
+  }
+  if (options.surfaces_to_place == 0) {
+    throw std::invalid_argument("plan_placement: zero surfaces requested");
+  }
+  const double frequency = em::band_center(band);
+  surface::ElementDesign element = options.element;
+  if (element.spacing_m <= 0.0) {
+    element.spacing_m = em::wavelength(frequency) / 2.0;
+  }
+
+  const std::vector<geom::Vec3> points = region.points();
+  std::vector<std::vector<double>> per_candidate_snr(candidates.size());
+
+  PlacementPlan plan;
+  plan.ranking.reserve(candidates.size());
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    const surface::SurfacePanel panel(
+        candidates[c].label, candidates[c].pose, options.rows, options.cols,
+        element, options.op_mode, surface::Reconfigurability::kProgrammable,
+        surface::ControlGranularity::kElement);
+    per_candidate_snr[c] =
+        steered_snr(environment, ap, frequency, budget, panel, points);
+    CandidateScore score;
+    score.index = c;
+    score.median_snr_db = util::median(per_candidate_snr[c]);
+    score.p10_snr_db = util::quantile(per_candidate_snr[c], 0.1);
+    plan.ranking.push_back(score);
+  }
+  std::sort(plan.ranking.begin(), plan.ranking.end(),
+            [](const CandidateScore& a, const CandidateScore& b) {
+              return a.median_snr_db > b.median_snr_db;
+            });
+
+  // Greedy multi-surface selection: each location is served by the best of
+  // the selected surfaces; pick the candidate that maximizes the resulting
+  // median each round.
+  std::vector<double> best_so_far(points.size(), -300.0);
+  std::vector<bool> taken(candidates.size(), false);
+  for (std::size_t round = 0; round < options.surfaces_to_place; ++round) {
+    double best_median = -1e18;
+    std::size_t best_candidate = candidates.size();
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (taken[c]) continue;
+      std::vector<double> merged(points.size());
+      for (std::size_t j = 0; j < points.size(); ++j) {
+        merged[j] = std::max(best_so_far[j], per_candidate_snr[c][j]);
+      }
+      const double median = util::median(merged);
+      if (median > best_median) {
+        best_median = median;
+        best_candidate = c;
+      }
+    }
+    if (best_candidate == candidates.size()) break;
+    taken[best_candidate] = true;
+    plan.selected.push_back(best_candidate);
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      best_so_far[j] =
+          std::max(best_so_far[j], per_candidate_snr[best_candidate][j]);
+    }
+    plan.selected_median_snr_db = best_median;
+  }
+  return plan;
+}
+
+}  // namespace surfos::orch

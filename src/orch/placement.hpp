@@ -1,0 +1,68 @@
+// Deployment automation (paper Section 5): "Deployment automation involves
+// running the simulator to model the environment and optimize for placement
+// as part of the surface hardware configurations."
+//
+// Given a set of candidate wall mounts, the planner evaluates each by
+// building a prototype panel there and measuring the coverage it could
+// deliver (per-location ideal steering — an upper bound that is cheap to
+// compute and ranks mounts correctly), then returns the ranked candidates.
+// A greedy multi-surface variant places k surfaces by repeatedly taking the
+// mount that most improves the worst-covered locations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "em/antenna.hpp"
+#include "em/propagation.hpp"
+#include "geom/frame.hpp"
+#include "geom/grid.hpp"
+#include "sim/channel.hpp"
+#include "sim/environment.hpp"
+#include "surface/panel.hpp"
+
+namespace surfos::orch {
+
+struct MountCandidate {
+  std::string label;
+  geom::Frame pose;
+};
+
+/// Candidate mounts spaced along the inside of a rectangular room's walls at
+/// height z, normals pointing into the room.
+std::vector<MountCandidate> wall_mounts(double x0, double x1, double y0,
+                                        double y1, double z,
+                                        double spacing_m = 1.0);
+
+struct CandidateScore {
+  std::size_t index = 0;          ///< Into the candidates vector.
+  double median_snr_db = -300.0;  ///< Per-location ideal-steering median.
+  double p10_snr_db = -300.0;     ///< 10th percentile (coverage tail).
+};
+
+struct PlacementPlan {
+  std::vector<CandidateScore> ranking;   ///< Best first.
+  std::vector<std::size_t> selected;     ///< Greedy multi-surface choice.
+  double selected_median_snr_db = -300.0;
+};
+
+struct PlacementOptions {
+  std::size_t rows = 16;
+  std::size_t cols = 16;
+  surface::ElementDesign element;         ///< spacing 0 -> half wavelength.
+  surface::OperationMode op_mode = surface::OperationMode::kReflective;
+  std::size_t surfaces_to_place = 1;
+};
+
+/// Rank candidate mounts and greedily select `surfaces_to_place` of them.
+/// The score of a joint selection is the median over grid locations of the
+/// best single-surface steered SNR at that location (each client is served
+/// by its best surface — the SDM upper bound).
+PlacementPlan plan_placement(const sim::Environment& environment,
+                             const sim::TxSpec& ap, em::Band band,
+                             const em::LinkBudget& budget,
+                             const std::vector<MountCandidate>& candidates,
+                             const geom::SampleGrid& region,
+                             const PlacementOptions& options = {});
+
+}  // namespace surfos::orch

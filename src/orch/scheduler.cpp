@@ -1,0 +1,197 @@
+#include "orch/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace surfos::orch {
+
+namespace {
+
+/// Groups active tasks by band.
+std::map<em::Band, std::vector<const Task*>> by_band(
+    const std::vector<const Task*>& tasks) {
+  std::map<em::Band, std::vector<const Task*>> groups;
+  for (const Task* t : tasks) groups[t->band].push_back(t);
+  return groups;
+}
+
+std::vector<std::string> device_ids(
+    const std::vector<hal::SurfaceDriver*>& drivers) {
+  std::vector<std::string> ids;
+  ids.reserve(drivers.size());
+  for (const auto* d : drivers) ids.push_back(d->device_id());
+  return ids;
+}
+
+std::uint16_t max_common_slot(const std::vector<hal::SurfaceDriver*>& drivers) {
+  std::size_t slots = std::numeric_limits<std::size_t>::max();
+  for (const auto* d : drivers) slots = std::min(slots, d->slot_count());
+  return static_cast<std::uint16_t>(slots == 0 ? 1 : slots);
+}
+
+}  // namespace
+
+bool task_focus(const Task& task, const hal::DeviceRegistry& registry,
+                geom::Vec3& out) {
+  struct Visitor {
+    const hal::DeviceRegistry& registry;
+    geom::Vec3& out;
+    bool operator()(const LinkGoal& g) const { return endpoint(g.endpoint_id); }
+    bool operator()(const PowerGoal& g) const { return endpoint(g.endpoint_id); }
+    bool operator()(const CoverageGoal& g) const { return region(g.region); }
+    bool operator()(const SensingGoal& g) const { return region(g.region); }
+    bool operator()(const SecurityGoal& g) const { return region(g.region); }
+
+    bool endpoint(const std::string& id) const {
+      const auto* e = registry.find_endpoint(id);
+      if (e == nullptr) return false;
+      out = e->position;
+      return true;
+    }
+    bool region(const geom::SampleGrid& grid) const {
+      out = grid.point(grid.size() / 2);
+      return true;
+    }
+  };
+  return std::visit(Visitor{registry, out}, task.goal);
+}
+
+Schedule Scheduler::build(const std::vector<const Task*>& active,
+                          hal::DeviceRegistry& registry) const {
+  switch (policy_) {
+    case SchedulePolicy::kPriorityJoint:
+      return build_priority_joint(active, registry);
+    case SchedulePolicy::kRoundRobinTdm:
+      return build_tdm(active, registry, /*edf=*/false);
+    case SchedulePolicy::kEarliestDeadline:
+      return build_tdm(active, registry, /*edf=*/true);
+    case SchedulePolicy::kSpatialPartition:
+      return build_spatial(active, registry);
+  }
+  return {};
+}
+
+Schedule Scheduler::build_priority_joint(const std::vector<const Task*>& tasks,
+                                         hal::DeviceRegistry& registry) const {
+  Schedule schedule;
+  for (auto& [band, group] : by_band(tasks)) {
+    auto drivers = registry.surfaces_on_band(band);
+    if (drivers.empty()) {
+      for (const Task* t : group) schedule.starved.push_back(t->id);
+      continue;
+    }
+    Assignment a;
+    a.band = band;
+    a.devices = device_ids(drivers);
+    a.time_share = 1.0;
+    a.slot = 0;
+    double weight_sum = 0.0;
+    for (const Task* t : group) {
+      a.tasks.push_back(t->id);
+      const double w = std::max(1.0, static_cast<double>(t->priority));
+      a.weights.push_back(w);
+      weight_sum += w;
+    }
+    for (double& w : a.weights) w /= weight_sum;
+    schedule.assignments.push_back(std::move(a));
+  }
+  return schedule;
+}
+
+Schedule Scheduler::build_tdm(const std::vector<const Task*>& tasks,
+                              hal::DeviceRegistry& registry, bool edf) const {
+  Schedule schedule;
+  for (auto& [band, group] : by_band(tasks)) {
+    auto drivers = registry.surfaces_on_band(band);
+    if (drivers.empty()) {
+      for (const Task* t : group) schedule.starved.push_back(t->id);
+      continue;
+    }
+    std::vector<const Task*> ordered = group;
+    if (edf) {
+      std::sort(ordered.begin(), ordered.end(),
+                [](const Task* a, const Task* b) {
+                  const auto da =
+                      a->deadline.value_or(std::numeric_limits<hal::Micros>::max());
+                  const auto db =
+                      b->deadline.value_or(std::numeric_limits<hal::Micros>::max());
+                  return da < db;
+                });
+    }
+    const std::uint16_t slots = max_common_slot(drivers);
+    // EDF: geometric shares favoring earlier deadlines; RR: equal shares.
+    std::vector<double> shares(ordered.size());
+    if (edf) {
+      double total = 0.0;
+      for (std::size_t i = 0; i < shares.size(); ++i) {
+        shares[i] = std::pow(0.5, static_cast<double>(i));
+        total += shares[i];
+      }
+      for (double& s : shares) s /= total;
+    } else {
+      std::fill(shares.begin(), shares.end(),
+                1.0 / static_cast<double>(ordered.size()));
+    }
+    for (std::size_t i = 0; i < ordered.size(); ++i) {
+      Assignment a;
+      a.band = band;
+      a.devices = device_ids(drivers);
+      a.tasks = {ordered[i]->id};
+      a.weights = {1.0};
+      a.time_share = shares[i];
+      a.slot = static_cast<std::uint16_t>(i % slots);
+      schedule.assignments.push_back(std::move(a));
+    }
+  }
+  return schedule;
+}
+
+Schedule Scheduler::build_spatial(const std::vector<const Task*>& tasks,
+                                  hal::DeviceRegistry& registry) const {
+  Schedule schedule;
+  for (auto& [band, group] : by_band(tasks)) {
+    auto drivers = registry.surfaces_on_band(band);
+    if (drivers.empty()) {
+      for (const Task* t : group) schedule.starved.push_back(t->id);
+      continue;
+    }
+    // Greedy nearest-surface partition: each task claims the closest surface
+    // to its focus; tasks claiming the same surface are joined there.
+    std::map<std::string, Assignment> per_device;
+    for (const Task* t : group) {
+      geom::Vec3 focus;
+      if (!task_focus(*t, registry, focus)) {
+        schedule.starved.push_back(t->id);
+        continue;
+      }
+      hal::SurfaceDriver* best = nullptr;
+      double best_distance = std::numeric_limits<double>::infinity();
+      for (auto* d : drivers) {
+        const double distance = d->panel().center().distance_to(focus);
+        if (distance < best_distance) {
+          best_distance = distance;
+          best = d;
+        }
+      }
+      Assignment& a = per_device[best->device_id()];
+      if (a.devices.empty()) {
+        a.band = band;
+        a.devices = {best->device_id()};
+        a.time_share = 1.0;
+        a.slot = 0;
+      }
+      a.tasks.push_back(t->id);
+      a.weights.push_back(std::max(1.0, static_cast<double>(t->priority)));
+    }
+    for (auto& [id, a] : per_device) {
+      double total = 0.0;
+      for (double w : a.weights) total += w;
+      for (double& w : a.weights) w /= total;
+      schedule.assignments.push_back(std::move(a));
+    }
+  }
+  return schedule;
+}
+
+}  // namespace surfos::orch

@@ -1,0 +1,78 @@
+// Task scheduler: decides which tasks share which hardware, when, and how
+// (paper 3.2). The minimal resource unit is a slice of time (TDM share),
+// frequency (band), and space (surface subset); joint "configuration
+// multiplexing" — several tasks sharing one surface configuration, the
+// paper's headline multitasking idea — is expressed as a multi-task
+// assignment whose objective the orchestrator optimizes jointly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hal/registry.hpp"
+#include "orch/task.hpp"
+
+namespace surfos::orch {
+
+enum class SchedulePolicy {
+  kPriorityJoint,   ///< One joint config per band, tasks weighted by priority.
+  kRoundRobinTdm,   ///< Equal time slices, one config slot per task.
+  kEarliestDeadline,///< TDM with shares decaying by deadline order.
+  kSpatialPartition,///< Each task gets the surface(s) nearest its target.
+};
+
+constexpr const char* to_string(SchedulePolicy p) noexcept {
+  switch (p) {
+    case SchedulePolicy::kPriorityJoint: return "priority-joint";
+    case SchedulePolicy::kRoundRobinTdm: return "round-robin-tdm";
+    case SchedulePolicy::kEarliestDeadline: return "edf";
+    case SchedulePolicy::kSpatialPartition: return "spatial";
+  }
+  return "?";
+}
+
+/// One resource slice and the task(s) multiplexed onto it.
+struct Assignment {
+  std::vector<TaskId> tasks;
+  std::vector<double> weights;      ///< Per-task joint-objective weights.
+  em::Band band = em::Band::k28GHz;
+  std::vector<std::string> devices; ///< Surface driver ids in the slice.
+  double time_share = 1.0;          ///< Fraction of the TDM frame.
+  std::uint16_t slot = 0;           ///< Config slot programmed on the devices.
+};
+
+struct Schedule {
+  std::vector<Assignment> assignments;
+  std::vector<TaskId> starved;  ///< No capable hardware on the task's band.
+};
+
+/// A task's spatial focus (region center or endpoint position), used by the
+/// spatial-partition policy. Returns false when the endpoint is unknown.
+bool task_focus(const Task& task, const hal::DeviceRegistry& registry,
+                geom::Vec3& out);
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulePolicy policy = SchedulePolicy::kPriorityJoint)
+      : policy_(policy) {}
+
+  SchedulePolicy policy() const noexcept { return policy_; }
+  void set_policy(SchedulePolicy policy) noexcept { policy_ = policy; }
+
+  /// Builds the schedule for the currently active tasks. Idle/completed
+  /// tasks must be filtered out by the caller — they hold no resources.
+  Schedule build(const std::vector<const Task*>& active,
+                 hal::DeviceRegistry& registry) const;
+
+ private:
+  Schedule build_priority_joint(const std::vector<const Task*>& tasks,
+                                hal::DeviceRegistry& registry) const;
+  Schedule build_tdm(const std::vector<const Task*>& tasks,
+                     hal::DeviceRegistry& registry, bool edf) const;
+  Schedule build_spatial(const std::vector<const Task*>& tasks,
+                         hal::DeviceRegistry& registry) const;
+
+  SchedulePolicy policy_;
+};
+
+}  // namespace surfos::orch

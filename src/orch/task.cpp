@@ -1,0 +1,26 @@
+#include "orch/task.hpp"
+
+namespace surfos::orch {
+
+ServiceType service_type_of(const ServiceGoal& goal) noexcept {
+  struct Visitor {
+    ServiceType operator()(const LinkGoal&) const {
+      return ServiceType::kConnectivity;
+    }
+    ServiceType operator()(const CoverageGoal&) const {
+      return ServiceType::kCoverage;
+    }
+    ServiceType operator()(const SensingGoal&) const {
+      return ServiceType::kSensing;
+    }
+    ServiceType operator()(const PowerGoal&) const {
+      return ServiceType::kPowering;
+    }
+    ServiceType operator()(const SecurityGoal&) const {
+      return ServiceType::kSecurity;
+    }
+  };
+  return std::visit(Visitor{}, goal);
+}
+
+}  // namespace surfos::orch

@@ -1,0 +1,29 @@
+#include "sense/localize.hpp"
+
+#include <cmath>
+
+#include "sense/steering.hpp"
+
+namespace surfos::sense {
+
+geom::Vec3 position_from_azimuth(const surface::SurfacePanel& panel,
+                                 double azimuth_rad, double range_m,
+                                 double height_m) {
+  // Direction in the panel's horizontal plane, then re-projected to the
+  // client height at the given range.
+  const geom::Vec3 dir = azimuth_direction(panel, azimuth_rad);
+  geom::Vec3 p = panel.center() + dir * range_m;
+  p.z = height_m;
+  return p;
+}
+
+double localization_error(const surface::SurfacePanel& panel,
+                          const geom::Vec3& true_position,
+                          double estimated_azimuth_rad) {
+  const double range = true_position.distance_to(panel.center());
+  const geom::Vec3 estimate = position_from_azimuth(
+      panel, estimated_azimuth_rad, range, true_position.z);
+  return estimate.distance_to(true_position);
+}
+
+}  // namespace surfos::sense

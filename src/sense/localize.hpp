@@ -1,0 +1,23 @@
+// AoA -> position conversion, "assuming accurate ToF" (paper Section 4): the
+// range to the client is taken as ground truth and only the angle estimate
+// carries error, so localization error is the chord between the true position
+// and the point at the true range along the estimated azimuth.
+#pragma once
+
+#include "geom/vec3.hpp"
+#include "surface/panel.hpp"
+
+namespace surfos::sense {
+
+/// Position implied by an azimuth estimate at the true range (accurate ToF).
+geom::Vec3 position_from_azimuth(const surface::SurfacePanel& panel,
+                                 double azimuth_rad, double range_m,
+                                 double height_m);
+
+/// Localization error [m] for a client at `true_position` when the azimuth
+/// estimate is `estimated_azimuth_rad`.
+double localization_error(const surface::SurfacePanel& panel,
+                          const geom::Vec3& true_position,
+                          double estimated_azimuth_rad);
+
+}  // namespace surfos::sense

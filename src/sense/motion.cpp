@@ -1,0 +1,57 @@
+#include "sense/motion.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace surfos::sense {
+
+double channel_decorrelation(const em::CVec& a, const em::CVec& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("channel_decorrelation: size mismatch");
+  }
+  const double pa = em::power(a);
+  const double pb = em::power(b);
+  if (pa < 1e-30 || pb < 1e-30) return 0.0;
+  const em::Cx cross = em::inner(a, b);
+  return 1.0 - std::abs(cross) / std::sqrt(pa * pb);
+}
+
+MotionDetector::MotionDetector(MotionDetectorOptions options)
+    : options_(options) {}
+
+void MotionDetector::reset() {
+  previous_.clear();
+  last_score_ = 0.0;
+  baseline_ = 0.0;
+  baseline_samples_ = 0;
+  consecutive_hits_ = 0;
+}
+
+bool MotionDetector::update(const em::CVec& snapshot) {
+  if (previous_.empty()) {
+    previous_ = snapshot;
+    return false;
+  }
+  last_score_ = channel_decorrelation(previous_, snapshot);
+  previous_ = snapshot;
+
+  if (baseline_samples_ < options_.calibration_frames) {
+    // Running mean of the quiescent decorrelation (thermal drift etc.).
+    baseline_ = (baseline_ * static_cast<double>(baseline_samples_) +
+                 last_score_) /
+                static_cast<double>(baseline_samples_ + 1);
+    ++baseline_samples_;
+    return false;
+  }
+
+  const double threshold =
+      baseline_ * options_.threshold_factor + options_.threshold_floor;
+  if (last_score_ > threshold) {
+    ++consecutive_hits_;
+  } else {
+    consecutive_hits_ = 0;
+  }
+  return consecutive_hits_ >= options_.debounce_frames;
+}
+
+}  // namespace surfos::sense

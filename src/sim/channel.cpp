@@ -1,0 +1,296 @@
+#include "sim/channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace surfos::sim {
+
+namespace {
+
+const em::IsotropicAntenna kIsotropic;
+
+const em::AntennaPattern& pattern_or_isotropic(const em::AntennaPattern* p) {
+  return p != nullptr ? *p : kIsotropic;
+}
+
+/// |cos| between a panel's normal and the direction from an element to a
+/// point.
+double element_cos(const surface::SurfacePanel& panel,
+                   const geom::Vec3& element_pos, const geom::Vec3& point) {
+  const geom::Vec3 d = point - element_pos;
+  const double n = d.norm();
+  if (n < 1e-9) return 0.0;
+  return std::fabs(d.dot(panel.normal())) / n;
+}
+
+}  // namespace
+
+SceneChannel::SceneChannel(const Environment* environment, double frequency_hz,
+                           TxSpec tx,
+                           std::vector<const surface::SurfacePanel*> panels,
+                           std::vector<geom::Vec3> rx_points,
+                           const em::AntennaPattern* rx_antenna,
+                           ChannelOptions options)
+    : environment_(environment),
+      frequency_hz_(frequency_hz),
+      tx_(tx),
+      panels_(std::move(panels)),
+      rx_points_(std::move(rx_points)),
+      rx_antenna_(rx_antenna),
+      options_(options) {
+  if (environment_ == nullptr) {
+    throw std::invalid_argument("SceneChannel: null environment");
+  }
+  for (const auto* p : panels_) {
+    if (p == nullptr) throw std::invalid_argument("SceneChannel: null panel");
+  }
+  if (rx_points_.empty()) {
+    throw std::invalid_argument("SceneChannel: no RX points");
+  }
+  precompute();
+}
+
+void SceneChannel::precompute() {
+  const auto& tx_pattern = pattern_or_isotropic(tx_.antenna);
+  const auto& rx_pattern = pattern_or_isotropic(rx_antenna_);
+  const RayTracer tracer(environment_, frequency_hz_, options_.tracer);
+
+  // Direct (non-surface) component, antenna-weighted per path.
+  h_dir_.assign(rx_points_.size(), em::Cx{});
+  for (std::size_t j = 0; j < rx_points_.size(); ++j) {
+    em::Cx sum{};
+    for (const PropPath& path : tracer.trace(tx_.position, rx_points_[j])) {
+      const double gt = tx_pattern.amplitude_gain(path.departure_direction());
+      const double gr = rx_pattern.amplitude_gain(-path.arrival_direction());
+      sum += path.gain * gt * gr;
+    }
+    h_dir_[j] = sum;
+  }
+
+  // TX -> panel element vectors.
+  f_.resize(panels_.size());
+  for (std::size_t p = 0; p < panels_.size(); ++p) {
+    const auto& panel = *panels_[p];
+    const double area = panel.design().effective_area();
+    const auto& positions = panel.element_positions();
+    f_[p].assign(positions.size(), em::Cx{});
+    em::Cx center_trans{1.0, 0.0};
+    if (!options_.per_element_blockage) {
+      center_trans = environment_->segment_transmission(
+          tx_.position, panel.center(), frequency_hz_);
+    }
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      const geom::Vec3& pos = positions[i];
+      const double d = tx_.position.distance_to(pos);
+      if (d < 1e-6) continue;
+      const double cos_in = element_cos(panel, pos, tx_.position);
+      const em::Cx hop =
+          em::element_hop_gain(frequency_hz_, area, cos_in, d);
+      const geom::Vec3 dep = (pos - tx_.position).normalized();
+      const double gt = tx_pattern.amplitude_gain(dep);
+      const em::Cx trans =
+          options_.per_element_blockage
+              ? environment_->segment_transmission(tx_.position, pos,
+                                                   frequency_hz_)
+              : center_trans;
+      f_[p][i] = hop * gt * trans;
+    }
+  }
+
+  // Panel elements -> RX vectors.
+  g_.resize(rx_points_.size());
+  for (std::size_t j = 0; j < rx_points_.size(); ++j) {
+    g_[j].resize(panels_.size());
+    for (std::size_t p = 0; p < panels_.size(); ++p) {
+      const auto& panel = *panels_[p];
+      const double area = panel.design().effective_area();
+      const auto& positions = panel.element_positions();
+      g_[j][p].assign(positions.size(), em::Cx{});
+      em::Cx center_trans{1.0, 0.0};
+      if (!options_.per_element_blockage) {
+        center_trans = environment_->segment_transmission(
+            panel.center(), rx_points_[j], frequency_hz_);
+      }
+      for (std::size_t i = 0; i < positions.size(); ++i) {
+        const geom::Vec3& pos = positions[i];
+        const double d = pos.distance_to(rx_points_[j]);
+        if (d < 1e-6) continue;
+        const double cos_out = element_cos(panel, pos, rx_points_[j]);
+        const em::Cx hop =
+            em::element_hop_gain(frequency_hz_, area, cos_out, d);
+        // RX pattern is evaluated toward the incoming wave, i.e. from the RX
+        // point back toward the element.
+        const geom::Vec3 arr = (rx_points_[j] - pos).normalized();
+        const double gr = rx_pattern.amplitude_gain(-arr);
+        const em::Cx trans =
+            options_.per_element_blockage
+                ? environment_->segment_transmission(pos, rx_points_[j],
+                                                     frequency_hz_)
+                : center_trans;
+        g_[j][p][i] = hop * gr * trans;
+      }
+    }
+  }
+
+  // Panel -> panel cascade matrices.
+  cascades_.assign(panels_.size(), std::vector<em::CMat>(panels_.size()));
+  if (options_.include_surface_cascades) {
+    for (std::size_t q = 0; q < panels_.size(); ++q) {
+      for (std::size_t p = 0; p < panels_.size(); ++p) {
+        if (p == q) continue;
+        const auto& panel_p = *panels_[p];
+        const auto& panel_q = *panels_[q];
+        const double area_p = panel_p.design().effective_area();
+        const double area_q = panel_q.design().effective_area();
+        const em::Cx center_trans = environment_->segment_transmission(
+            panel_p.center(), panel_q.center(), frequency_hz_);
+        if (std::norm(center_trans) < 1e-30) continue;
+        em::CMat mat(panel_q.element_count(), panel_p.element_count());
+        const auto& pos_p = panel_p.element_positions();
+        const auto& pos_q = panel_q.element_positions();
+        for (std::size_t m = 0; m < pos_q.size(); ++m) {
+          for (std::size_t i = 0; i < pos_p.size(); ++i) {
+            const double d = pos_p[i].distance_to(pos_q[m]);
+            if (d < 1e-6) continue;
+            const double cos_p = element_cos(panel_p, pos_p[i], pos_q[m]);
+            const double cos_q = element_cos(panel_q, pos_q[m], pos_p[i]);
+            mat(m, i) = em::element_to_element_gain(frequency_hz_, area_p,
+                                                    cos_p, area_q, cos_q, d) *
+                        center_trans;
+          }
+        }
+        cascades_[q][p] = std::move(mat);
+      }
+    }
+  }
+}
+
+em::Cx SceneChannel::evaluate(std::size_t j,
+                              std::span<const em::CVec> coefficients) const {
+  if (coefficients.size() != panels_.size()) {
+    throw std::invalid_argument("SceneChannel: coefficient count mismatch");
+  }
+  const geom::Vec3& rx = rx_points_.at(j);
+  em::Cx h = h_dir_[j];
+  for (std::size_t p = 0; p < panels_.size(); ++p) {
+    if (coefficients[p].size() != panels_[p]->element_count()) {
+      throw std::invalid_argument("SceneChannel: coefficient size mismatch");
+    }
+    if (!panels_[p]->serves(tx_.position, rx)) continue;
+    const em::CVec& f = f_[p];
+    const em::CVec& g = g_[j][p];
+    const em::CVec& c = coefficients[p];
+    for (std::size_t i = 0; i < f.size(); ++i) h += g[i] * c[i] * f[i];
+  }
+  if (options_.include_surface_cascades) {
+    for (std::size_t p = 0; p < panels_.size(); ++p) {
+      for (std::size_t q = 0; q < panels_.size(); ++q) {
+        if (p == q) continue;
+        const em::CMat& G = cascades_[q][p];
+        if (G.empty()) continue;
+        if (!panels_[p]->serves(tx_.position, panels_[q]->center())) continue;
+        if (!panels_[q]->serves(panels_[p]->center(), rx)) continue;
+        const em::CVec& f = f_[p];
+        const em::CVec& g = g_[j][q];
+        const em::CVec& cp = coefficients[p];
+        const em::CVec& cq = coefficients[q];
+        em::CVec u(f.size());
+        for (std::size_t i = 0; i < f.size(); ++i) u[i] = cp[i] * f[i];
+        const em::CVec v = G.mul(u);
+        for (std::size_t m = 0; m < v.size(); ++m) h += g[m] * cq[m] * v[m];
+      }
+    }
+  }
+  return h;
+}
+
+void SceneChannel::evaluate_with_partials(
+    std::size_t j, std::span<const em::CVec> coefficients, em::Cx& h_out,
+    std::vector<em::CVec>& dh_dc_out) const {
+  if (coefficients.size() != panels_.size()) {
+    throw std::invalid_argument("SceneChannel: coefficient count mismatch");
+  }
+  for (std::size_t p = 0; p < panels_.size(); ++p) {
+    if (coefficients[p].size() != panels_[p]->element_count()) {
+      throw std::invalid_argument("SceneChannel: coefficient size mismatch");
+    }
+  }
+  const geom::Vec3& rx = rx_points_.at(j);
+
+  dh_dc_out.resize(panels_.size());
+  for (std::size_t p = 0; p < panels_.size(); ++p) {
+    dh_dc_out[p].assign(panels_[p]->element_count(), em::Cx{});
+  }
+
+  em::Cx h = h_dir_[j];
+
+  // Single-bounce terms.
+  for (std::size_t p = 0; p < panels_.size(); ++p) {
+    if (!panels_[p]->serves(tx_.position, rx)) continue;
+    const em::CVec& f = f_[p];
+    const em::CVec& g = g_[j][p];
+    const em::CVec& c = coefficients[p];
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      h += g[i] * c[i] * f[i];
+      dh_dc_out[p][i] += g[i] * f[i];
+    }
+  }
+
+  // Double-bounce terms p -> q.
+  if (options_.include_surface_cascades) {
+    for (std::size_t p = 0; p < panels_.size(); ++p) {
+      for (std::size_t q = 0; q < panels_.size(); ++q) {
+        if (p == q) continue;
+        const em::CMat& G = cascades_[q][p];
+        if (G.empty()) continue;
+        if (!panels_[p]->serves(tx_.position, panels_[q]->center())) continue;
+        if (!panels_[q]->serves(panels_[p]->center(), rx)) continue;
+        const em::CVec& f = f_[p];
+        const em::CVec& g = g_[j][q];
+        const em::CVec& cp = coefficients[p];
+        const em::CVec& cq = coefficients[q];
+        // u = diag(cp) f ; v = G u ; term = (g .* cq)^T v.
+        em::CVec u(f.size());
+        for (std::size_t i = 0; i < f.size(); ++i) u[i] = cp[i] * f[i];
+        const em::CVec v = G.mul(u);
+        for (std::size_t m = 0; m < v.size(); ++m) {
+          h += g[m] * cq[m] * v[m];
+          dh_dc_out[q][m] += g[m] * v[m];
+        }
+        // w = G^T (g .* cq): partials w.r.t. the first surface p.
+        em::CVec gq(g.size());
+        for (std::size_t m = 0; m < g.size(); ++m) gq[m] = g[m] * cq[m];
+        const em::CVec w = G.mul_transpose(gq);
+        for (std::size_t i = 0; i < f.size(); ++i) {
+          dh_dc_out[p][i] += w[i] * f[i];
+        }
+      }
+    }
+  }
+
+  h_out = h;
+}
+
+std::vector<em::CVec> SceneChannel::coefficients_for(
+    std::span<const surface::SurfaceConfig> configs) const {
+  if (configs.size() != panels_.size()) {
+    throw std::invalid_argument("SceneChannel: config count mismatch");
+  }
+  std::vector<em::CVec> out(panels_.size());
+  for (std::size_t p = 0; p < panels_.size(); ++p) {
+    out[p] = panels_[p]->coefficients(configs[p]);
+  }
+  return out;
+}
+
+std::vector<double> SceneChannel::power_map(
+    std::span<const surface::SurfaceConfig> configs) const {
+  const auto coeffs = coefficients_for(configs);
+  std::vector<double> out(rx_points_.size());
+  for (std::size_t j = 0; j < rx_points_.size(); ++j) {
+    out[j] = std::norm(evaluate(j, coeffs));
+  }
+  return out;
+}
+
+}  // namespace surfos::sim

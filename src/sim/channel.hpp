@@ -1,0 +1,115 @@
+// Surface-aware channel model.
+//
+// For fixed geometry, the end-to-end narrowband channel between a TX and an
+// RX is *linear in each surface's per-element coefficients*:
+//
+//   h(rx) = h_dir(rx)
+//         + sum_p   g_p(rx)^T diag(c_p) f_p                     (one bounce)
+//         + sum_{q!=p} g_q(rx)^T diag(c_q) G_qp diag(c_p) f_p   (two bounces)
+//
+// where f_p is the TX->panel-p propagation vector, g_p(rx) the panel-p->RX
+// vector, and G_qp the panel-p->panel-q cascade matrix. SceneChannel
+// precomputes f, g, G and h_dir once per scenario so that the orchestrator's
+// optimizer can re-evaluate h (and its gradient w.r.t. element phases) in
+// microseconds per candidate configuration — the property that makes joint
+// multi-task optimization (paper Fig 5) tractable.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "em/antenna.hpp"
+#include "em/cx.hpp"
+#include "em/propagation.hpp"
+#include "geom/vec3.hpp"
+#include "sim/raytracer.hpp"
+#include "surface/panel.hpp"
+
+namespace surfos::sim {
+
+struct ChannelOptions {
+  TracerOptions tracer;          ///< Direct-component ray tracing options.
+  bool include_surface_cascades = true;  ///< Panel-to-panel double bounces.
+  /// When true, occlusion/penetration between an endpoint and a panel is
+  /// evaluated per element (slow, exact); when false, once per panel center
+  /// and applied to all elements (fast; exact phases/distances either way).
+  bool per_element_blockage = false;
+};
+
+/// Transmitter description.
+struct TxSpec {
+  geom::Vec3 position;
+  const em::AntennaPattern* antenna = nullptr;  ///< Non-owning; may be null (isotropic).
+};
+
+/// Precomputed channel structure for one TX, one frequency, a fixed set of
+/// panels, and a list of RX probe points.
+class SceneChannel {
+ public:
+  /// `panels` are non-owning and must outlive the SceneChannel.
+  SceneChannel(const Environment* environment, double frequency_hz,
+               TxSpec tx, std::vector<const surface::SurfacePanel*> panels,
+               std::vector<geom::Vec3> rx_points,
+               const em::AntennaPattern* rx_antenna = nullptr,
+               ChannelOptions options = {});
+
+  std::size_t panel_count() const noexcept { return panels_.size(); }
+  std::size_t rx_count() const noexcept { return rx_points_.size(); }
+  double frequency_hz() const noexcept { return frequency_hz_; }
+  const surface::SurfacePanel& panel(std::size_t p) const { return *panels_.at(p); }
+  const geom::Vec3& rx_point(std::size_t j) const { return rx_points_.at(j); }
+  const TxSpec& tx() const noexcept { return tx_; }
+
+  /// TX -> panel-p element propagation vector.
+  const em::CVec& tx_vector(std::size_t p) const { return f_.at(p); }
+  /// Panel-p elements -> RX j propagation vector.
+  const em::CVec& rx_vector(std::size_t p, std::size_t j) const {
+    return g_.at(j).at(p);
+  }
+  /// Direct (non-surface) channel to RX j.
+  em::Cx direct(std::size_t j) const { return h_dir_.at(j); }
+  /// Panel p -> panel q cascade matrix (rows: q elements, cols: p elements);
+  /// empty when cascades are disabled or geometry forbids the hop.
+  const em::CMat& cascade(std::size_t q, std::size_t p) const {
+    return cascades_.at(q).at(p);
+  }
+
+  /// End-to-end channel at RX j given per-panel element coefficient vectors
+  /// (one CVec per panel, sized to that panel's element count).
+  em::Cx evaluate(std::size_t j, std::span<const em::CVec> coefficients) const;
+
+  /// d h / d c_p[i] at RX j for every panel/element, given the current
+  /// coefficients. Output is resized to match. Used for analytic gradients:
+  /// d h / d phi_p[i] = j * c_p[i] * (d h / d c_p[i]).
+  void evaluate_with_partials(std::size_t j,
+                              std::span<const em::CVec> coefficients,
+                              em::Cx& h_out,
+                              std::vector<em::CVec>& dh_dc_out) const;
+
+  /// Convenience: channel power |h|^2 at every RX for panel configs.
+  std::vector<double> power_map(
+      std::span<const surface::SurfaceConfig> configs) const;
+
+  /// Per-panel coefficients from configs (applies granularity/quantization).
+  std::vector<em::CVec> coefficients_for(
+      std::span<const surface::SurfaceConfig> configs) const;
+
+ private:
+  void precompute();
+
+  const Environment* environment_;
+  double frequency_hz_;
+  TxSpec tx_;
+  std::vector<const surface::SurfacePanel*> panels_;
+  std::vector<geom::Vec3> rx_points_;
+  const em::AntennaPattern* rx_antenna_;
+  ChannelOptions options_;
+
+  std::vector<em::CVec> f_;                     // [panel] tx -> elements
+  std::vector<std::vector<em::CVec>> g_;        // [rx][panel] elements -> rx
+  std::vector<em::Cx> h_dir_;                   // [rx]
+  std::vector<std::vector<em::CMat>> cascades_; // [q][p] p-elements -> q-elements
+};
+
+}  // namespace surfos::sim

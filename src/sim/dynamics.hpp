@@ -1,0 +1,80 @@
+// Environment dynamics: the "unknown and dynamic external events such as
+// human movement" (paper 3) that make surfaces an OS problem rather than a
+// compile-time library (paper 5: "events such as furniture movement and
+// people walking can require dynamic reconfiguration of surface states").
+//
+// A DynamicEnvironment wraps a static floorplan plus a set of moving
+// occluders (people modeled as absorbing boxes on waypoint tracks). Each
+// advance() rebuilds the environment mesh at the new positions and reports
+// whether anything moved — the trigger for the orchestrator's
+// notify_environment_changed().
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "hal/clock.hpp"
+#include "sim/environment.hpp"
+
+namespace surfos::sim {
+
+/// A mobile absorbing body (person, cart) following waypoints at a constant
+/// speed, looping over its track.
+struct MovingBlocker {
+  std::string id;
+  std::vector<geom::Vec3> waypoints;  ///< Ground-level track (z ignored).
+  double speed_mps = 1.0;
+  double width_m = 0.5;   ///< Footprint side length.
+  double height_m = 1.75;
+  int material_id = 0;    ///< Typically an absorbing "body" material.
+
+  /// Position along the looped track after `elapsed` seconds.
+  geom::Vec3 position_at(double elapsed_s) const;
+};
+
+/// Rebuilds a scene's Environment as its blockers move.
+class DynamicEnvironment {
+ public:
+  /// `build_static` adds the immutable geometry (walls, furniture) into a
+  /// fresh Environment; it is re-invoked on every rebuild.
+  using StaticBuilder = std::function<void(Environment&)>;
+
+  DynamicEnvironment(em::MaterialDb materials, StaticBuilder build_static);
+
+  void add_blocker(MovingBlocker blocker);
+  std::size_t blocker_count() const noexcept { return blockers_.size(); }
+
+  /// Advances simulated time and rebuilds the environment when any blocker
+  /// moved more than `rebuild_threshold_m`. Returns true when a rebuild
+  /// happened (callers should invalidate cached channels then).
+  bool advance_to(hal::Micros now, double rebuild_threshold_m = 0.05);
+
+  /// Current environment snapshot (finalized). Stable pointer between
+  /// rebuilds only; re-fetch after every advance_to() that returned true.
+  const Environment& environment() const noexcept { return *current_; }
+
+  /// Current position of a blocker by id (throws for unknown ids).
+  geom::Vec3 blocker_position(const std::string& id) const;
+
+  std::size_t rebuild_count() const noexcept { return rebuilds_; }
+
+ private:
+  void rebuild();
+
+  em::MaterialDb materials_;
+  StaticBuilder build_static_;
+  std::vector<MovingBlocker> blockers_;
+  std::vector<geom::Vec3> last_built_positions_;
+  std::unique_ptr<Environment> current_;
+  double elapsed_s_ = 0.0;
+  std::size_t rebuilds_ = 0;
+};
+
+/// Registers the standard absorbing "human body" material in a database and
+/// returns its id (mostly water: high permittivity, very lossy).
+int add_body_material(em::MaterialDb& materials);
+
+}  // namespace surfos::sim

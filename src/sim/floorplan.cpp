@@ -1,0 +1,103 @@
+#include "sim/floorplan.hpp"
+
+#include "em/material.hpp"
+
+namespace surfos::sim {
+
+namespace {
+
+/// Interior wall along y = wall_y for x in [x0, x1] with a door gap
+/// [door_x0, door_x1] spanning floor..door_height, plus a lintel above.
+void add_wall_with_door(Environment& env, double wall_y, double x0, double x1,
+                        double door_x0, double door_x1, double wall_height,
+                        double door_height, int material) {
+  env.add_vertical_wall(x0, wall_y, door_x0, wall_y, 0.0, wall_height, material);
+  env.add_vertical_wall(door_x1, wall_y, x1, wall_y, 0.0, wall_height, material);
+  env.add_vertical_wall(door_x0, wall_y, door_x1, wall_y, door_height,
+                        wall_height, material);
+}
+
+}  // namespace
+
+CoverageRoomScenario make_coverage_room(std::size_t grid_n) {
+  CoverageRoomScenario s;
+  s.band = em::Band::k28GHz;
+  s.budget = em::LinkBudget{10.0, em::band_bandwidth(s.band), 7.0};
+
+  auto env = std::make_unique<Environment>(em::MaterialDb::standard());
+  constexpr double kH = 3.0;  // wall height
+  // Room x:[0,3.5] y:[0,3.5]; corridor below y:[-1.5,0).
+  env->add_vertical_wall(0.0, 3.5, 3.5, 3.5, 0.0, kH, em::kMatConcrete);   // north
+  env->add_vertical_wall(0.0, -1.5, 0.0, 3.5, 0.0, kH, em::kMatConcrete);  // west
+  env->add_vertical_wall(3.5, -1.5, 3.5, 3.5, 0.0, kH, em::kMatConcrete);  // east
+  env->add_vertical_wall(0.0, -1.5, 3.5, -1.5, 0.0, kH, em::kMatConcrete); // south
+  // Interior wall with door gap x:[2.6, 3.4].
+  add_wall_with_door(*env, 0.0, 0.0, 3.5, 2.6, 3.4, kH, 2.1, em::kMatConcrete);
+  // Floor and ceiling.
+  env->add_horizontal_slab(0.0, 3.5, -1.5, 3.5, 0.0, em::kMatFloor);
+  env->add_horizontal_slab(0.0, 3.5, -1.5, 3.5, kH, em::kMatConcrete);
+  // Furnishing.
+  env->add_obstacle_box({0.8, 1.8, 0.0}, {1.6, 2.4, 0.75}, em::kMatWood);   // table
+  env->add_obstacle_box({0.0, 2.9, 0.0}, {0.6, 3.45, 2.0}, em::kMatWood);   // wardrobe
+  env->finalize();
+  s.environment = std::move(env);
+
+  s.ap_position = {3.0, -0.8, 2.0};
+  // Surface mounted on the room's east wall, slightly off the wall plane.
+  s.surface_pose = geom::Frame({3.42, 1.2, 1.8}, {-1.0, 0.0, 0.0});
+  // AP beam aimed at the surface through the door.
+  const geom::Vec3 boresight =
+      (s.surface_pose.origin() - s.ap_position).normalized();
+  s.ap_antenna = std::make_unique<em::SectorAntenna>(boresight, 30.0);
+
+  s.room_grid = geom::SampleGrid(0.25, 3.25, 0.3, 3.3, 1.0, grid_n, grid_n);
+  return s;
+}
+
+ApartmentScenario make_apartment(std::size_t grid_n) {
+  ApartmentScenario s;
+  s.band = em::Band::k28GHz;
+  s.budget = em::LinkBudget{10.0, em::band_bandwidth(s.band), 7.0};
+
+  auto env = std::make_unique<Environment>(em::MaterialDb::standard());
+  constexpr double kH = 3.0;
+  // Outer shell x:[0,7] y:[0,7].
+  env->add_vertical_wall(0.0, 0.0, 7.0, 0.0, 0.0, kH, em::kMatConcrete);  // south
+  env->add_vertical_wall(0.0, 7.0, 7.0, 7.0, 0.0, kH, em::kMatConcrete);  // north
+  env->add_vertical_wall(0.0, 0.0, 0.0, 7.0, 0.0, kH, em::kMatConcrete);  // west
+  env->add_vertical_wall(7.0, 0.0, 7.0, 7.0, 0.0, kH, em::kMatConcrete);  // east
+  // Interior wall between living room (y < 3.5) and bedroom. The room's
+  // door sits on the far west side, well outside the AP beam; the east
+  // section of the wall is solid concrete — the "surface window" mount is
+  // the only controlled mmWave path into the bedroom.
+  add_wall_with_door(*env, 3.5, 0.0, 7.0, 0.3, 1.2, kH, 2.1, em::kMatConcrete);
+  // Floor / ceiling.
+  env->add_horizontal_slab(0.0, 7.0, 0.0, 7.0, 0.0, em::kMatFloor);
+  env->add_horizontal_slab(0.0, 7.0, 0.0, 7.0, kH, em::kMatConcrete);
+  // Furnishing: sofa + coffee table in the living room, bed + desk in the
+  // bedroom (the paper's scene is "a furnished apartment").
+  env->add_obstacle_box({2.0, 0.2, 0.0}, {3.6, 1.0, 0.8}, em::kMatWood);
+  env->add_obstacle_box({4.5, 2.0, 0.0}, {5.3, 2.8, 0.75}, em::kMatWood);
+  env->add_obstacle_box({0.3, 5.2, 0.0}, {2.1, 6.8, 0.5}, em::kMatWood);
+  env->add_obstacle_box({3.8, 6.2, 0.0}, {4.6, 6.85, 0.75}, em::kMatWood);
+  env->finalize();
+  s.environment = std::move(env);
+
+  s.ap_position = {0.4, 1.2, 1.8};
+  // Surface window: a transmissive panel embedded in the interior wall
+  // plane, front (normal) facing the bedroom. Elements sit exactly in the
+  // wall plane, so their propagation legs start at — not through — the wall.
+  s.window_mount = geom::Frame({5.9, 3.5, 1.6}, {0.0, 1.0, 0.0});
+  // Steering mount: bedroom north wall, facing the room.
+  s.bedroom_mount = geom::Frame({4.0, 6.93, 1.9}, {0.0, -1.0, 0.0});
+  // The AP beam is aimed at the surface window; deep sidelobes keep the
+  // west door spill negligible.
+  const geom::Vec3 boresight =
+      (s.window_mount.origin() - s.ap_position).normalized();
+  s.ap_antenna = std::make_unique<em::SectorAntenna>(boresight, 25.0, 30.0);
+
+  s.bedroom_grid = geom::SampleGrid(0.4, 4.6, 4.0, 6.6, 1.0, grid_n, grid_n);
+  return s;
+}
+
+}  // namespace surfos::sim

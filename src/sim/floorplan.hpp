@@ -1,0 +1,61 @@
+// Canonical evaluation scenarios.
+//
+// Two scenes mirror the paper's exploratory studies:
+//  - CoverageRoom: a 3.5 m target room whose only mmWave ingress is a door
+//    gap; a reflective surface inside the room relays the AP's beam
+//    (Figures 2 and 5).
+//  - Apartment: "two rooms of a furnished apartment" with an AP near the
+//    living-room wall and two candidate surface mounts: a transmissive
+//    "surface window" embedded in the interior wall (the only controlled
+//    mmWave ingress into the bedroom — the room's actual door sits on the
+//    far west side, outside the AP beam), and a reflective steering mount
+//    on the bedroom's north wall — the Figure 4 hybrid-deployment scene.
+#pragma once
+
+#include <memory>
+
+#include "em/antenna.hpp"
+#include "em/band.hpp"
+#include "em/propagation.hpp"
+#include "geom/frame.hpp"
+#include "geom/grid.hpp"
+#include "sim/channel.hpp"
+#include "sim/environment.hpp"
+
+namespace surfos::sim {
+
+struct CoverageRoomScenario {
+  std::unique_ptr<Environment> environment;
+  em::Band band = em::Band::k28GHz;
+  em::LinkBudget budget;
+  std::unique_ptr<em::AntennaPattern> ap_antenna;
+  geom::Vec3 ap_position;
+  geom::Frame surface_pose;  ///< Wall mount for the room's surface.
+  geom::SampleGrid room_grid{0.0, 1.0, 0.0, 1.0, 0.0, 1, 1};
+
+  TxSpec ap() const { return {ap_position, ap_antenna.get()}; }
+};
+
+/// Builds the 3.5 m coverage/localization room (Figs 2 and 5).
+/// `grid_n` controls evaluation resolution (grid_n x grid_n points).
+CoverageRoomScenario make_coverage_room(std::size_t grid_n = 14);
+
+struct ApartmentScenario {
+  std::unique_ptr<Environment> environment;
+  em::Band band = em::Band::k28GHz;
+  em::LinkBudget budget;
+  std::unique_ptr<em::AntennaPattern> ap_antenna;
+  geom::Vec3 ap_position;
+  /// In-wall transmissive mount ("surface window"), normal facing the
+  /// bedroom; its front half-space is the bedroom, its back the living room.
+  geom::Frame window_mount;
+  geom::Frame bedroom_mount;  ///< Reflective steering mount, bedroom north wall.
+  geom::SampleGrid bedroom_grid{0.0, 1.0, 0.0, 1.0, 0.0, 1, 1};  ///< Target-room points.
+
+  TxSpec ap() const { return {ap_position, ap_antenna.get()}; }
+};
+
+/// Builds the two-room apartment (Fig 4a). `grid_n` as above.
+ApartmentScenario make_apartment(std::size_t grid_n = 12);
+
+}  // namespace surfos::sim

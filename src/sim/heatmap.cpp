@@ -1,0 +1,59 @@
+#include "sim/heatmap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace surfos::sim {
+
+double Heatmap::min_value() const {
+  return *std::min_element(values.begin(), values.end());
+}
+double Heatmap::max_value() const {
+  return *std::max_element(values.begin(), values.end());
+}
+double Heatmap::median_value() const { return util::median(values); }
+
+Heatmap rss_heatmap(const SceneChannel& channel, const geom::SampleGrid& grid,
+                    const em::LinkBudget& budget,
+                    std::span<const surface::SurfaceConfig> configs) {
+  if (channel.rx_count() != grid.size()) {
+    throw std::invalid_argument("rss_heatmap: channel RX count != grid size");
+  }
+  const std::vector<double> power = channel.power_map(configs);
+  Heatmap map{grid, {}};
+  map.values.reserve(power.size());
+  for (double p : power) map.values.push_back(budget.rss_dbm(p));
+  return map;
+}
+
+Heatmap map_over_grid(const geom::SampleGrid& grid,
+                      const std::function<double(std::size_t)>& value_of) {
+  Heatmap map{grid, {}};
+  map.values.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) map.values.push_back(value_of(i));
+  return map;
+}
+
+std::string render_ascii(const Heatmap& map, double lo, double hi) {
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = static_cast<int>(sizeof(kRamp)) - 2;
+  if (hi <= lo) throw std::invalid_argument("render_ascii: hi <= lo");
+  std::string out;
+  const std::size_t nx = map.grid.nx();
+  const std::size_t ny = map.grid.ny();
+  out.reserve((nx + 1) * ny);
+  for (std::size_t row = 0; row < ny; ++row) {
+    const std::size_t iy = ny - 1 - row;  // top-down
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      double t = (map.at(ix, iy) - lo) / (hi - lo);
+      t = std::clamp(t, 0.0, 1.0);
+      out.push_back(kRamp[static_cast<int>(t * kLevels + 0.5)]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace surfos::sim

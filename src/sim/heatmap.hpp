@@ -1,0 +1,42 @@
+// Coverage / error heatmaps over a room grid, and an ASCII renderer so the
+// bench binaries can "draw" the paper's Figure 2 / Figure 4a panels in text.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "em/propagation.hpp"
+#include "geom/grid.hpp"
+#include "sim/channel.hpp"
+#include "surface/config.hpp"
+
+namespace surfos::sim {
+
+struct Heatmap {
+  geom::SampleGrid grid;
+  std::vector<double> values;  ///< Row-major, iy * nx + ix.
+
+  double at(std::size_t ix, std::size_t iy) const {
+    return values.at(iy * grid.nx() + ix);
+  }
+  double min_value() const;
+  double max_value() const;
+  double median_value() const;
+  std::vector<double> samples() const { return values; }
+};
+
+/// RSS heatmap [dBm] for a channel whose RX points are exactly grid.points().
+Heatmap rss_heatmap(const SceneChannel& channel, const geom::SampleGrid& grid,
+                    const em::LinkBudget& budget,
+                    std::span<const surface::SurfaceConfig> configs);
+
+/// Generic heatmap from a per-grid-point function.
+Heatmap map_over_grid(const geom::SampleGrid& grid,
+                      const std::function<double(std::size_t)>& value_of);
+
+/// Renders with a shade ramp (' ' low .. '@' high) between lo and hi; one
+/// character per cell, row iy printed top-down.
+std::string render_ascii(const Heatmap& map, double lo, double hi);
+
+}  // namespace surfos::sim

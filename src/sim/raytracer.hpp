@@ -1,0 +1,71 @@
+// Image-method path tracer for the non-surface ("direct") component of a
+// channel: line-of-sight plus specular wall reflections up to a configurable
+// order, each weighted by Fresnel reflection coefficients and through-wall
+// transmission along every leg.
+//
+// Deterministic by construction — no Monte Carlo — so channel values are
+// exactly repeatable and unit-testable against closed-form cases.
+#pragma once
+
+#include <vector>
+
+#include "em/cx.hpp"
+#include "geom/vec3.hpp"
+#include "sim/environment.hpp"
+
+namespace surfos::sim {
+
+/// One propagation path between two points.
+struct PropPath {
+  std::vector<geom::Vec3> points;  ///< endpoint, bounce(s)..., endpoint.
+  em::Cx gain;                     ///< Complex amplitude gain, no antenna gains.
+  double length_m = 0.0;           ///< Unfolded geometric length.
+  int bounce_count = 0;
+
+  /// Unit departure direction at the first point.
+  geom::Vec3 departure_direction() const {
+    return (points[1] - points[0]).normalized();
+  }
+  /// Unit arrival direction into the last point.
+  geom::Vec3 arrival_direction() const {
+    return (points[points.size() - 1] - points[points.size() - 2]).normalized();
+  }
+  /// Propagation delay [s].
+  double delay_s() const;
+};
+
+struct TracerOptions {
+  int max_reflection_order = 2;  ///< 0 = direct only.
+  double min_path_gain = 1e-12;  ///< Drop paths with |gain| below this.
+};
+
+class RayTracer {
+ public:
+  RayTracer(const Environment* environment, double frequency_hz,
+            TracerOptions options = {});
+
+  /// All propagation paths from `a` to `b` (direct first when unblocked).
+  std::vector<PropPath> trace(const geom::Vec3& a, const geom::Vec3& b) const;
+
+  /// Coherent sum of path gains (no antenna patterns).
+  em::Cx total_gain(const geom::Vec3& a, const geom::Vec3& b) const;
+
+  double frequency_hz() const noexcept { return frequency_hz_; }
+
+ private:
+  void direct_path(const geom::Vec3& a, const geom::Vec3& b,
+                   std::vector<PropPath>& out) const;
+  void reflected_paths(const geom::Vec3& a, const geom::Vec3& b, int order,
+                       std::vector<PropPath>& out) const;
+  /// Validates bounce sequence geometry and computes the path gain; returns
+  /// false when blocked or out of rectangle bounds.
+  bool build_path(const geom::Vec3& a, const geom::Vec3& b,
+                  const std::vector<int>& reflector_sequence,
+                  PropPath& out) const;
+
+  const Environment* environment_;
+  double frequency_hz_;
+  TracerOptions options_;
+};
+
+}  // namespace surfos::sim

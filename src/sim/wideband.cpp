@@ -1,0 +1,54 @@
+#include "sim/wideband.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace surfos::sim {
+
+WidebandChannel::WidebandChannel(
+    const Environment* environment, double center_hz, double bandwidth_hz,
+    std::size_t subcarriers, TxSpec tx,
+    std::vector<const surface::SurfacePanel*> panels,
+    std::vector<geom::Vec3> rx_points, const em::AntennaPattern* rx_antenna,
+    ChannelOptions options) {
+  if (subcarriers < 2 || bandwidth_hz <= 0.0 ||
+      center_hz <= bandwidth_hz / 2.0) {
+    throw std::invalid_argument("WidebandChannel: bad frequency plan");
+  }
+  frequencies_.resize(subcarriers);
+  channels_.reserve(subcarriers);
+  for (std::size_t k = 0; k < subcarriers; ++k) {
+    frequencies_[k] = center_hz - bandwidth_hz / 2.0 +
+                      bandwidth_hz * static_cast<double>(k) /
+                          static_cast<double>(subcarriers - 1);
+    channels_.push_back(std::make_unique<SceneChannel>(
+        environment, frequencies_[k], tx, panels, rx_points, rx_antenna,
+        options));
+  }
+}
+
+std::vector<double> WidebandChannel::snr_per_subcarrier(
+    std::size_t j, std::span<const surface::SurfaceConfig> configs,
+    const em::LinkBudget& budget) const {
+  std::vector<double> out;
+  out.reserve(channels_.size());
+  for (const auto& channel : channels_) {
+    const auto coeffs = channel->coefficients_for(configs);
+    out.push_back(budget.snr_db(std::norm(channel->evaluate(j, coeffs))));
+  }
+  return out;
+}
+
+double WidebandChannel::wideband_capacity(
+    std::size_t j, std::span<const surface::SurfaceConfig> configs,
+    const em::LinkBudget& budget) const {
+  double sum = 0.0;
+  for (const auto& channel : channels_) {
+    const auto coeffs = channel->coefficients_for(configs);
+    const double power = std::norm(channel->evaluate(j, coeffs));
+    sum += budget.capacity(power);
+  }
+  return sum / static_cast<double>(channels_.size());
+}
+
+}  // namespace surfos::sim

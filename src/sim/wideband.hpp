@@ -1,0 +1,54 @@
+// Wideband (multi-subcarrier) channel evaluation.
+//
+// A surface configuration is a set of *phase shifts*, which are exact only
+// at the frequency they were computed for: across a wide channel the beam
+// squints and the co-phasing decays toward the band edges. SurfOS's
+// orchestrator optimizes at the carrier; this module measures what that
+// configuration actually delivers across the whole bandwidth — per-
+// subcarrier SNR and the OFDM-style average capacity — and quantifies the
+// squint penalty that motivates frequency-aware hardware (Table 1's Scrolls)
+// and per-band scheduling.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "em/propagation.hpp"
+#include "sim/channel.hpp"
+
+namespace surfos::sim {
+
+class WidebandChannel {
+ public:
+  /// Builds one SceneChannel per subcarrier (uniform grid across
+  /// [center - bw/2, center + bw/2]). Panels/points as in SceneChannel.
+  WidebandChannel(const Environment* environment, double center_hz,
+                  double bandwidth_hz, std::size_t subcarriers, TxSpec tx,
+                  std::vector<const surface::SurfacePanel*> panels,
+                  std::vector<geom::Vec3> rx_points,
+                  const em::AntennaPattern* rx_antenna = nullptr,
+                  ChannelOptions options = {});
+
+  std::size_t subcarrier_count() const noexcept { return channels_.size(); }
+  double subcarrier_hz(std::size_t k) const { return frequencies_.at(k); }
+  const SceneChannel& subcarrier(std::size_t k) const { return *channels_.at(k); }
+
+  /// Per-subcarrier SNR (dB) at RX j for fixed element-wise configs. The
+  /// configs are realized by each panel once; the same element phases apply
+  /// at every subcarrier (hardware phase shifters are set, not re-tuned).
+  std::vector<double> snr_per_subcarrier(
+      std::size_t j, std::span<const surface::SurfaceConfig> configs,
+      const em::LinkBudget& budget) const;
+
+  /// OFDM-style capacity [bit/s]: mean over subcarriers of
+  /// B * log2(1 + snr_k). Uses the budget's bandwidth as B.
+  double wideband_capacity(std::size_t j,
+                           std::span<const surface::SurfaceConfig> configs,
+                           const em::LinkBudget& budget) const;
+
+ private:
+  std::vector<double> frequencies_;
+  std::vector<std::unique_ptr<SceneChannel>> channels_;
+};
+
+}  // namespace surfos::sim

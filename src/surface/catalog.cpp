@@ -1,0 +1,131 @@
+#include "surface/catalog.hpp"
+
+#include "util/strings.hpp"
+
+namespace surfos::surface {
+
+namespace {
+
+/// Half-wavelength pitch for a band — the canonical element spacing.
+double half_wavelength(em::Band band) {
+  return em::wavelength(em::band_center(band)) / 2.0;
+}
+
+ElementDesign element_for(em::Band band, int phase_bits, bool amplitude,
+                          double insertion_loss_db) {
+  ElementDesign d;
+  d.spacing_m = half_wavelength(band);
+  d.phase_bits = phase_bits;
+  d.amplitude_control = amplitude;
+  d.insertion_loss_db = insertion_loss_db;
+  return d;
+}
+
+}  // namespace
+
+std::string CatalogEntry::band_label() const {
+  if (band_high) {
+    // Strip the trailing " GHz" of the lower label to render "0.9-6 GHz".
+    std::string lo{em::band_name(band)};
+    std::string hi{em::band_name(*band_high)};
+    const auto pos = lo.find(" GHz");
+    if (pos != std::string::npos) lo.resize(pos);
+    return lo + "-" + hi;
+  }
+  return std::string{em::band_name(band)};
+}
+
+Catalog Catalog::standard() {
+  using R = Reconfigurability;
+  using G = ControlGranularity;
+  using O = OperationMode;
+  using C = ControlMode;
+  namespace b = em;
+  Catalog cat;
+  // Order and attributes follow the paper's Table 1. Costs marked "/" in the
+  // paper carry nullopt. Element models are behavioural estimates (phase
+  // bits / losses from the cited papers where stated).
+  cat.add({"LAIA", 2019, b::Band::k2_4GHz, {}, C::kPhase, O::kTransmissive,
+           R::kProgrammable, G::kElement, std::nullopt,
+           element_for(b::Band::k2_4GHz, 2, false, 2.0), 8, 8});
+  cat.add({"RFocus", 2020, b::Band::k2_4GHz, {}, C::kAmplitude,
+           O::kTransflective, R::kProgrammable, G::kElement, std::nullopt,
+           element_for(b::Band::k2_4GHz, 1, true, 3.0), 40, 80});
+  cat.add({"LLAMA", 2021, b::Band::k2_4GHz, {}, C::kPolarization,
+           O::kTransflective, R::kProgrammable, G::kElement, 900.0,
+           element_for(b::Band::k2_4GHz, 1, false, 2.5), 8, 6});
+  cat.add({"LAVA", 2021, b::Band::k2_4GHz, {}, C::kAmplitude, O::kTransmissive,
+           R::kProgrammable, G::kElement, std::nullopt,
+           element_for(b::Band::k2_4GHz, 1, true, 2.0), 16, 16});
+  cat.add({"ScatterMIMO", 2020, b::Band::k5GHz, {}, C::kPhase, O::kReflective,
+           R::kProgrammable, G::kElement, 450.0,
+           element_for(b::Band::k5GHz, 2, false, 2.0), 8, 8});
+  cat.add({"RFlens", 2021, b::Band::k5GHz, {}, C::kPhase, O::kTransmissive,
+           R::kProgrammable, G::kElement, 246.0,
+           element_for(b::Band::k5GHz, 2, false, 2.0), 8, 8});
+  cat.add({"Diffract", 2023, b::Band::k5GHz, {}, C::kDiffraction,
+           O::kTransmissive, R::kPassive, G::kGlobal, 33.0,
+           element_for(b::Band::k5GHz, 0, false, 1.0), 8, 8});
+  cat.add({"Scrolls", 2023, b::Band::kSub1GHz, b::Band::k5GHz, C::kFrequency,
+           O::kReflective, R::kProgrammable, G::kRow, 156.0,
+           element_for(b::Band::k2_4GHz, 1, false, 1.5), 12, 8});
+  cat.add({"mmWall", 2023, b::Band::k24GHz, {}, C::kPhase, O::kTransflective,
+           R::kProgrammable, G::kColumn, 10000.0,
+           element_for(b::Band::k24GHz, 3, false, 2.0), 28, 76});
+  cat.add({"NR-Surface", 2024, b::Band::k24GHz, {}, C::kPhase, O::kReflective,
+           R::kProgrammable, G::kColumn, 600.0,
+           element_for(b::Band::k24GHz, 2, false, 2.0), 16, 16});
+  cat.add({"PMSat", 2023, b::Band::k24GHz, b::Band::k28GHz, C::kPhase,
+           O::kTransmissive, R::kPassive, G::kGlobal, 30.0,
+           element_for(b::Band::k28GHz, 2, false, 1.0), 40, 40});
+  cat.add({"MilliMirror", 2022, b::Band::k60GHz, {}, C::kPhase, O::kReflective,
+           R::kPassive, G::kGlobal, 15.0,
+           element_for(b::Band::k60GHz, 2, false, 1.0), 64, 64});
+  cat.add({"AutoMS", 2024, b::Band::k60GHz, {}, C::kPhase, O::kReflective,
+           R::kPassive, G::kGlobal, 2.0,
+           element_for(b::Band::k60GHz, 2, false, 0.5), 128, 128});
+  return cat;
+}
+
+const CatalogEntry* Catalog::find(const std::string& name) const noexcept {
+  for (const auto& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<const CatalogEntry*> Catalog::designs_for_band(em::Band band) const {
+  std::vector<const CatalogEntry*> out;
+  for (const auto& e : entries_) {
+    const double f = em::band_center(band);
+    const double lo = em::band_center(e.band);
+    const double hi = e.band_high ? em::band_center(*e.band_high) : lo;
+    if (f >= lo * 0.9 && f <= hi * 1.1) out.push_back(&e);
+  }
+  return out;
+}
+
+const CatalogEntry* Catalog::cheapest_for(em::Band band,
+                                          bool need_programmable) const {
+  const CatalogEntry* best = nullptr;
+  for (const CatalogEntry* e : designs_for_band(band)) {
+    if (need_programmable && e->reconfigurability != Reconfigurability::kProgrammable) {
+      continue;
+    }
+    if (!e->cost_usd) continue;  // unpriced prototypes can't win a cost query
+    if (!best || *e->cost_usd < *best->cost_usd) best = e;
+  }
+  return best;
+}
+
+SurfacePanel instantiate(const CatalogEntry& entry, const geom::Frame& pose,
+                         std::size_t rows, std::size_t cols) {
+  const ControlGranularity granularity =
+      entry.reconfigurability == Reconfigurability::kPassive
+          ? ControlGranularity::kElement  // pattern is free at fabrication
+          : entry.granularity;
+  return SurfacePanel(entry.name, pose, rows, cols, entry.element,
+                      entry.op_mode, entry.reconfigurability, granularity);
+}
+
+}  // namespace surfos::surface

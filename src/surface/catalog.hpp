@@ -1,0 +1,67 @@
+// Hardware catalog: the thirteen published surface systems in the paper's
+// Table 1, with the attributes SurfOS's hardware manager needs to plan
+// around (band, control mode, T/R, reconfigurability/granularity, cost).
+//
+// The catalog doubles as a design database (paper Section 5: "LLMs can locate
+// an appropriate design from a surface design database"): the broker's
+// design-automation path queries it by band/requirements, and instantiate()
+// builds a behavioural SurfacePanel for the channel simulator.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "em/band.hpp"
+#include "geom/frame.hpp"
+#include "surface/panel.hpp"
+#include "surface/types.hpp"
+
+namespace surfos::surface {
+
+struct CatalogEntry {
+  std::string name;
+  int year = 0;
+  em::Band band;                     ///< Primary operating band.
+  std::optional<em::Band> band_high; ///< Upper edge for wideband designs.
+  ControlMode control_mode;
+  OperationMode op_mode;
+  Reconfigurability reconfigurability;
+  ControlGranularity granularity;    ///< Meaningful when programmable.
+  std::optional<double> cost_usd;    ///< Published prototype cost; nullopt = "/".
+  ElementDesign element;             ///< Behavioural element model.
+  std::size_t typical_rows = 16;
+  std::size_t typical_cols = 16;
+
+  /// "0.9-6 GHz" style label for table output.
+  std::string band_label() const;
+};
+
+class Catalog {
+ public:
+  /// The thirteen Table-1 systems, in the paper's order.
+  static Catalog standard();
+
+  const std::vector<CatalogEntry>& entries() const noexcept { return entries_; }
+
+  const CatalogEntry* find(const std::string& name) const noexcept;
+
+  /// Designs usable on a band (exact band, or within a wideband range).
+  std::vector<const CatalogEntry*> designs_for_band(em::Band band) const;
+
+  /// Design-database query for the automation workflow: cheapest design for
+  /// a band, optionally requiring runtime reconfigurability. Returns nullptr
+  /// when no design fits (the paper's "existing designs are inadequate" case).
+  const CatalogEntry* cheapest_for(em::Band band, bool need_programmable) const;
+
+  void add(CatalogEntry entry) { entries_.push_back(std::move(entry)); }
+
+ private:
+  std::vector<CatalogEntry> entries_;
+};
+
+/// Build a behavioural panel for a catalog design at a deployment pose.
+SurfacePanel instantiate(const CatalogEntry& entry, const geom::Frame& pose,
+                         std::size_t rows, std::size_t cols);
+
+}  // namespace surfos::surface

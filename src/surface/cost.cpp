@@ -1,0 +1,18 @@
+#include "surface/cost.hpp"
+
+namespace surfos::surface {
+
+double CostModel::panel_cost_usd(const SurfacePanel& panel) const noexcept {
+  const auto n = static_cast<double>(panel.element_count());
+  if (panel.reconfigurability() == Reconfigurability::kPassive) {
+    return passive_base_usd + passive_per_element_usd * n;
+  }
+  double per_element = programmable_per_element_usd;
+  if (panel.granularity() == ControlGranularity::kColumn ||
+      panel.granularity() == ControlGranularity::kRow) {
+    per_element *= (1.0 - shared_line_discount);
+  }
+  return programmable_base_usd + per_element * n;
+}
+
+}  // namespace surfos::surface

@@ -1,0 +1,35 @@
+// Cost and size models for surface deployments (paper Fig 4b/4c: "cost and
+// sizes needed to reach different median SNRs").
+//
+// The model reflects the paper's Section 2.1 economics: programmable
+// surfaces "cost over $2 per element" plus control circuitry, while fully
+// passive surfaces are "very low-cost, e.g., $1 for 60 thousand elements".
+#pragma once
+
+#include "surface/panel.hpp"
+#include "surface/types.hpp"
+
+namespace surfos::surface {
+
+struct CostModel {
+  // Programmable hardware: per-element unit cost (varactors/PIN diodes +
+  // bias network) and a fixed controller/PCB base.
+  double programmable_per_element_usd = 2.5;
+  double programmable_base_usd = 80.0;
+  // Column/row-wise control shares driver circuitry across a line of
+  // elements, discounting the per-element cost (mmWall/NR-Surface style).
+  double shared_line_discount = 0.4;
+  // Passive hardware: fabrication cost per element plus setup.
+  double passive_per_element_usd = 0.002;
+  double passive_base_usd = 5.0;
+
+  /// Dollar cost of one panel.
+  double panel_cost_usd(const SurfacePanel& panel) const noexcept;
+
+  /// Physical aperture area in m^2 (the paper's "size" axis).
+  static double panel_area_m2(const SurfacePanel& panel) noexcept {
+    return panel.area_m2();
+  }
+};
+
+}  // namespace surfos::surface

@@ -1,0 +1,86 @@
+// Fundamental metasurface taxonomy, mirroring the axes of the paper's
+// Table 1: signal control mode, transmissive/reflective operation,
+// reconfigurability, and control granularity.
+#pragma once
+
+#include <string_view>
+
+namespace surfos::surface {
+
+/// Which signal property the surface's elements manipulate (paper 3.1:
+/// "abstractions corresponding to the fundamental signal properties").
+enum class ControlMode {
+  kPhase,
+  kAmplitude,
+  kPolarization,
+  kFrequency,
+  kDiffraction,
+  kImpedance,
+};
+
+/// Whether the surface reflects incident signals, passes them through, or
+/// both (mmWall's "transflective" design).
+enum class OperationMode {
+  kReflective,
+  kTransmissive,
+  kTransflective,
+};
+
+/// Passive surfaces fix their configuration at fabrication ("infinite
+/// control delay, similar to ROM"); programmable surfaces accept runtime
+/// updates.
+enum class Reconfigurability {
+  kPassive,
+  kProgrammable,
+};
+
+/// The finest unit whose state can be set independently. High-frequency
+/// hardware often shares one state per column (mmWall, NR-Surface) or row
+/// (Scrolls) to cut control circuitry cost.
+enum class ControlGranularity {
+  kElement,
+  kColumn,
+  kRow,
+  kGlobal,
+};
+
+constexpr std::string_view to_string(ControlMode m) noexcept {
+  switch (m) {
+    case ControlMode::kPhase: return "Phase";
+    case ControlMode::kAmplitude: return "Amplitude";
+    case ControlMode::kPolarization: return "Polarization";
+    case ControlMode::kFrequency: return "Frequency";
+    case ControlMode::kDiffraction: return "Diffraction";
+    case ControlMode::kImpedance: return "Impedance";
+  }
+  return "?";
+}
+
+constexpr std::string_view to_string(OperationMode m) noexcept {
+  switch (m) {
+    case OperationMode::kReflective: return "R";
+    case OperationMode::kTransmissive: return "T";
+    case OperationMode::kTransflective: return "T & R";
+  }
+  return "?";
+}
+
+constexpr std::string_view to_string(Reconfigurability r) noexcept {
+  switch (r) {
+    case Reconfigurability::kPassive: return "passive";
+    case Reconfigurability::kProgrammable: return "programmable";
+  }
+  return "?";
+}
+
+constexpr std::string_view to_string(ControlGranularity g) noexcept {
+  switch (g) {
+    case ControlGranularity::kElement: return "element-wise";
+    case ControlGranularity::kColumn: return "column-wise";
+    case ControlGranularity::kRow: return "row-wise";
+    case ControlGranularity::kGlobal: return "global";
+  }
+  return "?";
+}
+
+}  // namespace surfos::surface

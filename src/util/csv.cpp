@@ -1,0 +1,41 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace surfos::util {
+
+CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> headers)
+    : os_(os), width_(headers.size()) {
+  if (headers.empty()) throw std::invalid_argument("CsvWriter: no headers");
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << csv_escape(headers[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<double>& values) {
+  if (values.size() != width_) {
+    throw std::invalid_argument("CsvWriter: row width does not match headers");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << format("%.10g", values[i]);
+  }
+  os_ << '\n';
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace surfos::util

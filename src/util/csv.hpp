@@ -1,0 +1,27 @@
+// CSV emission for experiment series (Figure 4/5 data points), so results can
+// be re-plotted outside this repository.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace surfos::util {
+
+/// Writes rows of doubles with a header line. Values are emitted with enough
+/// precision to round-trip (%.10g).
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& os, std::vector<std::string> headers);
+
+  void add_row(const std::vector<double>& values);
+
+ private:
+  std::ostream& os_;
+  std::size_t width_;
+};
+
+/// Escape a single CSV field (quotes fields containing commas/quotes).
+std::string csv_escape(const std::string& field);
+
+}  // namespace surfos::util

@@ -1,0 +1,38 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace surfos::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+std::string_view level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void log_line(LogLevel level, std::string_view component, std::string_view msg) {
+  if (level < log_level()) return;
+  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+               static_cast<int>(level_name(level).size()), level_name(level).data(),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace surfos::util

@@ -1,0 +1,62 @@
+// Minimal leveled logging for SurfOS.
+//
+// The OS layers (hardware manager, orchestrator, broker) narrate scheduling
+// and driver decisions through this logger; tests silence it by raising the
+// level. Not thread-safe by design: SurfOS's control plane is single-threaded
+// (see DESIGN.md), and the data plane (drivers) never logs on the hot path.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace surfos::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are dropped.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Emit one line (used by the SURFOS_LOG macro; rarely called directly).
+void log_line(LogLevel level, std::string_view component, std::string_view msg);
+
+/// Human-readable level tag, e.g. "INFO".
+std::string_view level_name(LogLevel level) noexcept;
+
+namespace detail {
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace surfos::util
+
+#define SURFOS_LOG(level, component)                                     \
+  if (::surfos::util::log_level() <= (level))                            \
+  ::surfos::util::detail::LogStream((level), (component))
+
+#define SURFOS_INFO(component) \
+  SURFOS_LOG(::surfos::util::LogLevel::kInfo, component)
+#define SURFOS_DEBUG(component) \
+  SURFOS_LOG(::surfos::util::LogLevel::kDebug, component)
+#define SURFOS_WARN(component) \
+  SURFOS_LOG(::surfos::util::LogLevel::kWarn, component)
+#define SURFOS_ERROR(component) \
+  SURFOS_LOG(::surfos::util::LogLevel::kError, component)

@@ -1,0 +1,91 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in SurfOS (optimizer restarts, SPSA
+// perturbations, workload generators) draws from an explicitly seeded Rng so
+// that experiments and tests are exactly reproducible. The engine is
+// xoshiro256**, which is small, fast, and has well-understood statistical
+// quality for simulation use.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace surfos::util {
+
+/// Deterministic PRNG (xoshiro256**). Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5005F05u) noexcept { reseed(seed); }
+
+  /// Re-initialize state from a single seed via SplitMix64 expansion.
+  void reseed(std::uint64_t seed) noexcept {
+    for (auto& word : state_) word = split_mix(seed);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    // Multiply-shift rejection-free mapping; bias is negligible for n << 2^64.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * n) >> 64);
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple over fast).
+  double normal() noexcept {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    return __builtin_sqrt(-2.0 * __builtin_log(u1)) * __builtin_cos(kTwoPi * u2);
+  }
+
+  /// Rademacher +/-1 draw (used by SPSA).
+  double sign() noexcept { return ((*this)() & 1u) ? 1.0 : -1.0; }
+
+  /// Derive an independent child stream, e.g. one per optimizer restart.
+  Rng fork() noexcept { return Rng{(*this)() ^ 0x9E3779B97F4A7C15ull}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  static std::uint64_t split_mix(std::uint64_t& state) noexcept {
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace surfos::util

@@ -1,0 +1,71 @@
+// Order statistics and empirical CDFs for experiment reporting (the paper
+// reports median SNR in Fig 4 and CDFs over locations in Fig 5).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace surfos::util {
+
+/// Linear-interpolated quantile, q in [0, 1]. Throws on empty input.
+inline double quantile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("quantile: empty input");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q out of range");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+inline double median(std::vector<double> values) {
+  return quantile(std::move(values), 0.5);
+}
+
+inline double mean(const std::vector<double>& values) {
+  if (values.empty()) throw std::invalid_argument("mean: empty input");
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+/// Empirical CDF sampled at caller-provided thresholds: fraction of samples
+/// <= threshold. Thresholds need not be sorted.
+inline std::vector<double> cdf_at(const std::vector<double>& samples,
+                                  const std::vector<double>& thresholds) {
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(thresholds.size());
+  for (double t : thresholds) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), t);
+    out.push_back(sorted.empty()
+                      ? 0.0
+                      : static_cast<double>(it - sorted.begin()) /
+                            static_cast<double>(sorted.size()));
+  }
+  return out;
+}
+
+/// Full empirical CDF: sorted (value, cumulative fraction) pairs.
+struct CdfPoint {
+  double value;
+  double fraction;
+};
+
+inline std::vector<CdfPoint> empirical_cdf(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<CdfPoint> out;
+  out.reserve(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    out.push_back({samples[i],
+                   static_cast<double>(i + 1) / static_cast<double>(samples.size())});
+  }
+  return out;
+}
+
+}  // namespace surfos::util

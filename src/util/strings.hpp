@@ -1,0 +1,44 @@
+// Small string helpers shared by the intent engine, datasheet parser, and
+// table printers. All functions are pure and allocate only when they must.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace surfos::util {
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text) noexcept;
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+/// Split on a delimiter character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view text, char delim);
+
+/// Split on runs of whitespace; empty tokens are dropped.
+std::vector<std::string_view> split_words(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// True if `haystack` contains `needle` (case-sensitive).
+bool contains(std::string_view haystack, std::string_view needle) noexcept;
+
+/// True if `haystack` contains `needle` ignoring ASCII case.
+bool contains_ignore_case(std::string_view haystack, std::string_view needle);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Parse a double; returns false on malformed input (no partial parses).
+bool parse_double(std::string_view text, double& out) noexcept;
+
+/// Parse a non-negative integer; returns false on malformed input.
+bool parse_uint(std::string_view text, std::uint64_t& out) noexcept;
+
+}  // namespace surfos::util

@@ -1,0 +1,34 @@
+// Aligned ASCII table printer.
+//
+// Every bench binary regenerates one of the paper's tables/figures as rows of
+// text; this printer keeps their output uniform and diff-friendly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace surfos::util {
+
+/// Column-aligned text table. Cells are strings; numeric formatting is the
+/// caller's choice (use util::format).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; the row must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with a header rule and two-space column gaps.
+  void print(std::ostream& os) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace surfos::util

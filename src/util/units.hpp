@@ -1,0 +1,52 @@
+// Unit conversions used across the EM and OS layers. Keeping dB math in one
+// place avoids the classic factor-of-10-vs-20 bug class.
+#pragma once
+
+#include <cmath>
+
+namespace surfos::util {
+
+/// Power ratio -> decibels.
+inline double to_db(double power_ratio) noexcept {
+  return 10.0 * std::log10(power_ratio);
+}
+
+/// Decibels -> power ratio.
+inline double from_db(double db) noexcept { return std::pow(10.0, db / 10.0); }
+
+/// Amplitude (field) ratio -> decibels.
+inline double amplitude_to_db(double amplitude_ratio) noexcept {
+  return 20.0 * std::log10(amplitude_ratio);
+}
+
+/// Watts -> dBm.
+inline double watts_to_dbm(double watts) noexcept {
+  return 10.0 * std::log10(watts * 1e3);
+}
+
+/// dBm -> Watts.
+inline double dbm_to_watts(double dbm) noexcept {
+  return std::pow(10.0, dbm / 10.0) * 1e-3;
+}
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+inline double deg_to_rad(double deg) noexcept { return deg * kPi / 180.0; }
+inline double rad_to_deg(double rad) noexcept { return rad * 180.0 / kPi; }
+
+/// Wrap an angle to [0, 2*pi).
+inline double wrap_two_pi(double rad) noexcept {
+  double w = std::fmod(rad, kTwoPi);
+  if (w < 0.0) w += kTwoPi;
+  return w;
+}
+
+/// Wrap an angle to (-pi, pi].
+inline double wrap_pi(double rad) noexcept {
+  double w = wrap_two_pi(rad);
+  if (w > kPi) w -= kTwoPi;
+  return w;
+}
+
+}  // namespace surfos::util

@@ -1,0 +1,283 @@
+// EM substrate tests: bands, Fresnel materials, antenna patterns, and
+// propagation / link-budget math. Physical sanity properties (energy
+// conservation, monotonic loss with frequency) are checked alongside exact
+// closed-form values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "em/antenna.hpp"
+#include "em/band.hpp"
+#include "em/cx.hpp"
+#include "em/material.hpp"
+#include "em/propagation.hpp"
+#include "util/units.hpp"
+
+namespace surfos::em {
+namespace {
+
+// --- cx ------------------------------------------------------------------------
+
+TEST(Cx, ExpjAndPower) {
+  const Cx e = expj(M_PI / 2.0);
+  EXPECT_NEAR(e.real(), 0.0, 1e-12);
+  EXPECT_NEAR(e.imag(), 1.0, 1e-12);
+  EXPECT_NEAR(power({{1.0, 0.0}, {0.0, 2.0}}), 5.0, 1e-12);
+}
+
+TEST(Cx, InnerAndDot) {
+  const CVec a{{0.0, 1.0}, {2.0, 0.0}};
+  const CVec b{{1.0, 0.0}, {0.0, 1.0}};
+  const Cx inner_ab = inner(a, b);  // conj(a).b = (-j)(1) + 2*(j) = j
+  EXPECT_NEAR(inner_ab.real(), 0.0, 1e-12);
+  EXPECT_NEAR(inner_ab.imag(), 1.0, 1e-12);
+  const Cx dot_ab = dot(a, b);  // j*1 + 2*j = 3j
+  EXPECT_NEAR(dot_ab.imag(), 3.0, 1e-12);
+  EXPECT_THROW(dot(a, CVec{{1.0, 0.0}}), std::invalid_argument);
+}
+
+TEST(CMat, MultiplyAndTranspose) {
+  CMat m(2, 3);
+  m(0, 0) = {1, 0}; m(0, 1) = {0, 1}; m(0, 2) = {2, 0};
+  m(1, 0) = {0, 0}; m(1, 1) = {1, 0}; m(1, 2) = {0, -1};
+  const CVec x{{1, 0}, {1, 0}, {1, 0}};
+  const CVec y = m.mul(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_NEAR(y[0].real(), 3.0, 1e-12);
+  EXPECT_NEAR(y[0].imag(), 1.0, 1e-12);
+  const CVec z = m.mul_transpose({{1, 0}, {1, 0}});
+  ASSERT_EQ(z.size(), 3u);
+  EXPECT_NEAR(z[2].real(), 2.0, 1e-12);
+  EXPECT_NEAR(z[2].imag(), -1.0, 1e-12);
+}
+
+TEST(CMat, MulDiagEqualsExplicitScaling) {
+  CMat m(2, 2);
+  m(0, 0) = {1, 0}; m(0, 1) = {2, 0};
+  m(1, 0) = {0, 1}; m(1, 1) = {1, 1};
+  const CVec d{{0.5, 0}, {0, 1}};
+  const CVec x{{1, 0}, {2, 0}};
+  const CVec got = m.mul_diag(d, x);
+  CVec dx(2);
+  for (int i = 0; i < 2; ++i) dx[i] = d[i] * x[i];
+  const CVec want = m.mul(dx);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_NEAR(std::abs(got[i] - want[i]), 0.0, 1e-12);
+  }
+}
+
+// --- bands ---------------------------------------------------------------------
+
+TEST(Band, CentersAreOrdered) {
+  EXPECT_LT(band_center(Band::kSub1GHz), band_center(Band::k2_4GHz));
+  EXPECT_LT(band_center(Band::k2_4GHz), band_center(Band::k5GHz));
+  EXPECT_LT(band_center(Band::k24GHz), band_center(Band::k60GHz));
+}
+
+TEST(Band, WavelengthAt28GHz) {
+  EXPECT_NEAR(wavelength(band_center(Band::k28GHz)), 0.0107, 1e-4);
+}
+
+TEST(Band, AdjacencyIsSymmetricAndReflexive) {
+  for (const Band a : {Band::kSub1GHz, Band::k2_4GHz, Band::k5GHz,
+                       Band::k24GHz, Band::k28GHz, Band::k60GHz}) {
+    EXPECT_TRUE(bands_adjacent(a, a));
+    for (const Band b : {Band::kSub1GHz, Band::k2_4GHz, Band::k60GHz}) {
+      EXPECT_EQ(bands_adjacent(a, b), bands_adjacent(b, a));
+    }
+  }
+  // 24 and 28 GHz are adjacent; 2.4 and 60 GHz are not.
+  EXPECT_TRUE(bands_adjacent(Band::k24GHz, Band::k28GHz));
+  EXPECT_FALSE(bands_adjacent(Band::k2_4GHz, Band::k60GHz));
+}
+
+TEST(Band, NamesAreDistinct) {
+  EXPECT_NE(band_name(Band::k24GHz), band_name(Band::k28GHz));
+}
+
+// --- materials -------------------------------------------------------------------
+
+TEST(Material, PermittivityHasNegativeImaginaryPart) {
+  const MaterialDb db = MaterialDb::standard();
+  const auto eps = db.get(kMatConcrete).permittivity(28e9);
+  EXPECT_GT(eps.real(), 1.0);
+  EXPECT_LT(eps.imag(), 0.0);  // lossy convention
+}
+
+TEST(Material, SlabEnergyConservation) {
+  const MaterialDb db = MaterialDb::standard();
+  for (int id = 0; id < static_cast<int>(db.size()); ++id) {
+    for (const double angle : {0.0, 0.3, 0.6, 1.0, 1.3}) {
+      const auto r = slab_response(db.get(id), 28e9, angle);
+      EXPECT_GE(r.reflection, 0.0);
+      EXPECT_LE(r.reflection, 1.0);
+      EXPECT_GE(r.transmission, 0.0);
+      EXPECT_LE(r.transmission, 1.0);
+      // Lossy slab: reflected + transmitted never exceeds incident.
+      EXPECT_LE(r.reflection + r.transmission, 1.0 + 1e-9)
+          << db.get(id).name << " at " << angle;
+    }
+  }
+}
+
+TEST(Material, MetalReflectsAlmostEverything) {
+  const MaterialDb db = MaterialDb::standard();
+  const auto r = slab_response(db.get(kMatMetal), 5e9, 0.0);
+  EXPECT_GT(r.reflection, 0.95);
+  EXPECT_LT(r.transmission, 1e-3);
+}
+
+TEST(Material, ConcreteTransmissionDropsWithFrequency) {
+  const MaterialDb db = MaterialDb::standard();
+  const auto& concrete = db.get(kMatConcrete);
+  const double t_2ghz = slab_response(concrete, 2.4e9, 0.0).transmission;
+  const double t_28ghz = slab_response(concrete, 28e9, 0.0).transmission;
+  const double t_60ghz = slab_response(concrete, 60e9, 0.0).transmission;
+  EXPECT_GT(t_2ghz, t_28ghz);
+  EXPECT_GT(t_28ghz, t_60ghz);
+  // mmWave through 20 cm concrete is effectively blocked (paper's premise
+  // for needing surfaces at all).
+  EXPECT_LT(util::to_db(t_28ghz), -30.0);
+}
+
+TEST(Material, GlassPassesMoreThanConcrete) {
+  const MaterialDb db = MaterialDb::standard();
+  const double glass = slab_response(db.get(kMatGlass), 28e9, 0.0).transmission;
+  const double concrete =
+      slab_response(db.get(kMatConcrete), 28e9, 0.0).transmission;
+  EXPECT_GT(glass, concrete);
+}
+
+TEST(Material, GrazingIncidenceReflectsMore) {
+  const MaterialDb db = MaterialDb::standard();
+  const auto& brick = db.get(kMatBrick);
+  const double normal = slab_response(brick, 5e9, 0.0).reflection;
+  const double grazing = slab_response(brick, 5e9, 1.45).reflection;
+  EXPECT_GT(grazing, normal);
+}
+
+TEST(Material, CoefficientMagnitudesMatchPowerResponse) {
+  const MaterialDb db = MaterialDb::standard();
+  const auto& wood = db.get(kMatWood);
+  const auto r = slab_response(wood, 28e9, 0.4);
+  const auto gamma = reflection_coefficient(wood, 28e9, 0.4);
+  const auto tau = transmission_coefficient(wood, 28e9, 0.4);
+  EXPECT_NEAR(std::norm(gamma), r.reflection, 1e-9);
+  EXPECT_NEAR(std::norm(tau), r.transmission, 1e-9);
+}
+
+TEST(MaterialDb, UnknownIdThrows) {
+  const MaterialDb db = MaterialDb::standard();
+  EXPECT_THROW(db.get(-1), std::out_of_range);
+  EXPECT_THROW(db.get(static_cast<int>(db.size())), std::out_of_range);
+}
+
+// --- antennas --------------------------------------------------------------------
+
+TEST(Antenna, IsotropicIsUnity) {
+  const IsotropicAntenna iso;
+  EXPECT_DOUBLE_EQ(iso.amplitude_gain({1, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(iso.amplitude_gain({0, -1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(iso.peak_power_gain(), 1.0);
+}
+
+TEST(Antenna, CosinePatternPeaksAtBoresight) {
+  const CosinePowerAntenna ant({0, 0, 1}, 2.0);
+  const double at_boresight = ant.amplitude_gain({0, 0, 1});
+  const double off_axis = ant.amplitude_gain({0.5, 0, 0.8660254});
+  EXPECT_GT(at_boresight, off_axis);
+  EXPECT_DOUBLE_EQ(ant.amplitude_gain({0, 0, -1}), 0.0);  // back hemisphere
+  EXPECT_NEAR(at_boresight * at_boresight, ant.peak_power_gain(), 1e-9);
+}
+
+TEST(Antenna, CosineExponentZeroIsHemisphericConstant) {
+  const CosinePowerAntenna ant({1, 0, 0}, 0.0);
+  EXPECT_NEAR(ant.amplitude_gain({1, 0, 0}), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(ant.amplitude_gain({0.01, 1, 0}),
+              ant.amplitude_gain({0.01, 0, 1}), 1e-9);
+}
+
+TEST(Antenna, SectorGainMatchesBeamwidth) {
+  const SectorAntenna narrow({1, 0, 0}, 20.0);
+  const SectorAntenna wide({1, 0, 0}, 90.0);
+  EXPECT_GT(narrow.peak_power_gain(), wide.peak_power_gain());
+  // G = 2 / (1 - cos(half)) at 90 deg full width: 2/(1-cos45).
+  EXPECT_NEAR(wide.peak_power_gain(), 2.0 / (1.0 - std::cos(M_PI / 4.0)),
+              1e-9);
+}
+
+TEST(Antenna, SectorSidelobeIsSuppressed) {
+  const SectorAntenna ant({1, 0, 0}, 30.0, 20.0);
+  const double main = ant.amplitude_gain({1, 0, 0});
+  const double side = ant.amplitude_gain({0, 1, 0});
+  EXPECT_NEAR(util::amplitude_to_db(main / side), 20.0, 1e-6);
+}
+
+TEST(Antenna, RejectsBadArguments) {
+  EXPECT_THROW(CosinePowerAntenna({1, 0, 0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(SectorAntenna({1, 0, 0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(SectorAntenna({1, 0, 0}, 400.0), std::invalid_argument);
+}
+
+// --- propagation --------------------------------------------------------------------
+
+TEST(Propagation, FriisFreeSpaceLoss) {
+  // FSPL at 2.4 GHz over 10 m is ~60.05 dB.
+  const double amplitude = friis_amplitude(2.4e9, 10.0);
+  EXPECT_NEAR(util::to_db(amplitude * amplitude), -60.05, 0.1);
+}
+
+TEST(Propagation, FreeSpacePhaseAdvancesWithDistance) {
+  const double f = 28e9;
+  const double lambda = wavelength(f);
+  const Cx g1 = free_space_gain(f, 3.0);
+  const Cx g2 = free_space_gain(f, 3.0 + lambda);
+  // One wavelength further: same phase, amplitude scaled by d1/d2.
+  EXPECT_NEAR(std::arg(g1), std::arg(g2), 1e-6);
+  EXPECT_NEAR(std::abs(g2) / std::abs(g1), 3.0 / (3.0 + lambda), 1e-9);
+}
+
+TEST(Propagation, ElementHopComposesToCascade) {
+  const double f = 28e9;
+  const double area = 2.9e-5;
+  const Cx hop1 = element_hop_gain(f, area, 0.8, 2.0);
+  const Cx hop2 = element_hop_gain(f, area, 0.6, 3.0);
+  const Cx cascade = element_cascade_gain(f, area, 0.8, 0.6, 2.0, 3.0);
+  EXPECT_NEAR(std::abs(hop1 * hop2 - cascade), 0.0, 1e-15);
+}
+
+TEST(Propagation, ElementGainsVanishBehindPanel) {
+  EXPECT_EQ(element_hop_gain(28e9, 1e-5, -0.1, 1.0), Cx{});
+  EXPECT_EQ(element_cascade_gain(28e9, 1e-5, 0.5, 0.0, 1.0, 1.0), Cx{});
+  EXPECT_EQ(element_to_element_gain(28e9, 1e-5, -0.2, 1e-5, 0.5, 1.0), Cx{});
+}
+
+TEST(Propagation, NoiseFloor) {
+  // -174 dBm/Hz + 10log10(400 MHz) + 7 dB NF = -81.0 dBm.
+  EXPECT_NEAR(noise_floor_dbm(400e6, 7.0), -81.0, 0.05);
+}
+
+TEST(Propagation, ShannonCapacity) {
+  EXPECT_NEAR(shannon_capacity(1e6, 1.0), 1e6, 1e-6);
+  EXPECT_NEAR(shannon_capacity(1e6, 3.0), 2e6, 1e-6);
+  EXPECT_DOUBLE_EQ(shannon_capacity(1e6, 0.0), 0.0);
+}
+
+TEST(LinkBudget, RssSnrCapacityConsistency) {
+  const LinkBudget budget{20.0, 400e6, 7.0};
+  const double gain = 1e-8;  // -80 dB channel
+  EXPECT_NEAR(budget.rss_dbm(gain), -60.0, 1e-9);
+  EXPECT_NEAR(budget.snr_db(gain), budget.rss_dbm(gain) - budget.noise_dbm(),
+              1e-9);
+  EXPECT_NEAR(budget.capacity(gain),
+              shannon_capacity(400e6, budget.snr(gain)), 1e-3);
+}
+
+TEST(LinkBudget, ZeroGainFloors) {
+  const LinkBudget budget;
+  EXPECT_LE(budget.rss_dbm(0.0), -250.0);
+  EXPECT_NEAR(budget.capacity(0.0), 0.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace surfos::em

@@ -1,0 +1,144 @@
+// Traffic-monitor tests: feature extraction on hand-built flows, classifier
+// rules, end-to-end classification of synthesized archetype traffic
+// (parameterized over every application class), and monitor windowing.
+#include <gtest/gtest.h>
+
+#include "broker/monitor.hpp"
+
+namespace surfos::broker {
+namespace {
+
+constexpr hal::Micros kSecond = hal::kMicrosPerSecond;
+
+TEST(Features, EmptyWindowIsZero) {
+  const FlowFeatures f = extract_features({}, 0, kSecond);
+  EXPECT_EQ(f.packets, 0u);
+  EXPECT_DOUBLE_EQ(f.total_mbps(), 0.0);
+}
+
+TEST(Features, RatesAndSymmetry) {
+  std::vector<PacketRecord> records;
+  // 1 Mbit down + 1 Mbit up over one second.
+  for (int i = 0; i < 100; ++i) {
+    records.push_back({static_cast<hal::Micros>(i * 10000),
+                       Direction::kDownlink, 1250});
+    records.push_back({static_cast<hal::Micros>(i * 10000 + 5000),
+                       Direction::kUplink, 1250});
+  }
+  const FlowFeatures f = extract_features(records, 0, kSecond);
+  EXPECT_NEAR(f.down_mbps, 1.0, 0.05);
+  EXPECT_NEAR(f.up_mbps, 1.0, 0.05);
+  EXPECT_NEAR(f.symmetry, 0.5, 0.02);
+  EXPECT_NEAR(f.mean_gap_ms, 10.0, 0.5);
+  EXPECT_LT(f.gap_jitter, 0.05);  // perfectly periodic
+}
+
+TEST(Features, WindowBoundsRespected) {
+  std::vector<PacketRecord> records{
+      {100, Direction::kDownlink, 1000},
+      {kSecond + 100, Direction::kDownlink, 1000},  // outside
+  };
+  const FlowFeatures f = extract_features(records, 0, kSecond);
+  EXPECT_EQ(f.packets, 1u);
+}
+
+TEST(Classifier, IdleFlowsAreNotClassified) {
+  FlowFeatures idle;
+  idle.down_mbps = 0.01;
+  idle.packets = 3;
+  EXPECT_FALSE(classify(idle).has_value());
+}
+
+struct ArchetypeCase {
+  AppClass app_class;
+  bool expect_exact;  ///< Some archetypes overlap; exact match not required.
+};
+
+class ArchetypeTest : public ::testing::TestWithParam<ArchetypeCase> {};
+
+TEST_P(ArchetypeTest, SynthesizedTrafficClassifiesBack) {
+  util::Rng rng(77);
+  const auto records =
+      synthesize_traffic(GetParam().app_class, 0, 2 * kSecond, rng);
+  ASSERT_FALSE(records.empty());
+  const FlowFeatures features = extract_features(records, 0, 2 * kSecond);
+  const auto result = classify(features);
+  if (GetParam().app_class == AppClass::kWirelessCharging) {
+    // Charging produces almost no traffic — correctly unclassifiable.
+    EXPECT_FALSE(result.has_value());
+    return;
+  }
+  ASSERT_TRUE(result.has_value());
+  if (GetParam().expect_exact) {
+    EXPECT_EQ(result->app_class, GetParam().app_class)
+        << "down " << features.down_mbps << " up " << features.up_mbps
+        << " sym " << features.symmetry << " gap " << features.mean_gap_ms
+        << " jit " << features.gap_jitter;
+    EXPECT_GT(result->confidence, 0.4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchetypes, ArchetypeTest,
+    ::testing::Values(ArchetypeCase{AppClass::kVrGaming, true},
+                      ArchetypeCase{AppClass::kVideoStreaming, true},
+                      ArchetypeCase{AppClass::kVideoConference, true},
+                      ArchetypeCase{AppClass::kFileTransfer, true},
+                      ArchetypeCase{AppClass::kSmartHome, true},
+                      ArchetypeCase{AppClass::kWirelessCharging, false}),
+    [](const ::testing::TestParamInfo<ArchetypeCase>& info) {
+      std::string name = to_string(info.param.app_class);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Monitor, TracksAndClassifiesPerEndpoint) {
+  util::Rng rng(99);
+  TrafficMonitor monitor(2 * kSecond);
+  for (const auto& r : synthesize_traffic(AppClass::kVideoStreaming, 0,
+                                          2 * kSecond, rng)) {
+    monitor.ingest("tv", r);
+  }
+  for (const auto& r : synthesize_traffic(AppClass::kVideoConference, 0,
+                                          2 * kSecond, rng)) {
+    monitor.ingest("laptop", r);
+  }
+  EXPECT_EQ(monitor.tracked_endpoints(), 2u);
+  const auto suggestions = monitor.analyze(2 * kSecond);
+  ASSERT_EQ(suggestions.size(), 2u);
+  for (const auto& s : suggestions) {
+    if (s.endpoint_id == "tv") {
+      EXPECT_EQ(s.classification.app_class, AppClass::kVideoStreaming);
+    } else {
+      EXPECT_EQ(s.classification.app_class, AppClass::kVideoConference);
+    }
+  }
+}
+
+TEST(Monitor, OldTrafficAgesOut) {
+  util::Rng rng(13);
+  TrafficMonitor monitor(1 * kSecond);
+  for (const auto& r :
+       synthesize_traffic(AppClass::kVideoStreaming, 0, kSecond, rng)) {
+    monitor.ingest("tv", r);
+  }
+  // Ten seconds later the old burst is outside the window: nothing to say.
+  const auto suggestions = monitor.analyze(10 * kSecond);
+  EXPECT_TRUE(suggestions.empty());
+}
+
+TEST(Monitor, SynthesizedTrafficIsDeterministic) {
+  util::Rng a(42), b(42);
+  const auto ra = synthesize_traffic(AppClass::kVrGaming, 0, kSecond, a);
+  const auto rb = synthesize_traffic(AppClass::kVrGaming, 0, kSecond, b);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].timestamp, rb[i].timestamp);
+    EXPECT_EQ(ra[i].bytes, rb[i].bytes);
+  }
+}
+
+}  // namespace
+}  // namespace surfos::broker

@@ -1,0 +1,646 @@
+// Orchestrator tests: panel-variable mapping (with analytic-gradient checks
+// against finite differences for every objective), scheduler policies, the
+// performance models, and the full control-plane loop (schedule -> optimize
+// -> actuate -> measure) on the canonical coverage room.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "orch/objectives.hpp"
+#include "orch/orchestrator.hpp"
+#include "orch/perf.hpp"
+#include "orch/scheduler.hpp"
+#include "orch/task.hpp"
+#include "orch/variables.hpp"
+#include "sim/floorplan.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace surfos::orch {
+namespace {
+
+constexpr double kFreq = 28e9;
+
+surface::SurfacePanel small_panel(
+    const std::string& id,
+    surface::ControlGranularity granularity =
+        surface::ControlGranularity::kElement,
+    const geom::Frame& pose = geom::Frame({0, 0, 2}, {0, 0, -1}, {1, 0, 0})) {
+  surface::ElementDesign d;
+  d.spacing_m = em::wavelength(kFreq) / 2.0;
+  d.insertion_loss_db = 1.0;
+  return surface::SurfacePanel(id, pose, 4, 4, d,
+                               surface::OperationMode::kReflective,
+                               surface::Reconfigurability::kProgrammable,
+                               granularity);
+}
+
+// --- PanelVariables ------------------------------------------------------------
+
+TEST(Variables, DimensionAndRanges) {
+  const auto a = small_panel("a", surface::ControlGranularity::kElement);
+  const auto b = small_panel("b", surface::ControlGranularity::kColumn);
+  const PanelVariables vars({&a, &b});
+  EXPECT_EQ(vars.dimension(), 16u + 4u);
+  EXPECT_EQ(vars.range_of(0), std::make_pair(std::size_t{0}, std::size_t{16}));
+  EXPECT_EQ(vars.range_of(1), std::make_pair(std::size_t{16}, std::size_t{4}));
+}
+
+TEST(Variables, CoefficientsApplyLossAndPhase) {
+  const auto a = small_panel("a");
+  const PanelVariables vars({&a});
+  std::vector<double> x(16, 0.0);
+  x[3] = 1.2;
+  const auto coeffs = vars.coefficients(x);
+  const double loss = std::pow(10.0, -1.0 / 20.0);
+  EXPECT_NEAR(std::abs(coeffs[0][3]), loss, 1e-12);
+  EXPECT_NEAR(std::arg(coeffs[0][3]), 1.2, 1e-12);
+}
+
+TEST(Variables, ColumnControlsReplicateDownColumns) {
+  const auto b = small_panel("b", surface::ControlGranularity::kColumn);
+  const PanelVariables vars({&b});
+  std::vector<double> x(4);
+  for (int i = 0; i < 4; ++i) x[static_cast<std::size_t>(i)] = 0.3 * i;
+  const auto coeffs = vars.coefficients(x);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(std::arg(coeffs[0][r * 4 + c]), 0.3 * static_cast<double>(c),
+                  1e-12);
+    }
+  }
+}
+
+TEST(Variables, ReduceGradientSumsGroups) {
+  const auto b = small_panel("b", surface::ControlGranularity::kColumn);
+  const PanelVariables vars({&b});
+  std::vector<double> element_grad(16, 1.0);
+  std::vector<double> x_grad(4, 0.0);
+  vars.reduce_gradient(0, element_grad, x_grad);
+  for (const double g : x_grad) EXPECT_DOUBLE_EQ(g, 4.0);
+}
+
+TEST(Variables, RealizeRoundTripsThroughConfigs) {
+  const auto a = small_panel("a");
+  const PanelVariables vars({&a});
+  std::vector<double> x(16);
+  for (std::size_t i = 0; i < 16; ++i) x[i] = 0.35 * static_cast<double>(i);
+  const auto configs = vars.realize(x);
+  const auto back = vars.from_configs(configs);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(back[i], util::wrap_two_pi(x[i]), 1e-9);
+  }
+}
+
+// --- Objectives (gradient checks) -------------------------------------------------
+
+struct ObjectiveFixture {
+  sim::Environment env{em::MaterialDb::standard()};
+  surface::SurfacePanel panel = small_panel("p");
+  std::unique_ptr<sim::SceneChannel> channel;
+  std::unique_ptr<PanelVariables> vars;
+
+  ObjectiveFixture() {
+    // Low metal fence blocks the ground-level direct paths so the surface
+    // (mounted at z = 2) is the dominant route — the regime the objectives
+    // are optimized in.
+    env.add_vertical_wall(0.0, -2.0, 0.0, 2.0, 0.0, 1.0, em::kMatMetal);
+    env.finalize();
+    // RX probes sit well off the panel's specular direction so a uniform
+    // (mirror-like) configuration is incoherent toward them and optimization
+    // has real headroom.
+    channel = std::make_unique<sim::SceneChannel>(
+        &env, kFreq, sim::TxSpec{{-1.0, 0.2, 0.0}, nullptr},
+        std::vector<const surface::SurfacePanel*>{&panel},
+        std::vector<geom::Vec3>{{1.0, -1.5, 0.1}, {0.6, -1.2, 0.3}});
+    vars = std::make_unique<PanelVariables>(
+        std::vector<const surface::SurfacePanel*>{&panel});
+  }
+};
+
+void check_gradient(const opt::Objective& objective,
+                    const std::vector<double>& x, double tolerance = 1e-5) {
+  std::vector<double> analytic(x.size());
+  const double value = objective.value_and_gradient(x, analytic);
+  EXPECT_NEAR(value, objective.value(x), 1e-10);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    auto plus = x;
+    auto minus = x;
+    plus[i] += eps;
+    minus[i] -= eps;
+    const double fd =
+        (objective.value(plus) - objective.value(minus)) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], fd, tolerance + 1e-3 * std::fabs(fd))
+        << "coordinate " << i;
+  }
+}
+
+TEST(Objectives, CapacityGradientMatchesFiniteDifference) {
+  ObjectiveFixture fx;
+  const CapacityObjective objective(fx.channel.get(), fx.vars.get(), {0, 1},
+                                    1e8, 1.0);
+  util::Rng rng(61);
+  std::vector<double> x(fx.vars->dimension());
+  for (double& v : x) v = rng.uniform(0, util::kTwoPi);
+  check_gradient(objective, x);
+}
+
+TEST(Objectives, SecuritySignFlipsGradient) {
+  ObjectiveFixture fx;
+  const CapacityObjective maximize(fx.channel.get(), fx.vars.get(), {0}, 1e8,
+                                   1.0);
+  const CapacityObjective minimize(fx.channel.get(), fx.vars.get(), {0}, 1e8,
+                                   -1.0);
+  std::vector<double> x(fx.vars->dimension(), 0.3);
+  std::vector<double> g1(x.size()), g2(x.size());
+  maximize.value_and_gradient(x, g1);
+  minimize.value_and_gradient(x, g2);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(g1[i], -g2[i], 1e-12);
+  }
+  check_gradient(minimize, x);
+}
+
+TEST(Objectives, PowerDeliveryGradientMatchesFiniteDifference) {
+  ObjectiveFixture fx;
+  const PowerDeliveryObjective objective(fx.channel.get(), fx.vars.get(), {1},
+                                         1e-12);
+  util::Rng rng(67);
+  std::vector<double> x(fx.vars->dimension());
+  for (double& v : x) v = rng.uniform(0, util::kTwoPi);
+  check_gradient(objective, x, 1e-4);
+}
+
+TEST(Objectives, LocalizationGradientMatchesFiniteDifference) {
+  ObjectiveFixture fx;
+  const LocalizationObjective objective(fx.channel.get(), fx.vars.get(), 0,
+                                        {0, 1}, 41);
+  util::Rng rng(71);
+  std::vector<double> x(fx.vars->dimension());
+  for (double& v : x) v = rng.uniform(0, util::kTwoPi);
+  check_gradient(objective, x, 1e-4);
+}
+
+TEST(Objectives, OptimizedCapacityBeatsUniform) {
+  ObjectiveFixture fx;
+  // rho sized so the focused surface link lands in the tens-of-dB SNR range
+  // (otherwise the capacity landscape is numerically flat and there is
+  // nothing to optimize).
+  const CapacityObjective objective(fx.channel.get(), fx.vars.get(), {0, 1},
+                                    1e13, 1.0);
+  const std::vector<double> x0(fx.vars->dimension(), 0.0);
+  const auto result = opt::GradientDescent().minimize(objective, x0);
+  EXPECT_LT(result.value, objective.value(x0) - 0.5);
+}
+
+TEST(Objectives, RejectBadConstruction) {
+  ObjectiveFixture fx;
+  EXPECT_THROW(CapacityObjective(nullptr, fx.vars.get(), {0}, 1e8),
+               std::invalid_argument);
+  EXPECT_THROW(CapacityObjective(fx.channel.get(), fx.vars.get(), {}, 1e8),
+               std::invalid_argument);
+  EXPECT_THROW(CapacityObjective(fx.channel.get(), fx.vars.get(), {0}, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(LocalizationObjective(fx.channel.get(), fx.vars.get(), 7, {0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      PowerDeliveryObjective(fx.channel.get(), fx.vars.get(), {0}, 0.0),
+      std::invalid_argument);
+}
+
+// --- Perf models ---------------------------------------------------------------------
+
+TEST(Perf, MetricsAreInternallyConsistent) {
+  ObjectiveFixture fx;
+  const em::LinkBudget budget{10.0, 400e6, 7.0};
+  const std::vector<surface::SurfaceConfig> configs{
+      fx.panel.focus_config({-1.0, 0.2, 0.0}, {1.0, -1.5, 0.1}, kFreq)};
+  const LinkMetrics link = link_metrics(*fx.channel, budget, configs, 0);
+  EXPECT_NEAR(link.snr_db, link.rss_dbm - budget.noise_dbm(), 1e-9);
+  const CoverageMetrics coverage =
+      coverage_metrics(*fx.channel, budget, configs, {0, 1});
+  ASSERT_EQ(coverage.snr_db.size(), 2u);
+  EXPECT_NEAR(coverage.snr_db[0], link.snr_db, 1e-9);
+  EXPECT_GE(coverage.mean_capacity_mbps, 0.0);
+  const PowerMetrics power = power_metrics(*fx.channel, budget, configs, 0);
+  EXPECT_NEAR(power.delivered_dbm, link.rss_dbm, 1e-9);
+}
+
+TEST(Perf, FocusedLinkBeatsUniformLink) {
+  ObjectiveFixture fx;
+  const em::LinkBudget budget{10.0, 400e6, 7.0};
+  const std::vector<surface::SurfaceConfig> uniform{
+      surface::SurfaceConfig(fx.panel.element_count())};
+  const std::vector<surface::SurfaceConfig> focus{
+      fx.panel.focus_config({-1.0, 0.2, 0.0}, {1.0, -1.5, 0.1}, kFreq)};
+  EXPECT_GT(link_metrics(*fx.channel, budget, focus, 0).snr_db,
+            link_metrics(*fx.channel, budget, uniform, 0).snr_db + 3.0);
+}
+
+// --- Scheduler --------------------------------------------------------------------------
+
+struct SchedulerFixture {
+  hal::SimClock clock;
+  surface::SurfacePanel panel_a = small_panel("a");
+  surface::SurfacePanel panel_b = small_panel(
+      "b", surface::ControlGranularity::kElement,
+      geom::Frame({3, 0, 2}, {0, 0, -1}, {1, 0, 0}));
+  hal::DeviceRegistry registry;
+
+  SchedulerFixture() {
+    hal::HardwareSpec spec;
+    spec.band_response[em::Band::k28GHz] = 0.9;
+    spec.config_slots = 4;
+    spec.control_delay_us = 100;
+    registry.add_surface(std::make_unique<hal::ProgrammableSurfaceDriver>(
+        "a", &panel_a, spec, &clock));
+    registry.add_surface(std::make_unique<hal::ProgrammableSurfaceDriver>(
+        "b", &panel_b, spec, &clock));
+    registry.add_endpoint({"client-near-a", hal::EndpointKind::kClient,
+                           {0.1, 0, 0}, em::Band::k28GHz, std::nullopt});
+    registry.add_endpoint({"client-near-b", hal::EndpointKind::kClient,
+                           {3.1, 0, 0}, em::Band::k28GHz, std::nullopt});
+  }
+
+  Task make_task(TaskId id, ServiceGoal goal, Priority priority,
+                 std::optional<hal::Micros> deadline = std::nullopt) {
+    Task t;
+    t.id = id;
+    t.goal = std::move(goal);
+    t.priority = priority;
+    t.band = em::Band::k28GHz;
+    t.deadline = deadline;
+    return t;
+  }
+};
+
+TEST(SchedulerTest, PriorityJointGroupsTasksPerBand) {
+  SchedulerFixture fx;
+  const Task t1 = fx.make_task(1, LinkGoal{"client-near-a", 20, 50},
+                               kPriorityInteractive);
+  const Task t2 = fx.make_task(2, LinkGoal{"client-near-b", 20, 50},
+                               kPriorityBackground);
+  const Scheduler scheduler(SchedulePolicy::kPriorityJoint);
+  const Schedule schedule = scheduler.build({&t1, &t2}, fx.registry);
+  ASSERT_EQ(schedule.assignments.size(), 1u);
+  const Assignment& a = schedule.assignments[0];
+  EXPECT_EQ(a.tasks.size(), 2u);
+  EXPECT_EQ(a.devices.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.time_share, 1.0);
+  // Weights normalized and ordered by priority.
+  EXPECT_NEAR(a.weights[0] + a.weights[1], 1.0, 1e-12);
+  EXPECT_GT(a.weights[0], a.weights[1]);
+}
+
+TEST(SchedulerTest, RoundRobinSplitsTimeEvenly) {
+  SchedulerFixture fx;
+  const Task t1 = fx.make_task(1, LinkGoal{"client-near-a", 20, 50},
+                               kPriorityNormal);
+  const Task t2 = fx.make_task(2, LinkGoal{"client-near-b", 20, 50},
+                               kPriorityNormal);
+  const Scheduler scheduler(SchedulePolicy::kRoundRobinTdm);
+  const Schedule schedule = scheduler.build({&t1, &t2}, fx.registry);
+  ASSERT_EQ(schedule.assignments.size(), 2u);
+  EXPECT_DOUBLE_EQ(schedule.assignments[0].time_share, 0.5);
+  EXPECT_DOUBLE_EQ(schedule.assignments[1].time_share, 0.5);
+  EXPECT_NE(schedule.assignments[0].slot, schedule.assignments[1].slot);
+}
+
+TEST(SchedulerTest, EdfFavorsEarlierDeadline) {
+  SchedulerFixture fx;
+  const Task late = fx.make_task(1, LinkGoal{"client-near-a", 20, 50},
+                                 kPriorityNormal, hal::Micros{100000});
+  const Task soon = fx.make_task(2, LinkGoal{"client-near-b", 20, 50},
+                                 kPriorityNormal, hal::Micros{500});
+  const Scheduler scheduler(SchedulePolicy::kEarliestDeadline);
+  const Schedule schedule = scheduler.build({&late, &soon}, fx.registry);
+  ASSERT_EQ(schedule.assignments.size(), 2u);
+  // First assignment is the earliest deadline with the larger share.
+  EXPECT_EQ(schedule.assignments[0].tasks[0], 2u);
+  EXPECT_GT(schedule.assignments[0].time_share,
+            schedule.assignments[1].time_share);
+}
+
+TEST(SchedulerTest, SpatialPartitionAssignsNearestSurface) {
+  SchedulerFixture fx;
+  const Task t1 = fx.make_task(1, LinkGoal{"client-near-a", 20, 50},
+                               kPriorityNormal);
+  const Task t2 = fx.make_task(2, LinkGoal{"client-near-b", 20, 50},
+                               kPriorityNormal);
+  const Scheduler scheduler(SchedulePolicy::kSpatialPartition);
+  const Schedule schedule = scheduler.build({&t1, &t2}, fx.registry);
+  ASSERT_EQ(schedule.assignments.size(), 2u);
+  for (const Assignment& a : schedule.assignments) {
+    ASSERT_EQ(a.devices.size(), 1u);
+    ASSERT_EQ(a.tasks.size(), 1u);
+    if (a.tasks[0] == 1) {
+      EXPECT_EQ(a.devices[0], "a");
+    } else {
+      EXPECT_EQ(a.devices[0], "b");
+    }
+  }
+}
+
+TEST(SchedulerTest, StarvesTasksWithoutCapableHardware) {
+  SchedulerFixture fx;
+  Task t = fx.make_task(1, LinkGoal{"client-near-a", 20, 50}, kPriorityNormal);
+  t.band = em::Band::k60GHz;  // neither surface responds at 60 GHz well
+  const Scheduler scheduler(SchedulePolicy::kPriorityJoint);
+  const Schedule schedule = scheduler.build({&t}, fx.registry);
+  EXPECT_TRUE(schedule.assignments.empty());
+  ASSERT_EQ(schedule.starved.size(), 1u);
+  EXPECT_EQ(schedule.starved[0], 1u);
+}
+
+TEST(SchedulerTest, TaskFocusResolvesRegionsAndEndpoints) {
+  SchedulerFixture fx;
+  geom::Vec3 focus;
+  const Task link = fx.make_task(1, LinkGoal{"client-near-a", 20, 50},
+                                 kPriorityNormal);
+  EXPECT_TRUE(task_focus(link, fx.registry, focus));
+  EXPECT_EQ(focus, geom::Vec3(0.1, 0, 0));
+  const Task missing = fx.make_task(2, LinkGoal{"ghost", 20, 50},
+                                    kPriorityNormal);
+  EXPECT_FALSE(task_focus(missing, fx.registry, focus));
+  CoverageGoal coverage;
+  coverage.region = geom::SampleGrid(0, 2, 0, 2, 1, 3, 3);
+  const Task region = fx.make_task(3, coverage, kPriorityNormal);
+  EXPECT_TRUE(task_focus(region, fx.registry, focus));
+  EXPECT_EQ(focus, geom::Vec3(1.0, 1.0, 1.0));
+}
+
+// --- Orchestrator end-to-end -----------------------------------------------------------
+
+struct OrchestratorFixture {
+  sim::CoverageRoomScenario scene = sim::make_coverage_room(5);
+  hal::SimClock clock;
+  hal::DeviceRegistry registry;
+  surface::SurfacePanel panel;
+  std::unique_ptr<Orchestrator> orchestrator;
+
+  explicit OrchestratorFixture(
+      SchedulePolicy policy = SchedulePolicy::kPriorityJoint)
+      : panel([&] {
+          surface::ElementDesign d;
+          d.spacing_m = em::wavelength(em::band_center(scene.band)) / 2.0;
+          d.insertion_loss_db = 1.0;
+          return surface::SurfacePanel(
+              "wall", scene.surface_pose, 12, 12, d,
+              surface::OperationMode::kReflective,
+              surface::Reconfigurability::kProgrammable,
+              surface::ControlGranularity::kElement);
+        }()) {
+    hal::HardwareSpec spec = hal::spec_for_panel(panel, scene.band);
+    registry.add_surface(std::make_unique<hal::ProgrammableSurfaceDriver>(
+        "wall", &panel, spec, &clock));
+    registry.add_endpoint({"laptop", hal::EndpointKind::kClient,
+                           {1.2, 2.4, 1.0}, scene.band, std::nullopt});
+    OrchestratorContext context;
+    context.environment = scene.environment.get();
+    context.ap = scene.ap();
+    context.default_band = scene.band;
+    context.budget = scene.budget;
+    OrchestratorOptions options;
+    options.policy = policy;
+    orchestrator = std::make_unique<Orchestrator>(&registry, &clock, context,
+                                                  options);
+  }
+};
+
+TEST(OrchestratorTest, EnhanceLinkImprovesSnr) {
+  OrchestratorFixture fx;
+  const TaskId id = fx.orchestrator->enhance_link({"laptop", 15.0, 50.0});
+  const StepReport report = fx.orchestrator->step();
+  EXPECT_EQ(report.assignment_count, 1u);
+  EXPECT_EQ(report.optimizations_run, 1u);
+  const Task* task = fx.orchestrator->find_task(id);
+  ASSERT_NE(task, nullptr);
+  EXPECT_EQ(task->state, TaskState::kRunning);
+  ASSERT_TRUE(task->achieved.has_value());
+  EXPECT_GT(*task->achieved, 15.0);
+  EXPECT_TRUE(task->goal_met);
+}
+
+TEST(OrchestratorTest, SecondStepReusesPlan) {
+  OrchestratorFixture fx;
+  fx.orchestrator->enhance_link({"laptop", 15.0, 50.0});
+  fx.orchestrator->step();
+  const StepReport second = fx.orchestrator->step();
+  EXPECT_EQ(second.optimizations_run, 0u);  // cached plan, nothing changed
+}
+
+TEST(OrchestratorTest, EnvironmentChangeTriggersReoptimization) {
+  OrchestratorFixture fx;
+  fx.orchestrator->enhance_link({"laptop", 15.0, 50.0});
+  fx.orchestrator->step();
+  fx.orchestrator->notify_environment_changed();
+  const StepReport report = fx.orchestrator->step();
+  EXPECT_EQ(report.optimizations_run, 1u);
+}
+
+TEST(OrchestratorTest, UnknownEndpointFailsTask) {
+  OrchestratorFixture fx;
+  const TaskId id = fx.orchestrator->enhance_link({"ghost", 15.0, 50.0});
+  fx.orchestrator->step();
+  EXPECT_EQ(fx.orchestrator->find_task(id)->state, TaskState::kFailed);
+}
+
+TEST(OrchestratorTest, IdleTasksReleaseResources) {
+  OrchestratorFixture fx;
+  const TaskId id = fx.orchestrator->enhance_link({"laptop", 15.0, 50.0});
+  fx.orchestrator->step();
+  fx.orchestrator->set_task_idle(id, true);
+  const StepReport report = fx.orchestrator->step();
+  EXPECT_EQ(report.assignment_count, 0u);
+  EXPECT_EQ(fx.orchestrator->find_task(id)->state, TaskState::kIdle);
+  fx.orchestrator->set_task_idle(id, false);
+  const StepReport resumed = fx.orchestrator->step();
+  EXPECT_EQ(resumed.assignment_count, 1u);
+}
+
+TEST(OrchestratorTest, SensingTaskProducesAccuracy) {
+  OrchestratorFixture fx;
+  SensingGoal goal;
+  goal.region_id = "room";
+  goal.region = geom::SampleGrid(0.8, 2.8, 0.5, 2.5, 1.0, 3, 3);
+  goal.target_accuracy_m = 0.8;
+  const TaskId id = fx.orchestrator->enable_sensing(goal);
+  fx.orchestrator->step();
+  const Task* task = fx.orchestrator->find_task(id);
+  ASSERT_TRUE(task->achieved.has_value());
+  EXPECT_LT(*task->achieved, 0.8);  // median error within target
+  EXPECT_TRUE(task->goal_met);
+}
+
+TEST(OrchestratorTest, DurationTasksExpire) {
+  OrchestratorFixture fx;
+  PowerGoal goal;
+  goal.endpoint_id = "laptop";
+  goal.duration_s = 0.001;  // 1 ms
+  const TaskId id = fx.orchestrator->init_powering(goal);
+  fx.orchestrator->step();
+  EXPECT_TRUE(fx.orchestrator->find_task(id)->active());
+  fx.clock.advance(2000);
+  fx.orchestrator->step();
+  EXPECT_EQ(fx.orchestrator->find_task(id)->state, TaskState::kCompleted);
+}
+
+TEST(OrchestratorTest, CancelledTaskLeavesSchedule) {
+  OrchestratorFixture fx;
+  const TaskId id = fx.orchestrator->enhance_link({"laptop", 15.0, 50.0});
+  fx.orchestrator->step();
+  fx.orchestrator->cancel_task(id);
+  const StepReport report = fx.orchestrator->step();
+  EXPECT_EQ(report.assignment_count, 0u);
+}
+
+TEST(OrchestratorTest, JointCoverageAndSensingBothMeasured) {
+  OrchestratorFixture fx;
+  CoverageGoal coverage;
+  coverage.region_id = "room";
+  coverage.region = geom::SampleGrid(0.8, 2.8, 0.5, 2.5, 1.0, 3, 3);
+  coverage.target_median_snr_db = 5.0;
+  SensingGoal sensing;
+  sensing.region_id = "room";
+  sensing.region = coverage.region;
+  sensing.target_accuracy_m = 1.0;
+  const TaskId c_id = fx.orchestrator->optimize_coverage(coverage);
+  const TaskId s_id = fx.orchestrator->enable_sensing(sensing);
+  const StepReport report = fx.orchestrator->step();
+  EXPECT_EQ(report.assignment_count, 1u);  // joint multiplexing
+  EXPECT_TRUE(fx.orchestrator->find_task(c_id)->achieved.has_value());
+  EXPECT_TRUE(fx.orchestrator->find_task(s_id)->achieved.has_value());
+}
+
+TEST(OrchestratorTest, TdmPolicyCreatesPerTaskAssignments) {
+  OrchestratorFixture fx(SchedulePolicy::kRoundRobinTdm);
+  fx.registry.add_endpoint({"phone", hal::EndpointKind::kClient,
+                            {2.6, 1.5, 1.0}, fx.scene.band, std::nullopt});
+  fx.orchestrator->enhance_link({"laptop", 10.0, 50.0});
+  fx.orchestrator->enhance_link({"phone", 10.0, 50.0});
+  const StepReport report = fx.orchestrator->step();
+  EXPECT_EQ(report.assignment_count, 2u);
+}
+
+TEST(OrchestratorTest, SetOptimizerInvalidatesPlansAndStillServes) {
+  OrchestratorFixture fx;
+  const TaskId id = fx.orchestrator->enhance_link({"laptop", 15.0, 50.0});
+  fx.orchestrator->step();
+  EXPECT_THROW(fx.orchestrator->set_optimizer(nullptr), std::invalid_argument);
+  // Swapping the algorithm re-optimizes the cached plan (warm-started from
+  // the hardware's current configuration, so quality never regresses).
+  fx.orchestrator->set_optimizer(std::make_unique<opt::Adam>());
+  const StepReport report = fx.orchestrator->step();
+  EXPECT_EQ(report.optimizations_run, 1u);
+  EXPECT_TRUE(fx.orchestrator->find_task(id)->goal_met);
+  EXPECT_EQ(fx.orchestrator->optimizer().name(), "adam");
+}
+
+TEST(OrchestratorTest, AlwaysReoptimizeOptionForcesWork) {
+  sim::CoverageRoomScenario scene = sim::make_coverage_room(4);
+  hal::SimClock clock;
+  hal::DeviceRegistry registry;
+  surface::ElementDesign d;
+  d.spacing_m = em::wavelength(em::band_center(scene.band)) / 2.0;
+  const surface::SurfacePanel panel(
+      "wall", scene.surface_pose, 10, 10, d,
+      surface::OperationMode::kReflective,
+      surface::Reconfigurability::kProgrammable,
+      surface::ControlGranularity::kElement);
+  registry.add_surface(std::make_unique<hal::ProgrammableSurfaceDriver>(
+      "wall", &panel, hal::spec_for_panel(panel, scene.band), &clock));
+  registry.add_endpoint({"laptop", hal::EndpointKind::kClient,
+                         {1.2, 2.4, 1.0}, scene.band, std::nullopt});
+  OrchestratorContext context;
+  context.environment = scene.environment.get();
+  context.ap = scene.ap();
+  context.default_band = scene.band;
+  context.budget = scene.budget;
+  OrchestratorOptions options;
+  options.always_reoptimize = true;
+  Orchestrator orchestrator(&registry, &clock, context, options);
+  orchestrator.enhance_link({"laptop", 10.0, 50.0});
+  orchestrator.step();
+  const StepReport second = orchestrator.step();
+  EXPECT_EQ(second.optimizations_run, 1u);  // no caching in this mode
+}
+
+TEST(OrchestratorTest, PriorityWeightsShiftJointOutcome) {
+  // Two contending links at opposite room corners sharing one joint config:
+  // whichever holds the higher priority must get the better SNR.
+  const auto run = [](Priority laptop_priority, Priority phone_priority) {
+    OrchestratorFixture fx;
+    fx.registry.add_endpoint({"phone", hal::EndpointKind::kClient,
+                              {2.6, 0.6, 1.0}, fx.scene.band, std::nullopt});
+    const TaskId laptop =
+        fx.orchestrator->enhance_link({"laptop", 30.0, 50.0}, laptop_priority);
+    const TaskId phone =
+        fx.orchestrator->enhance_link({"phone", 30.0, 50.0}, phone_priority);
+    fx.orchestrator->step();
+    return std::make_pair(
+        fx.orchestrator->find_task(laptop)->achieved.value_or(-300),
+        fx.orchestrator->find_task(phone)->achieved.value_or(-300));
+  };
+  const auto [laptop_hi, phone_lo] = run(kPriorityCritical, kPriorityBackground);
+  const auto [laptop_lo, phone_hi] = run(kPriorityBackground, kPriorityCritical);
+  // Raising a task's priority must not worsen it, and the favored task ends
+  // up at least as good as its rival in each configuration.
+  EXPECT_GE(laptop_hi + 1e-6, laptop_lo);
+  EXPECT_GE(phone_hi + 1e-6, phone_lo);
+}
+
+TEST(OrchestratorTest, FrequencyDivisionAcrossBands) {
+  // Two surfaces tuned to different bands; two link tasks, one per band.
+  // The scheduler must produce one independent slice per band, each using
+  // only that band's surface (FDM).
+  OrchestratorFixture fx;  // provides the 28 GHz "wall" surface
+  surface::ElementDesign d;
+  d.spacing_m = em::wavelength(em::band_center(em::Band::k24GHz)) / 2.0;
+  const surface::SurfacePanel panel24(
+      "wall24", geom::Frame({1.5, 3.42, 1.8}, {0.0, -1.0, 0.0}), 10, 10, d,
+      surface::OperationMode::kReflective,
+      surface::Reconfigurability::kProgrammable,
+      surface::ControlGranularity::kElement);
+  fx.registry.add_surface(std::make_unique<hal::ProgrammableSurfaceDriver>(
+      "wall24", &panel24, hal::spec_for_panel(panel24, em::Band::k24GHz),
+      &fx.clock));
+  fx.registry.add_endpoint({"iot-hub", hal::EndpointKind::kClient,
+                            {2.0, 1.0, 1.0}, em::Band::k24GHz, std::nullopt});
+
+  const TaskId t28 = fx.orchestrator->enhance_link({"laptop", 10.0, 50.0});
+  const TaskId t24 = fx.orchestrator->enhance_link(
+      {"iot-hub", 5.0, 100.0}, kPriorityNormal, em::Band::k24GHz);
+  const StepReport report = fx.orchestrator->step();
+  EXPECT_EQ(report.assignment_count, 2u);  // one slice per band
+  EXPECT_EQ(fx.orchestrator->find_task(t28)->band, em::Band::k28GHz);
+  EXPECT_EQ(fx.orchestrator->find_task(t24)->band, em::Band::k24GHz);
+  // Both tasks were actually served (per-band surfaces were capable).
+  EXPECT_TRUE(fx.orchestrator->find_task(t28)->achieved.has_value());
+  EXPECT_TRUE(fx.orchestrator->find_task(t24)->achieved.has_value());
+  EXPECT_TRUE(report.starved.empty());
+}
+
+TEST(OrchestratorTest, TaskOnUnservedBandStarves) {
+  OrchestratorFixture fx;
+  const TaskId id = fx.orchestrator->enhance_link(
+      {"laptop", 10.0, 50.0}, kPriorityNormal, em::Band::k60GHz);
+  const StepReport report = fx.orchestrator->step();
+  ASSERT_EQ(report.starved.size(), 1u);
+  EXPECT_EQ(report.starved[0], id);
+  EXPECT_EQ(fx.orchestrator->find_task(id)->state, TaskState::kFailed);
+}
+
+TEST(OrchestratorTest, LastRealizedReflectsHardware) {
+  OrchestratorFixture fx;
+  fx.orchestrator->enhance_link({"laptop", 15.0, 50.0});
+  fx.orchestrator->step();
+  const auto config = fx.orchestrator->last_realized("wall");
+  ASSERT_TRUE(config.has_value());
+  // Hardware holds a non-trivial configuration now.
+  const surface::SurfaceConfig zero(config->size());
+  EXPECT_GT(config->max_phase_delta(zero), 0.1);
+}
+
+}  // namespace
+}  // namespace surfos::orch

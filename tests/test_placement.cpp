@@ -1,0 +1,135 @@
+// Deployment-automation tests: candidate mount generation and the placement
+// planner's ranking/greedy selection on scenes with known best answers.
+#include <gtest/gtest.h>
+
+#include "em/material.hpp"
+#include "orch/placement.hpp"
+#include "util/stats.hpp"
+
+namespace surfos::orch {
+namespace {
+
+TEST(WallMounts, GeneratesInwardFacingMounts) {
+  const auto mounts = wall_mounts(0.0, 4.0, 0.0, 3.0, 1.8, 1.0);
+  ASSERT_FALSE(mounts.empty());
+  const geom::Vec3 center{2.0, 1.5, 1.8};
+  for (const auto& mount : mounts) {
+    // Every normal points toward the room interior.
+    EXPECT_GT((center - mount.pose.origin()).dot(mount.pose.normal()), 0.0)
+        << mount.label;
+    // Mounts sit just inside the rectangle.
+    EXPECT_GE(mount.pose.origin().x, -1e-9);
+    EXPECT_LE(mount.pose.origin().x, 4.0 + 1e-9);
+  }
+}
+
+TEST(WallMounts, SpacingControlsCount) {
+  const auto coarse = wall_mounts(0.0, 4.0, 0.0, 4.0, 1.8, 2.0);
+  const auto fine = wall_mounts(0.0, 4.0, 0.0, 4.0, 1.8, 0.5);
+  EXPECT_GT(fine.size(), coarse.size());
+  EXPECT_THROW(wall_mounts(4.0, 0.0, 0.0, 4.0, 1.8), std::invalid_argument);
+  EXPECT_THROW(wall_mounts(0.0, 4.0, 0.0, 4.0, 1.8, 0.0),
+               std::invalid_argument);
+}
+
+struct PlannerFixture {
+  sim::Environment env{em::MaterialDb::standard()};
+  sim::TxSpec ap{{5.6, 0.5, 1.8}, nullptr};
+  em::LinkBudget budget{10.0, 400e6, 7.0};
+  geom::SampleGrid region{0.5, 3.5, 2.5, 5.5, 1.0, 4, 4};  // west half: shadowed from the opening
+
+  PlannerFixture() {
+    // A 6x6 hall split by a concrete partition at y = 1.5 with one narrow
+    // opening (x in [5.2, 6]). The AP sits in the south strip; the target
+    // region is north of the partition, so only mounts the AP can reach
+    // through the opening — and which themselves see the region — are
+    // useful.
+    env.add_vertical_wall(0, 0, 6, 0, 0, 3, em::kMatConcrete);
+    env.add_vertical_wall(0, 6, 6, 6, 0, 3, em::kMatConcrete);
+    env.add_vertical_wall(0, 0, 0, 6, 0, 3, em::kMatConcrete);
+    env.add_vertical_wall(6, 0, 6, 6, 0, 3, em::kMatConcrete);
+    env.add_vertical_wall(0.0, 1.5, 5.2, 1.5, 0, 3, em::kMatConcrete);
+    env.finalize();
+  }
+};
+
+TEST(Placement, RanksEveryCandidate) {
+  PlannerFixture fx;
+  const auto candidates = wall_mounts(0.0, 6.0, 0.0, 6.0, 1.8, 2.0);
+  const PlacementPlan plan =
+      plan_placement(fx.env, fx.ap, em::Band::k28GHz, fx.budget, candidates,
+                     fx.region);
+  EXPECT_EQ(plan.ranking.size(), candidates.size());
+  // Ranking is sorted best-first.
+  for (std::size_t i = 1; i < plan.ranking.size(); ++i) {
+    EXPECT_GE(plan.ranking[i - 1].median_snr_db,
+              plan.ranking[i].median_snr_db);
+  }
+  ASSERT_EQ(plan.selected.size(), 1u);
+  EXPECT_EQ(plan.selected[0], plan.ranking[0].index);
+  EXPECT_NEAR(plan.selected_median_snr_db, plan.ranking[0].median_snr_db,
+              1e-9);
+}
+
+TEST(Placement, PrefersMountsWithLineOfSightToBoth) {
+  PlannerFixture fx;
+  // Two handcrafted candidates: one behind the partition (the AP cannot
+  // feed it), one on the north wall fed squarely through the opening with
+  // clear LoS to the whole region.
+  const std::vector<MountCandidate> candidates{
+      {"shadowed", geom::Frame({1.0, 3.0, 1.8}, {1, 0, 0})},
+      {"clear", geom::Frame({4.0, 5.9, 1.8}, {0, -1, 0})},
+  };
+  PlacementOptions options;
+  options.rows = 24;  // enough aperture to rise clearly above the direct floor
+  options.cols = 24;
+  const PlacementPlan plan =
+      plan_placement(fx.env, fx.ap, em::Band::k28GHz, fx.budget, candidates,
+                     fx.region, options);
+  EXPECT_EQ(candidates[plan.ranking[0].index].label, "clear");
+
+  // Both candidates share the same direct-channel floor (the slice of the
+  // region the AP sees through the opening); only the clear mount adds
+  // surface gain on top of it.
+  const sim::SceneChannel direct(&fx.env, em::band_center(em::Band::k28GHz),
+                                 fx.ap, {}, fx.region.points());
+  std::vector<double> baseline;
+  for (std::size_t j = 0; j < direct.rx_count(); ++j) {
+    baseline.push_back(fx.budget.snr_db(std::norm(direct.direct(j))));
+  }
+  const double floor = util::median(baseline);
+  EXPECT_GT(plan.ranking[0].median_snr_db, floor + 2.0);   // clear adds gain
+  EXPECT_LT(plan.ranking[1].median_snr_db, floor + 1.0);   // shadowed cannot
+}
+
+TEST(Placement, SecondSurfaceImprovesCoverageTail) {
+  PlannerFixture fx;
+  const auto candidates = wall_mounts(0.0, 6.0, 0.0, 6.0, 1.8, 1.5);
+  PlacementOptions one;
+  one.surfaces_to_place = 1;
+  PlacementOptions two;
+  two.surfaces_to_place = 2;
+  const auto plan1 = plan_placement(fx.env, fx.ap, em::Band::k28GHz,
+                                    fx.budget, candidates, fx.region, one);
+  const auto plan2 = plan_placement(fx.env, fx.ap, em::Band::k28GHz,
+                                    fx.budget, candidates, fx.region, two);
+  EXPECT_EQ(plan2.selected.size(), 2u);
+  EXPECT_GE(plan2.selected_median_snr_db, plan1.selected_median_snr_db);
+  EXPECT_NE(plan2.selected[0], plan2.selected[1]);
+}
+
+TEST(Placement, RejectsBadInput) {
+  PlannerFixture fx;
+  EXPECT_THROW(plan_placement(fx.env, fx.ap, em::Band::k28GHz, fx.budget, {},
+                              fx.region),
+               std::invalid_argument);
+  PlacementOptions zero;
+  zero.surfaces_to_place = 0;
+  const auto candidates = wall_mounts(0.0, 6.0, 0.0, 6.0, 1.8, 3.0);
+  EXPECT_THROW(plan_placement(fx.env, fx.ap, em::Band::k28GHz, fx.budget,
+                              candidates, fx.region, zero),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace surfos::orch
