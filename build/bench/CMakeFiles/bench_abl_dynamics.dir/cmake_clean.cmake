@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_dynamics.dir/bench_abl_dynamics.cpp.o"
+  "CMakeFiles/bench_abl_dynamics.dir/bench_abl_dynamics.cpp.o.d"
+  "bench_abl_dynamics"
+  "bench_abl_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

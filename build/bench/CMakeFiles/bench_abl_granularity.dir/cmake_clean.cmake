@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_granularity.dir/bench_abl_granularity.cpp.o"
+  "CMakeFiles/bench_abl_granularity.dir/bench_abl_granularity.cpp.o.d"
+  "bench_abl_granularity"
+  "bench_abl_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

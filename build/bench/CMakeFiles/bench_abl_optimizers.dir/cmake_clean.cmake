@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_optimizers.dir/bench_abl_optimizers.cpp.o"
+  "CMakeFiles/bench_abl_optimizers.dir/bench_abl_optimizers.cpp.o.d"
+  "bench_abl_optimizers"
+  "bench_abl_optimizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_optimizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_reliability.dir/bench_abl_reliability.cpp.o"
+  "CMakeFiles/bench_abl_reliability.dir/bench_abl_reliability.cpp.o.d"
+  "bench_abl_reliability"
+  "bench_abl_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

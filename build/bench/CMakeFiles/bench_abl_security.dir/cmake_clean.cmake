@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_security.dir/bench_abl_security.cpp.o"
+  "CMakeFiles/bench_abl_security.dir/bench_abl_security.cpp.o.d"
+  "bench_abl_security"
+  "bench_abl_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_squint.dir/bench_abl_squint.cpp.o"
+  "CMakeFiles/bench_abl_squint.dir/bench_abl_squint.cpp.o.d"
+  "bench_abl_squint"
+  "bench_abl_squint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_squint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_conflict.cpp" "bench/CMakeFiles/bench_fig2_conflict.dir/bench_fig2_conflict.cpp.o" "gcc" "bench/CMakeFiles/bench_fig2_conflict.dir/bench_fig2_conflict.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/surfos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/surfos_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/orch/CMakeFiles/surfos_orch.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/surfos_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/surfos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sense/CMakeFiles/surfos_sense.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/surfos_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/surface/CMakeFiles/surfos_surface.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/surfos_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/surfos_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/surfos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_coverage.dir/hybrid_coverage.cpp.o"
+  "CMakeFiles/hybrid_coverage.dir/hybrid_coverage.cpp.o.d"
+  "hybrid_coverage"
+  "hybrid_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

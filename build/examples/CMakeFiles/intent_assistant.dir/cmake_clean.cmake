@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intent_assistant.dir/intent_assistant.cpp.o"
+  "CMakeFiles/intent_assistant.dir/intent_assistant.cpp.o.d"
+  "intent_assistant"
+  "intent_assistant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intent_assistant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joint_comm_sensing.dir/joint_comm_sensing.cpp.o"
+  "CMakeFiles/joint_comm_sensing.dir/joint_comm_sensing.cpp.o.d"
+  "joint_comm_sensing"
+  "joint_comm_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joint_comm_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_service_daemon.dir/multi_service_daemon.cpp.o"
+  "CMakeFiles/multi_service_daemon.dir/multi_service_daemon.cpp.o.d"
+  "multi_service_daemon"
+  "multi_service_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_service_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensing_suite.dir/sensing_suite.cpp.o"
+  "CMakeFiles/sensing_suite.dir/sensing_suite.cpp.o.d"
+  "sensing_suite"
+  "sensing_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensing_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfos_broker.dir/broker.cpp.o"
+  "CMakeFiles/surfos_broker.dir/broker.cpp.o.d"
+  "CMakeFiles/surfos_broker.dir/demand.cpp.o"
+  "CMakeFiles/surfos_broker.dir/demand.cpp.o.d"
+  "CMakeFiles/surfos_broker.dir/intent.cpp.o"
+  "CMakeFiles/surfos_broker.dir/intent.cpp.o.d"
+  "CMakeFiles/surfos_broker.dir/monitor.cpp.o"
+  "CMakeFiles/surfos_broker.dir/monitor.cpp.o.d"
+  "CMakeFiles/surfos_broker.dir/specgen.cpp.o"
+  "CMakeFiles/surfos_broker.dir/specgen.cpp.o.d"
+  "CMakeFiles/surfos_broker.dir/translate.cpp.o"
+  "CMakeFiles/surfos_broker.dir/translate.cpp.o.d"
+  "libsurfos_broker.a"
+  "libsurfos_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfos_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

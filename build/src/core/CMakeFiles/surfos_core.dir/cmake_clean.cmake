@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfos_core.dir/fleet.cpp.o"
+  "CMakeFiles/surfos_core.dir/fleet.cpp.o.d"
+  "CMakeFiles/surfos_core.dir/surfos.cpp.o"
+  "CMakeFiles/surfos_core.dir/surfos.cpp.o.d"
+  "libsurfos_core.a"
+  "libsurfos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/em/antenna.cpp" "src/em/CMakeFiles/surfos_em.dir/antenna.cpp.o" "gcc" "src/em/CMakeFiles/surfos_em.dir/antenna.cpp.o.d"
+  "/root/repo/src/em/material.cpp" "src/em/CMakeFiles/surfos_em.dir/material.cpp.o" "gcc" "src/em/CMakeFiles/surfos_em.dir/material.cpp.o.d"
+  "/root/repo/src/em/propagation.cpp" "src/em/CMakeFiles/surfos_em.dir/propagation.cpp.o" "gcc" "src/em/CMakeFiles/surfos_em.dir/propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/surfos_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/surfos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfos_em.dir/antenna.cpp.o"
+  "CMakeFiles/surfos_em.dir/antenna.cpp.o.d"
+  "CMakeFiles/surfos_em.dir/material.cpp.o"
+  "CMakeFiles/surfos_em.dir/material.cpp.o.d"
+  "CMakeFiles/surfos_em.dir/propagation.cpp.o"
+  "CMakeFiles/surfos_em.dir/propagation.cpp.o.d"
+  "libsurfos_em.a"
+  "libsurfos_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfos_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfos_geom.dir/bvh.cpp.o"
+  "CMakeFiles/surfos_geom.dir/bvh.cpp.o.d"
+  "CMakeFiles/surfos_geom.dir/mesh.cpp.o"
+  "CMakeFiles/surfos_geom.dir/mesh.cpp.o.d"
+  "libsurfos_geom.a"
+  "libsurfos_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfos_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hal/codebook.cpp" "src/hal/CMakeFiles/surfos_hal.dir/codebook.cpp.o" "gcc" "src/hal/CMakeFiles/surfos_hal.dir/codebook.cpp.o.d"
+  "/root/repo/src/hal/crc32.cpp" "src/hal/CMakeFiles/surfos_hal.dir/crc32.cpp.o" "gcc" "src/hal/CMakeFiles/surfos_hal.dir/crc32.cpp.o.d"
+  "/root/repo/src/hal/driver.cpp" "src/hal/CMakeFiles/surfos_hal.dir/driver.cpp.o" "gcc" "src/hal/CMakeFiles/surfos_hal.dir/driver.cpp.o.d"
+  "/root/repo/src/hal/feedback.cpp" "src/hal/CMakeFiles/surfos_hal.dir/feedback.cpp.o" "gcc" "src/hal/CMakeFiles/surfos_hal.dir/feedback.cpp.o.d"
+  "/root/repo/src/hal/link.cpp" "src/hal/CMakeFiles/surfos_hal.dir/link.cpp.o" "gcc" "src/hal/CMakeFiles/surfos_hal.dir/link.cpp.o.d"
+  "/root/repo/src/hal/protocol.cpp" "src/hal/CMakeFiles/surfos_hal.dir/protocol.cpp.o" "gcc" "src/hal/CMakeFiles/surfos_hal.dir/protocol.cpp.o.d"
+  "/root/repo/src/hal/registry.cpp" "src/hal/CMakeFiles/surfos_hal.dir/registry.cpp.o" "gcc" "src/hal/CMakeFiles/surfos_hal.dir/registry.cpp.o.d"
+  "/root/repo/src/hal/reliable.cpp" "src/hal/CMakeFiles/surfos_hal.dir/reliable.cpp.o" "gcc" "src/hal/CMakeFiles/surfos_hal.dir/reliable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/surface/CMakeFiles/surfos_surface.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/surfos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/surfos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/surfos_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/surfos_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

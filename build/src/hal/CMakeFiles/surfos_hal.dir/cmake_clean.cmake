@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfos_hal.dir/codebook.cpp.o"
+  "CMakeFiles/surfos_hal.dir/codebook.cpp.o.d"
+  "CMakeFiles/surfos_hal.dir/crc32.cpp.o"
+  "CMakeFiles/surfos_hal.dir/crc32.cpp.o.d"
+  "CMakeFiles/surfos_hal.dir/driver.cpp.o"
+  "CMakeFiles/surfos_hal.dir/driver.cpp.o.d"
+  "CMakeFiles/surfos_hal.dir/feedback.cpp.o"
+  "CMakeFiles/surfos_hal.dir/feedback.cpp.o.d"
+  "CMakeFiles/surfos_hal.dir/link.cpp.o"
+  "CMakeFiles/surfos_hal.dir/link.cpp.o.d"
+  "CMakeFiles/surfos_hal.dir/protocol.cpp.o"
+  "CMakeFiles/surfos_hal.dir/protocol.cpp.o.d"
+  "CMakeFiles/surfos_hal.dir/registry.cpp.o"
+  "CMakeFiles/surfos_hal.dir/registry.cpp.o.d"
+  "CMakeFiles/surfos_hal.dir/reliable.cpp.o"
+  "CMakeFiles/surfos_hal.dir/reliable.cpp.o.d"
+  "libsurfos_hal.a"
+  "libsurfos_hal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfos_hal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/adam.cpp" "src/opt/CMakeFiles/surfos_opt.dir/adam.cpp.o" "gcc" "src/opt/CMakeFiles/surfos_opt.dir/adam.cpp.o.d"
+  "/root/repo/src/opt/annealing.cpp" "src/opt/CMakeFiles/surfos_opt.dir/annealing.cpp.o" "gcc" "src/opt/CMakeFiles/surfos_opt.dir/annealing.cpp.o.d"
+  "/root/repo/src/opt/cmaes.cpp" "src/opt/CMakeFiles/surfos_opt.dir/cmaes.cpp.o" "gcc" "src/opt/CMakeFiles/surfos_opt.dir/cmaes.cpp.o.d"
+  "/root/repo/src/opt/gradient_descent.cpp" "src/opt/CMakeFiles/surfos_opt.dir/gradient_descent.cpp.o" "gcc" "src/opt/CMakeFiles/surfos_opt.dir/gradient_descent.cpp.o.d"
+  "/root/repo/src/opt/objective.cpp" "src/opt/CMakeFiles/surfos_opt.dir/objective.cpp.o" "gcc" "src/opt/CMakeFiles/surfos_opt.dir/objective.cpp.o.d"
+  "/root/repo/src/opt/random_search.cpp" "src/opt/CMakeFiles/surfos_opt.dir/random_search.cpp.o" "gcc" "src/opt/CMakeFiles/surfos_opt.dir/random_search.cpp.o.d"
+  "/root/repo/src/opt/spsa.cpp" "src/opt/CMakeFiles/surfos_opt.dir/spsa.cpp.o" "gcc" "src/opt/CMakeFiles/surfos_opt.dir/spsa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/surfos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

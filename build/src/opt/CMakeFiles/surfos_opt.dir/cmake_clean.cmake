@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfos_opt.dir/adam.cpp.o"
+  "CMakeFiles/surfos_opt.dir/adam.cpp.o.d"
+  "CMakeFiles/surfos_opt.dir/annealing.cpp.o"
+  "CMakeFiles/surfos_opt.dir/annealing.cpp.o.d"
+  "CMakeFiles/surfos_opt.dir/cmaes.cpp.o"
+  "CMakeFiles/surfos_opt.dir/cmaes.cpp.o.d"
+  "CMakeFiles/surfos_opt.dir/gradient_descent.cpp.o"
+  "CMakeFiles/surfos_opt.dir/gradient_descent.cpp.o.d"
+  "CMakeFiles/surfos_opt.dir/objective.cpp.o"
+  "CMakeFiles/surfos_opt.dir/objective.cpp.o.d"
+  "CMakeFiles/surfos_opt.dir/random_search.cpp.o"
+  "CMakeFiles/surfos_opt.dir/random_search.cpp.o.d"
+  "CMakeFiles/surfos_opt.dir/spsa.cpp.o"
+  "CMakeFiles/surfos_opt.dir/spsa.cpp.o.d"
+  "libsurfos_opt.a"
+  "libsurfos_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfos_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

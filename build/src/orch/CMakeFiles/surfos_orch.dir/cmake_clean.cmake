@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfos_orch.dir/objectives.cpp.o"
+  "CMakeFiles/surfos_orch.dir/objectives.cpp.o.d"
+  "CMakeFiles/surfos_orch.dir/orchestrator.cpp.o"
+  "CMakeFiles/surfos_orch.dir/orchestrator.cpp.o.d"
+  "CMakeFiles/surfos_orch.dir/perf.cpp.o"
+  "CMakeFiles/surfos_orch.dir/perf.cpp.o.d"
+  "CMakeFiles/surfos_orch.dir/placement.cpp.o"
+  "CMakeFiles/surfos_orch.dir/placement.cpp.o.d"
+  "CMakeFiles/surfos_orch.dir/scheduler.cpp.o"
+  "CMakeFiles/surfos_orch.dir/scheduler.cpp.o.d"
+  "CMakeFiles/surfos_orch.dir/task.cpp.o"
+  "CMakeFiles/surfos_orch.dir/task.cpp.o.d"
+  "CMakeFiles/surfos_orch.dir/variables.cpp.o"
+  "CMakeFiles/surfos_orch.dir/variables.cpp.o.d"
+  "libsurfos_orch.a"
+  "libsurfos_orch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfos_orch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

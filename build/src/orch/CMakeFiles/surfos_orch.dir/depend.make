@@ -1,0 +1,2 @@
+# Empty dependencies file for surfos_orch.
+# This may be replaced when dependencies are built.

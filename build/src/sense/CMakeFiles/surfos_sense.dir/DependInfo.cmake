@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sense/aoa.cpp" "src/sense/CMakeFiles/surfos_sense.dir/aoa.cpp.o" "gcc" "src/sense/CMakeFiles/surfos_sense.dir/aoa.cpp.o.d"
+  "/root/repo/src/sense/eigen.cpp" "src/sense/CMakeFiles/surfos_sense.dir/eigen.cpp.o" "gcc" "src/sense/CMakeFiles/surfos_sense.dir/eigen.cpp.o.d"
+  "/root/repo/src/sense/localize.cpp" "src/sense/CMakeFiles/surfos_sense.dir/localize.cpp.o" "gcc" "src/sense/CMakeFiles/surfos_sense.dir/localize.cpp.o.d"
+  "/root/repo/src/sense/motion.cpp" "src/sense/CMakeFiles/surfos_sense.dir/motion.cpp.o" "gcc" "src/sense/CMakeFiles/surfos_sense.dir/motion.cpp.o.d"
+  "/root/repo/src/sense/steering.cpp" "src/sense/CMakeFiles/surfos_sense.dir/steering.cpp.o" "gcc" "src/sense/CMakeFiles/surfos_sense.dir/steering.cpp.o.d"
+  "/root/repo/src/sense/tof.cpp" "src/sense/CMakeFiles/surfos_sense.dir/tof.cpp.o" "gcc" "src/sense/CMakeFiles/surfos_sense.dir/tof.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/surface/CMakeFiles/surfos_surface.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/surfos_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/surfos_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/surfos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

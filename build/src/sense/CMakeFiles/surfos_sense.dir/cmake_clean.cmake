@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfos_sense.dir/aoa.cpp.o"
+  "CMakeFiles/surfos_sense.dir/aoa.cpp.o.d"
+  "CMakeFiles/surfos_sense.dir/eigen.cpp.o"
+  "CMakeFiles/surfos_sense.dir/eigen.cpp.o.d"
+  "CMakeFiles/surfos_sense.dir/localize.cpp.o"
+  "CMakeFiles/surfos_sense.dir/localize.cpp.o.d"
+  "CMakeFiles/surfos_sense.dir/motion.cpp.o"
+  "CMakeFiles/surfos_sense.dir/motion.cpp.o.d"
+  "CMakeFiles/surfos_sense.dir/steering.cpp.o"
+  "CMakeFiles/surfos_sense.dir/steering.cpp.o.d"
+  "CMakeFiles/surfos_sense.dir/tof.cpp.o"
+  "CMakeFiles/surfos_sense.dir/tof.cpp.o.d"
+  "libsurfos_sense.a"
+  "libsurfos_sense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfos_sense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

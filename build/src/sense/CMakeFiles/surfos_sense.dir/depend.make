@@ -1,0 +1,2 @@
+# Empty dependencies file for surfos_sense.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/channel.cpp" "src/sim/CMakeFiles/surfos_sim.dir/channel.cpp.o" "gcc" "src/sim/CMakeFiles/surfos_sim.dir/channel.cpp.o.d"
+  "/root/repo/src/sim/dynamics.cpp" "src/sim/CMakeFiles/surfos_sim.dir/dynamics.cpp.o" "gcc" "src/sim/CMakeFiles/surfos_sim.dir/dynamics.cpp.o.d"
+  "/root/repo/src/sim/environment.cpp" "src/sim/CMakeFiles/surfos_sim.dir/environment.cpp.o" "gcc" "src/sim/CMakeFiles/surfos_sim.dir/environment.cpp.o.d"
+  "/root/repo/src/sim/floorplan.cpp" "src/sim/CMakeFiles/surfos_sim.dir/floorplan.cpp.o" "gcc" "src/sim/CMakeFiles/surfos_sim.dir/floorplan.cpp.o.d"
+  "/root/repo/src/sim/heatmap.cpp" "src/sim/CMakeFiles/surfos_sim.dir/heatmap.cpp.o" "gcc" "src/sim/CMakeFiles/surfos_sim.dir/heatmap.cpp.o.d"
+  "/root/repo/src/sim/raytracer.cpp" "src/sim/CMakeFiles/surfos_sim.dir/raytracer.cpp.o" "gcc" "src/sim/CMakeFiles/surfos_sim.dir/raytracer.cpp.o.d"
+  "/root/repo/src/sim/wideband.cpp" "src/sim/CMakeFiles/surfos_sim.dir/wideband.cpp.o" "gcc" "src/sim/CMakeFiles/surfos_sim.dir/wideband.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/surface/CMakeFiles/surfos_surface.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/surfos_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/surfos_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/surfos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

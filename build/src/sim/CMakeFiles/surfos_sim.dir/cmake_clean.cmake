@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfos_sim.dir/channel.cpp.o"
+  "CMakeFiles/surfos_sim.dir/channel.cpp.o.d"
+  "CMakeFiles/surfos_sim.dir/dynamics.cpp.o"
+  "CMakeFiles/surfos_sim.dir/dynamics.cpp.o.d"
+  "CMakeFiles/surfos_sim.dir/environment.cpp.o"
+  "CMakeFiles/surfos_sim.dir/environment.cpp.o.d"
+  "CMakeFiles/surfos_sim.dir/floorplan.cpp.o"
+  "CMakeFiles/surfos_sim.dir/floorplan.cpp.o.d"
+  "CMakeFiles/surfos_sim.dir/heatmap.cpp.o"
+  "CMakeFiles/surfos_sim.dir/heatmap.cpp.o.d"
+  "CMakeFiles/surfos_sim.dir/raytracer.cpp.o"
+  "CMakeFiles/surfos_sim.dir/raytracer.cpp.o.d"
+  "CMakeFiles/surfos_sim.dir/wideband.cpp.o"
+  "CMakeFiles/surfos_sim.dir/wideband.cpp.o.d"
+  "libsurfos_sim.a"
+  "libsurfos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/surface/catalog.cpp" "src/surface/CMakeFiles/surfos_surface.dir/catalog.cpp.o" "gcc" "src/surface/CMakeFiles/surfos_surface.dir/catalog.cpp.o.d"
+  "/root/repo/src/surface/config.cpp" "src/surface/CMakeFiles/surfos_surface.dir/config.cpp.o" "gcc" "src/surface/CMakeFiles/surfos_surface.dir/config.cpp.o.d"
+  "/root/repo/src/surface/cost.cpp" "src/surface/CMakeFiles/surfos_surface.dir/cost.cpp.o" "gcc" "src/surface/CMakeFiles/surfos_surface.dir/cost.cpp.o.d"
+  "/root/repo/src/surface/panel.cpp" "src/surface/CMakeFiles/surfos_surface.dir/panel.cpp.o" "gcc" "src/surface/CMakeFiles/surfos_surface.dir/panel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/em/CMakeFiles/surfos_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/surfos_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/surfos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfos_surface.dir/catalog.cpp.o"
+  "CMakeFiles/surfos_surface.dir/catalog.cpp.o.d"
+  "CMakeFiles/surfos_surface.dir/config.cpp.o"
+  "CMakeFiles/surfos_surface.dir/config.cpp.o.d"
+  "CMakeFiles/surfos_surface.dir/cost.cpp.o"
+  "CMakeFiles/surfos_surface.dir/cost.cpp.o.d"
+  "CMakeFiles/surfos_surface.dir/panel.cpp.o"
+  "CMakeFiles/surfos_surface.dir/panel.cpp.o.d"
+  "libsurfos_surface.a"
+  "libsurfos_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfos_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

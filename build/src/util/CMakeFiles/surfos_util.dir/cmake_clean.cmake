@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfos_util.dir/csv.cpp.o"
+  "CMakeFiles/surfos_util.dir/csv.cpp.o.d"
+  "CMakeFiles/surfos_util.dir/log.cpp.o"
+  "CMakeFiles/surfos_util.dir/log.cpp.o.d"
+  "CMakeFiles/surfos_util.dir/strings.cpp.o"
+  "CMakeFiles/surfos_util.dir/strings.cpp.o.d"
+  "CMakeFiles/surfos_util.dir/table.cpp.o"
+  "CMakeFiles/surfos_util.dir/table.cpp.o.d"
+  "libsurfos_util.a"
+  "libsurfos_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfos_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orch.dir/test_orch.cpp.o"
+  "CMakeFiles/test_orch.dir/test_orch.cpp.o.d"
+  "test_orch"
+  "test_orch.pdb"
+  "test_orch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

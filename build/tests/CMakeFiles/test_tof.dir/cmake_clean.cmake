@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tof.dir/test_tof.cpp.o"
+  "CMakeFiles/test_tof.dir/test_tof.cpp.o.d"
+  "test_tof"
+  "test_tof.pdb"
+  "test_tof[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
