@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -6,6 +7,18 @@
 
 namespace surfos::opt {
 
+// Simulated annealing over per-coordinate phase perturbations, with
+// speculative candidate pools. While moves are being accepted the chain is
+// strictly sequential (each candidate perturbs the newest state), so the
+// pool size is 1. Once a long rejection streak shows the chain has settled
+// into reject-mostly behaviour, candidates are speculated in fixed-size
+// pools from the current state and evaluated together through
+// Objective::value_batch (parallel for thread-safe objectives); accept
+// decisions replay in candidate order and the rest of a pool is discarded
+// after the first acceptance, since later candidates were speculated
+// against a stale base. Pool sizes and every RNG draw are independent of
+// the thread count, so trajectories are bit-identical under any
+// SURFOS_THREADS setting.
 OptimizeResult SimulatedAnnealing::minimize(const Objective& objective,
                                             std::vector<double> x0) const {
   if (x0.size() != objective.dimension()) {
@@ -19,31 +32,59 @@ OptimizeResult SimulatedAnnealing::minimize(const Objective& objective,
   result.x = x;
   result.value = value;
 
+  // Speculate only after this many consecutive rejections; at that point the
+  // expected waste from discarding post-acceptance pool tails is small.
+  constexpr std::size_t kPool = 8;
+  constexpr std::size_t kStreakToPool = 16;
+
   double temperature = options_.initial_temperature;
-  std::vector<double> candidate = x;
+  std::size_t rejection_streak = 0;
+  std::vector<std::vector<double>> candidates;
+  std::vector<std::size_t> coords;
+  std::vector<double> temps;
+  std::vector<double> values;
   while (result.evaluations < options_.max_evaluations) {
     ++result.iterations;
-    // Perturb a single random coordinate — cheap moves mix better than
-    // full-vector jumps once the configuration is mostly settled.
-    const std::size_t i = static_cast<std::size_t>(rng.below(x.size()));
-    const double saved = candidate[i];
-    candidate[i] = x[i] + options_.sigma * temperature * rng.normal();
-    const double trial = objective.value(candidate);
-    ++result.evaluations;
-    const bool accept =
-        trial < value ||
-        rng.uniform() < std::exp(-(trial - value) / std::fmax(1e-12, temperature));
-    if (accept) {
-      x[i] = candidate[i];
-      value = trial;
-      if (value < result.value) {
-        result.value = value;
-        result.x = x;
-      }
-    } else {
-      candidate[i] = saved;
+    const std::size_t batch =
+        rejection_streak >= kStreakToPool
+            ? std::min<std::size_t>(
+                  kPool, options_.max_evaluations - result.evaluations)
+            : 1;
+    candidates.assign(batch, x);
+    coords.resize(batch);
+    temps.resize(batch);
+    values.assign(batch, 0.0);
+    // Proposal draws happen here, sequentially, before any (possibly
+    // parallel) evaluation; temperature cools once per evaluation as in the
+    // sequential algorithm. Acceptance uniforms are drawn lazily below, on
+    // the calling thread, preserving the sequential algorithm's RNG stream
+    // exactly whenever the pool size is 1.
+    for (std::size_t k = 0; k < batch; ++k) {
+      coords[k] = static_cast<std::size_t>(rng.below(x.size()));
+      candidates[k][coords[k]] =
+          x[coords[k]] + options_.sigma * temperature * rng.normal();
+      temps[k] = temperature;
+      temperature *= options_.cooling;
     }
-    temperature *= options_.cooling;
+    objective.value_batch(candidates, values);
+    result.evaluations += batch;
+    for (std::size_t k = 0; k < batch; ++k) {
+      const bool accept =
+          values[k] < value ||
+          rng.uniform() <
+              std::exp(-(values[k] - value) / std::fmax(1e-12, temps[k]));
+      if (accept) {
+        x[coords[k]] = candidates[k][coords[k]];
+        value = values[k];
+        if (value < result.value) {
+          result.value = value;
+          result.x = x;
+        }
+        rejection_streak = 0;
+        break;  // later pool members were speculated against a stale base
+      }
+      ++rejection_streak;
+    }
   }
   result.converged = true;
   return result;

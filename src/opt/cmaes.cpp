@@ -70,18 +70,28 @@ OptimizeResult CmaEs::minimize(const Objective& objective,
     s.x.resize(n);
   }
 
+  std::vector<std::vector<double>> candidates(lambda,
+                                              std::vector<double>(n));
+  std::vector<double> values(lambda);
   while (result.evaluations + lambda <= options_.max_evaluations) {
     ++result.iterations;
-    for (auto& s : population) {
+    // Sampling stays serial (one deterministic RNG stream); the lambda
+    // objective evaluations — the expensive part — fan out as a batch.
+    for (std::size_t k = 0; k < lambda; ++k) {
+      auto& s = population[k];
       for (std::size_t i = 0; i < n; ++i) {
         s.z[i] = rng.normal();
         s.x[i] = mean[i] + sigma * std::sqrt(variance[i]) * s.z[i];
       }
-      s.value = objective.value(s.x);
-      ++result.evaluations;
-      if (s.value < result.value) {
-        result.value = s.value;
-        result.x = s.x;
+      candidates[k] = s.x;
+    }
+    objective.value_batch(candidates, values);
+    result.evaluations += lambda;
+    for (std::size_t k = 0; k < lambda; ++k) {
+      population[k].value = values[k];
+      if (values[k] < result.value) {
+        result.value = values[k];
+        result.x = population[k].x;
       }
     }
     std::sort(population.begin(), population.end(),

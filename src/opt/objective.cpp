@@ -1,6 +1,9 @@
 #include "opt/objective.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace surfos::opt {
 
@@ -9,8 +12,28 @@ double Objective::value_and_gradient(std::span<const double> x,
   if (gradient.size() != x.size()) {
     throw std::invalid_argument("Objective: gradient size mismatch");
   }
-  std::vector<double> probe(x.begin(), x.end());
+  // Base value once, up front; the probes below never revisit x itself.
+  const double base = value(x);
   const double h = fd_step();
+  if (thread_safe() && x.size() > 1) {
+    // 2n independent probes; each coordinate writes only gradient[i]. Chunked
+    // so each worker clones x once per chunk, not once per probe.
+    util::global_pool().run_chunked(
+        0, x.size(), [&](std::size_t b, std::size_t e) {
+          std::vector<double> probe(x.begin(), x.end());
+          for (std::size_t i = b; i < e; ++i) {
+            const double original = probe[i];
+            probe[i] = original + h;
+            const double plus = value(probe);
+            probe[i] = original - h;
+            const double minus = value(probe);
+            probe[i] = original;
+            gradient[i] = (plus - minus) / (2.0 * h);
+          }
+        });
+    return base;
+  }
+  std::vector<double> probe(x.begin(), x.end());
   for (std::size_t i = 0; i < x.size(); ++i) {
     const double original = probe[i];
     probe[i] = original + h;
@@ -20,7 +43,20 @@ double Objective::value_and_gradient(std::span<const double> x,
     probe[i] = original;
     gradient[i] = (plus - minus) / (2.0 * h);
   }
-  return value(x);
+  return base;
+}
+
+void Objective::value_batch(std::span<const std::vector<double>> xs,
+                            std::span<double> out) const {
+  if (out.size() != xs.size()) {
+    throw std::invalid_argument("Objective: batch output size mismatch");
+  }
+  if (thread_safe()) {
+    util::parallel_for(0, xs.size(),
+                       [&](std::size_t k) { out[k] = value(xs[k]); });
+  } else {
+    for (std::size_t k = 0; k < xs.size(); ++k) out[k] = value(xs[k]);
+  }
 }
 
 void WeightedSumObjective::add_term(const Objective* objective, double weight) {
@@ -60,6 +96,11 @@ double WeightedSumObjective::value_and_gradient(
     }
   }
   return sum;
+}
+
+bool WeightedSumObjective::thread_safe() const {
+  return std::all_of(terms_.begin(), terms_.end(),
+                     [](const auto& t) { return t.first->thread_safe(); });
 }
 
 }  // namespace surfos::opt

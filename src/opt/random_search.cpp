@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <stdexcept>
 
 #include "opt/optimizer.hpp"
@@ -5,6 +6,12 @@
 
 namespace surfos::opt {
 
+// (1+lambda) random search: each round draws a fixed-size pool of Gaussian
+// perturbations of the incumbent and evaluates it through
+// Objective::value_batch (parallel for thread-safe objectives). The pool
+// size is a constant — never derived from the thread count — and winners
+// are folded in candidate-index order, so trajectories are bit-identical
+// under any SURFOS_THREADS setting.
 OptimizeResult RandomSearch::minimize(const Objective& objective,
                                       std::vector<double> x0) const {
   if (x0.size() != objective.dimension()) {
@@ -16,17 +23,27 @@ OptimizeResult RandomSearch::minimize(const Objective& objective,
   result.value = objective.value(result.x);
   ++result.evaluations;
 
-  std::vector<double> candidate(result.x.size());
+  constexpr std::size_t kPool = 16;
+  std::vector<std::vector<double>> candidates;
+  std::vector<double> values;
   while (result.evaluations < options_.max_evaluations) {
     ++result.iterations;
-    for (std::size_t i = 0; i < result.x.size(); ++i) {
-      candidate[i] = result.x[i] + options_.sigma * rng.normal();
+    const std::size_t batch = std::min<std::size_t>(
+        kPool, options_.max_evaluations - result.evaluations);
+    candidates.assign(batch, std::vector<double>(result.x.size()));
+    values.assign(batch, 0.0);
+    for (std::size_t k = 0; k < batch; ++k) {
+      for (std::size_t i = 0; i < result.x.size(); ++i) {
+        candidates[k][i] = result.x[i] + options_.sigma * rng.normal();
+      }
     }
-    const double value = objective.value(candidate);
-    ++result.evaluations;
-    if (value < result.value) {
-      result.value = value;
-      result.x = candidate;
+    objective.value_batch(candidates, values);
+    result.evaluations += batch;
+    for (std::size_t k = 0; k < batch; ++k) {
+      if (values[k] < result.value) {
+        result.value = values[k];
+        result.x = candidates[k];
+      }
     }
   }
   result.converged = true;

@@ -1,15 +1,25 @@
 #include "orch/objectives.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "sense/steering.hpp"
+#include "util/thread_pool.hpp"
 
 namespace surfos::orch {
 
 namespace {
 
 constexpr double kLn2 = 0.6931471805599453;
+
+// Per-RX work fans out on the thread pool in fixed-size blocks: workers fill
+// per-RX slots, then the block is reduced serially in RX-index order. The
+// block size is a constant (never a function of the thread count), so both
+// the slot values and the floating-point reduction order — and therefore
+// every result bit — are identical under any SURFOS_THREADS setting, while
+// scratch memory stays bounded by the block, not the full RX set.
+constexpr std::size_t kRxBlock = 64;
 
 void check(const void* channel, const void* variables) {
   if (channel == nullptr || variables == nullptr) {
@@ -59,11 +69,12 @@ std::size_t CapacityObjective::dimension() const {
 
 double CapacityObjective::value(std::span<const double> x) const {
   const auto coefficients = variables_->coefficients(x);
+  std::vector<double> powers(rx_indices_.size());
+  util::parallel_for(0, rx_indices_.size(), [&](std::size_t k) {
+    powers[k] = std::norm(channel_->evaluate(rx_indices_[k], coefficients));
+  });
   double sum = 0.0;
-  for (std::size_t j : rx_indices_) {
-    const double power = std::norm(channel_->evaluate(j, coefficients));
-    sum += std::log2(1.0 + rho_ * power);
-  }
+  for (const double power : powers) sum += std::log2(1.0 + rho_ * power);
   return -sign_ * sum / static_cast<double>(rx_indices_.size());
 }
 
@@ -77,16 +88,25 @@ double CapacityObjective::value_and_gradient(std::span<const double> x,
   }
   const double inv_m = 1.0 / static_cast<double>(rx_indices_.size());
   double sum = 0.0;
-  em::Cx h;
-  std::vector<em::CVec> dh_dc;
-  for (std::size_t j : rx_indices_) {
-    channel_->evaluate_with_partials(j, coefficients, h, dh_dc);
-    const double power = std::norm(h);
-    sum += std::log2(1.0 + rho_ * power);
-    // dL/d|h|^2 = -sign/M * rho / ((1 + rho |h|^2) ln 2).
-    const double weight =
-        -sign_ * inv_m * rho_ / ((1.0 + rho_ * power) * kLn2);
-    accumulate_power_gradient(h, dh_dc, coefficients, weight, elem_grads);
+  const std::size_t m = rx_indices_.size();
+  const std::size_t block = std::min<std::size_t>(kRxBlock, m);
+  std::vector<em::Cx> h_slots(block);
+  std::vector<std::vector<em::CVec>> dh_slots(block);
+  for (std::size_t start = 0; start < m; start += block) {
+    const std::size_t count = std::min(block, m - start);
+    util::parallel_for(0, count, [&](std::size_t t) {
+      channel_->evaluate_with_partials(rx_indices_[start + t], coefficients,
+                                       h_slots[t], dh_slots[t]);
+    });
+    for (std::size_t t = 0; t < count; ++t) {
+      const double power = std::norm(h_slots[t]);
+      sum += std::log2(1.0 + rho_ * power);
+      // dL/d|h|^2 = -sign/M * rho / ((1 + rho |h|^2) ln 2).
+      const double weight =
+          -sign_ * inv_m * rho_ / ((1.0 + rho_ * power) * kLn2);
+      accumulate_power_gradient(h_slots[t], dh_slots[t], coefficients, weight,
+                                elem_grads);
+    }
   }
   for (std::size_t p = 0; p < variables_->panel_count(); ++p) {
     variables_->reduce_gradient(p, elem_grads[p], gradient);
@@ -116,10 +136,12 @@ std::size_t PowerDeliveryObjective::dimension() const {
 
 double PowerDeliveryObjective::value(std::span<const double> x) const {
   const auto coefficients = variables_->coefficients(x);
+  std::vector<double> powers(rx_indices_.size());
+  util::parallel_for(0, rx_indices_.size(), [&](std::size_t k) {
+    powers[k] = std::norm(channel_->evaluate(rx_indices_[k], coefficients));
+  });
   double sum = 0.0;
-  for (std::size_t j : rx_indices_) {
-    sum += std::norm(channel_->evaluate(j, coefficients));
-  }
+  for (const double power : powers) sum += power;
   return -sum / (p0_ * static_cast<double>(rx_indices_.size()));
 }
 
@@ -133,12 +155,21 @@ double PowerDeliveryObjective::value_and_gradient(
   }
   const double scale = 1.0 / (p0_ * static_cast<double>(rx_indices_.size()));
   double sum = 0.0;
-  em::Cx h;
-  std::vector<em::CVec> dh_dc;
-  for (std::size_t j : rx_indices_) {
-    channel_->evaluate_with_partials(j, coefficients, h, dh_dc);
-    sum += std::norm(h);
-    accumulate_power_gradient(h, dh_dc, coefficients, -scale, elem_grads);
+  const std::size_t m = rx_indices_.size();
+  const std::size_t block = std::min<std::size_t>(kRxBlock, m);
+  std::vector<em::Cx> h_slots(block);
+  std::vector<std::vector<em::CVec>> dh_slots(block);
+  for (std::size_t start = 0; start < m; start += block) {
+    const std::size_t count = std::min(block, m - start);
+    util::parallel_for(0, count, [&](std::size_t t) {
+      channel_->evaluate_with_partials(rx_indices_[start + t], coefficients,
+                                       h_slots[t], dh_slots[t]);
+    });
+    for (std::size_t t = 0; t < count; ++t) {
+      sum += std::norm(h_slots[t]);
+      accumulate_power_gradient(h_slots[t], dh_slots[t], coefficients, -scale,
+                                elem_grads);
+    }
   }
   for (std::size_t p = 0; p < variables_->panel_count(); ++p) {
     variables_->reduce_gradient(p, elem_grads[p], gradient);
@@ -181,11 +212,13 @@ std::size_t LocalizationObjective::dimension() const {
 double LocalizationObjective::value(std::span<const double> x) const {
   const auto coefficients = variables_->coefficients(x);
   const em::CVec& c = coefficients[sensing_panel_];
-  double sum = 0.0;
-  for (std::size_t k = 0; k < rx_indices_.size(); ++k) {
+  std::vector<double> losses(rx_indices_.size());
+  util::parallel_for(0, rx_indices_.size(), [&](std::size_t k) {
     const em::CVec& g = channel_->rx_vector(sensing_panel_, rx_indices_[k]);
-    sum += model_->loss(c, g, targets_[k]);
-  }
+    losses[k] = model_->loss(c, g, targets_[k]);
+  });
+  double sum = 0.0;
+  for (const double loss : losses) sum += loss;
   return sum / static_cast<double>(rx_indices_.size());
 }
 
@@ -196,13 +229,26 @@ double LocalizationObjective::value_and_gradient(
   std::fill(gradient.begin(), gradient.end(), 0.0);
   const std::size_t n = variables_->panel(sensing_panel_).element_count();
   std::vector<double> elem_grad(n, 0.0);
-  std::vector<double> per_location(n);
   const double inv_m = 1.0 / static_cast<double>(rx_indices_.size());
   double sum = 0.0;
-  for (std::size_t k = 0; k < rx_indices_.size(); ++k) {
-    const em::CVec& g = channel_->rx_vector(sensing_panel_, rx_indices_[k]);
-    sum += model_->loss(c, g, targets_[k], per_location);
-    for (std::size_t e = 0; e < n; ++e) elem_grad[e] += inv_m * per_location[e];
+  const std::size_t m = rx_indices_.size();
+  const std::size_t block = std::min<std::size_t>(kRxBlock, m);
+  std::vector<double> loss_slots(block);
+  std::vector<std::vector<double>> grad_slots(block,
+                                              std::vector<double>(n));
+  for (std::size_t start = 0; start < m; start += block) {
+    const std::size_t count = std::min(block, m - start);
+    util::parallel_for(0, count, [&](std::size_t t) {
+      const em::CVec& g =
+          channel_->rx_vector(sensing_panel_, rx_indices_[start + t]);
+      loss_slots[t] = model_->loss(c, g, targets_[start + t], grad_slots[t]);
+    });
+    for (std::size_t t = 0; t < count; ++t) {
+      sum += loss_slots[t];
+      for (std::size_t e = 0; e < n; ++e) {
+        elem_grad[e] += inv_m * grad_slots[t][e];
+      }
+    }
   }
   variables_->reduce_gradient(sensing_panel_, elem_grad, gradient);
   return sum * inv_m;

@@ -32,6 +32,8 @@ class CapacityObjective final : public opt::Objective {
   double value(std::span<const double> x) const override;
   double value_and_gradient(std::span<const double> x,
                             std::span<double> gradient) const override;
+  /// Evaluation only reads the immutable channel/variables structure.
+  bool thread_safe() const override { return true; }
 
  private:
   const sim::SceneChannel* channel_;
@@ -55,6 +57,8 @@ class PowerDeliveryObjective final : public opt::Objective {
   double value(std::span<const double> x) const override;
   double value_and_gradient(std::span<const double> x,
                             std::span<double> gradient) const override;
+  /// Evaluation only reads the immutable channel/variables structure.
+  bool thread_safe() const override { return true; }
 
  private:
   const sim::SceneChannel* channel_;
@@ -80,6 +84,8 @@ class LocalizationObjective final : public opt::Objective {
   double value(std::span<const double> x) const override;
   double value_and_gradient(std::span<const double> x,
                             std::span<double> gradient) const override;
+  /// Evaluation only reads the immutable channel/model structure.
+  bool thread_safe() const override { return true; }
 
   const sense::AoaSensingModel& sensing_model() const noexcept {
     return *model_;

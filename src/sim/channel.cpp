@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace surfos::sim {
 
 namespace {
@@ -55,9 +57,10 @@ void SceneChannel::precompute() {
   const auto& rx_pattern = pattern_or_isotropic(rx_antenna_);
   const RayTracer tracer(environment_, frequency_hz_, options_.tracer);
 
-  // Direct (non-surface) component, antenna-weighted per path.
+  // Direct (non-surface) component, antenna-weighted per path. Each RX point
+  // writes only its own slot, so the loop parallelizes deterministically.
   h_dir_.assign(rx_points_.size(), em::Cx{});
-  for (std::size_t j = 0; j < rx_points_.size(); ++j) {
+  util::parallel_for(0, rx_points_.size(), [&](std::size_t j) {
     em::Cx sum{};
     for (const PropPath& path : tracer.trace(tx_.position, rx_points_[j])) {
       const double gt = tx_pattern.amplitude_gain(path.departure_direction());
@@ -65,11 +68,11 @@ void SceneChannel::precompute() {
       sum += path.gain * gt * gr;
     }
     h_dir_[j] = sum;
-  }
+  });
 
   // TX -> panel element vectors.
   f_.resize(panels_.size());
-  for (std::size_t p = 0; p < panels_.size(); ++p) {
+  util::parallel_for(0, panels_.size(), [&](std::size_t p) {
     const auto& panel = *panels_[p];
     const double area = panel.design().effective_area();
     const auto& positions = panel.element_positions();
@@ -95,11 +98,11 @@ void SceneChannel::precompute() {
               : center_trans;
       f_[p][i] = hop * gt * trans;
     }
-  }
+  });
 
-  // Panel elements -> RX vectors.
+  // Panel elements -> RX vectors, parallel over RX points.
   g_.resize(rx_points_.size());
-  for (std::size_t j = 0; j < rx_points_.size(); ++j) {
+  util::parallel_for(0, rx_points_.size(), [&](std::size_t j) {
     g_[j].resize(panels_.size());
     for (std::size_t p = 0; p < panels_.size(); ++p) {
       const auto& panel = *panels_[p];
@@ -130,38 +133,40 @@ void SceneChannel::precompute() {
         g_[j][p][i] = hop * gr * trans;
       }
     }
-  }
+  });
 
-  // Panel -> panel cascade matrices.
+  // Panel -> panel cascade matrices, parallel over the flattened (q, p)
+  // pair index — each pair owns one O(N^2) matrix, the dominant cost.
   cascades_.assign(panels_.size(), std::vector<em::CMat>(panels_.size()));
   if (options_.include_surface_cascades) {
-    for (std::size_t q = 0; q < panels_.size(); ++q) {
-      for (std::size_t p = 0; p < panels_.size(); ++p) {
-        if (p == q) continue;
-        const auto& panel_p = *panels_[p];
-        const auto& panel_q = *panels_[q];
-        const double area_p = panel_p.design().effective_area();
-        const double area_q = panel_q.design().effective_area();
-        const em::Cx center_trans = environment_->segment_transmission(
-            panel_p.center(), panel_q.center(), frequency_hz_);
-        if (std::norm(center_trans) < 1e-30) continue;
-        em::CMat mat(panel_q.element_count(), panel_p.element_count());
-        const auto& pos_p = panel_p.element_positions();
-        const auto& pos_q = panel_q.element_positions();
-        for (std::size_t m = 0; m < pos_q.size(); ++m) {
-          for (std::size_t i = 0; i < pos_p.size(); ++i) {
-            const double d = pos_p[i].distance_to(pos_q[m]);
-            if (d < 1e-6) continue;
-            const double cos_p = element_cos(panel_p, pos_p[i], pos_q[m]);
-            const double cos_q = element_cos(panel_q, pos_q[m], pos_p[i]);
-            mat(m, i) = em::element_to_element_gain(frequency_hz_, area_p,
-                                                    cos_p, area_q, cos_q, d) *
-                        center_trans;
-          }
+    const std::size_t np = panels_.size();
+    util::parallel_for(0, np * np, [&](std::size_t pair) {
+      const std::size_t q = pair / np;
+      const std::size_t p = pair % np;
+      if (p == q) return;
+      const auto& panel_p = *panels_[p];
+      const auto& panel_q = *panels_[q];
+      const double area_p = panel_p.design().effective_area();
+      const double area_q = panel_q.design().effective_area();
+      const em::Cx center_trans = environment_->segment_transmission(
+          panel_p.center(), panel_q.center(), frequency_hz_);
+      if (std::norm(center_trans) < 1e-30) return;
+      em::CMat mat(panel_q.element_count(), panel_p.element_count());
+      const auto& pos_p = panel_p.element_positions();
+      const auto& pos_q = panel_q.element_positions();
+      for (std::size_t m = 0; m < pos_q.size(); ++m) {
+        for (std::size_t i = 0; i < pos_p.size(); ++i) {
+          const double d = pos_p[i].distance_to(pos_q[m]);
+          if (d < 1e-6) continue;
+          const double cos_p = element_cos(panel_p, pos_p[i], pos_q[m]);
+          const double cos_q = element_cos(panel_q, pos_q[m], pos_p[i]);
+          mat(m, i) = em::element_to_element_gain(frequency_hz_, area_p,
+                                                  cos_p, area_q, cos_q, d) *
+                      center_trans;
         }
-        cascades_[q][p] = std::move(mat);
       }
-    }
+      cascades_[q][p] = std::move(mat);
+    });
   }
 }
 
@@ -287,9 +292,10 @@ std::vector<double> SceneChannel::power_map(
     std::span<const surface::SurfaceConfig> configs) const {
   const auto coeffs = coefficients_for(configs);
   std::vector<double> out(rx_points_.size());
-  for (std::size_t j = 0; j < rx_points_.size(); ++j) {
+  // Each RX index owns one output slot; deterministic under any thread count.
+  util::parallel_for(0, rx_points_.size(), [&](std::size_t j) {
     out[j] = std::norm(evaluate(j, coeffs));
-  }
+  });
   return out;
 }
 

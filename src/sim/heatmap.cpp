@@ -4,13 +4,16 @@
 #include <stdexcept>
 
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace surfos::sim {
 
 double Heatmap::min_value() const {
+  if (values.empty()) throw std::logic_error("Heatmap::min_value: empty map");
   return *std::min_element(values.begin(), values.end());
 }
 double Heatmap::max_value() const {
+  if (values.empty()) throw std::logic_error("Heatmap::max_value: empty map");
   return *std::max_element(values.begin(), values.end());
 }
 double Heatmap::median_value() const { return util::median(values); }
@@ -30,9 +33,11 @@ Heatmap rss_heatmap(const SceneChannel& channel, const geom::SampleGrid& grid,
 
 Heatmap map_over_grid(const geom::SampleGrid& grid,
                       const std::function<double(std::size_t)>& value_of) {
-  Heatmap map{grid, {}};
-  map.values.reserve(grid.size());
-  for (std::size_t i = 0; i < grid.size(); ++i) map.values.push_back(value_of(i));
+  Heatmap map{grid, std::vector<double>(grid.size())};
+  // Grid cells are independent; value_of must be safe to call concurrently
+  // (see the header). Slot writes keep the result order-deterministic.
+  util::parallel_for(0, grid.size(),
+                     [&](std::size_t i) { map.values[i] = value_of(i); });
   return map;
 }
 

@@ -20,6 +20,7 @@ struct Heatmap {
   double at(std::size_t ix, std::size_t iy) const {
     return values.at(iy * grid.nx() + ix);
   }
+  /// Throw std::logic_error when the map has no values.
   double min_value() const;
   double max_value() const;
   double median_value() const;
@@ -31,7 +32,10 @@ Heatmap rss_heatmap(const SceneChannel& channel, const geom::SampleGrid& grid,
                     const em::LinkBudget& budget,
                     std::span<const surface::SurfaceConfig> configs);
 
-/// Generic heatmap from a per-grid-point function.
+/// Generic heatmap from a per-grid-point function. Cells are evaluated on
+/// the process-wide thread pool, so `value_of` must be safe to call
+/// concurrently from multiple threads (pure functions of the index, or
+/// const queries against immutable state; set SURFOS_THREADS=1 otherwise).
 Heatmap map_over_grid(const geom::SampleGrid& grid,
                       const std::function<double(std::size_t)>& value_of);
 

@@ -1,0 +1,154 @@
+// Parallel execution engine: pool lifecycle, coverage, exception
+// propagation, nested submits, and the global-pool knobs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace surfos::util {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(0, hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, HandlesOffsetAndEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  std::vector<int> out(10, 0);
+  pool.parallel_for(3, 7, [&](std::size_t i) { out[i] = 1; });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], (i >= 3 && i < 7) ? 1 : 0) << i;
+  }
+  pool.parallel_for(5, 5, [&](std::size_t) { FAIL() << "empty range ran"; });
+  int single = 0;
+  pool.parallel_for(0, 1, [&](std::size_t) { ++single; });
+  EXPECT_EQ(single, 1);
+}
+
+TEST(ThreadPool, SlotWritesAreDeterministicAcrossThreadCounts) {
+  auto run = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(512);
+    pool.parallel_for(0, out.size(), [&](std::size_t i) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < 50; ++k) {
+        acc += static_cast<double>(i * k) * 1e-3;
+      }
+      out[i] = acc;
+    });
+    return out;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ThreadPool, PropagatesExceptionsToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("probe 37");
+                        }),
+      std::runtime_error);
+  // The pool survives a throwing loop and keeps working.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ReportsLowestChunkException) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(0, 1000, [](std::size_t i) {
+      if (i % 250 == 0) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "0");
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(16 * 16);
+  pool.parallel_for(0, 16, [&](std::size_t i) {
+    // Nested submits must not deadlock; they run serially on the worker.
+    pool.parallel_for(0, 16, [&](std::size_t j) {
+      if (ThreadPool::in_worker()) {
+        hits[i * 16 + j].fetch_add(1);
+      } else {
+        // Outer caller thread participating: still a valid serial context.
+        hits[i * 16 + j].fetch_add(1);
+      }
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEachVisitsEveryElement) {
+  ThreadPool pool(3);
+  std::vector<int> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  pool.parallel_for_each(data, [](int& v) { v *= 2; });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(data[static_cast<std::size_t>(i)], 2 * i);
+}
+
+TEST(ThreadPool, RunChunkedTilesTheRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(777);
+  pool.run_chunked(0, hits.size(), [&](std::size_t b, std::size_t e) {
+    ASSERT_LT(b, e);
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, GlobalPoolResizesAndRuns) {
+  reset_global_pool(2);
+  EXPECT_EQ(global_pool().thread_count(), 2u);
+  std::vector<int> out(64, 0);
+  parallel_for(0, out.size(), [&](std::size_t i) { out[i] = 1; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 64);
+  reset_global_pool(1);
+  EXPECT_EQ(global_pool().thread_count(), 1u);
+  parallel_for(0, out.size(), [&](std::size_t i) { out[i] = 2; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 128);
+}
+
+TEST(ThreadPool, InWorkerFlagIsScopedToWorkers) {
+  EXPECT_FALSE(ThreadPool::in_worker());
+  ThreadPool pool(4);
+  std::atomic<int> worker_sightings{0};
+  pool.parallel_for(0, 64, [&](std::size_t) {
+    if (ThreadPool::in_worker()) worker_sightings.fetch_add(1);
+  });
+  // The calling thread participates, so not every index sees a worker; the
+  // flag must simply never leak back to the caller.
+  EXPECT_GE(worker_sightings.load(), 0);
+  EXPECT_FALSE(ThreadPool::in_worker());
+}
+
+TEST(ThreadPool, ManySmallLoopsDrainCleanly) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 8, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 8);
+  }
+}
+
+}  // namespace
+}  // namespace surfos::util
