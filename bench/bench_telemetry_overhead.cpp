@@ -1,0 +1,113 @@
+// Telemetry overhead on the control cycle: median per-step latency of a
+// Fig-5-sized scene (3.5 m room, 12x12 RX grid, 20x20 surface) with
+// SURFOS_TELEMETRY on versus off. The budget in DESIGN.md is <= 3% — the
+// instrumentation is one predicted branch plus a relaxed atomic add per
+// event, and spans only live on phase boundaries, never in optimizer inner
+// loops.
+//
+// Emits BENCH_telemetry.json:
+//   ./bench_telemetry_overhead [steps] [output.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/surfos.hpp"
+#include "sim/floorplan.hpp"
+#include "surface/catalog.hpp"
+#include "telemetry/telemetry.hpp"
+
+using namespace surfos;
+
+namespace {
+
+double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+/// Runs `steps` full control cycles (always re-optimizing, so every step
+/// pays schedule + optimize + actuate + measure) and returns the per-step
+/// wall times in milliseconds. A fresh stack per call keeps the two modes
+/// byte-for-byte comparable.
+std::vector<double> run_steps(int steps, bool telemetry_on) {
+  telemetry::set_enabled(telemetry_on);
+  sim::CoverageRoomScenario scene = sim::make_coverage_room(/*grid_n=*/12);
+  orch::OrchestratorOptions options;
+  options.always_reoptimize = true;
+  SurfOS os(scene.environment.get(), scene.ap(), scene.band, scene.budget,
+            options);
+  const surface::Catalog catalog = surface::Catalog::standard();
+  os.install_programmable(*catalog.find("NR-Surface"), scene.surface_pose, 20,
+                          20, "wall");
+  os.register_endpoint("laptop", hal::EndpointKind::kClient, {1.2, 2.4, 1.0});
+
+  orch::CoverageGoal coverage;
+  coverage.region_id = "room";
+  coverage.region = scene.room_grid;
+  coverage.target_median_snr_db = 10.0;
+  os.orchestrator().optimize_coverage(coverage);
+  os.orchestrator().enhance_link({"laptop", 10.0, 50.0});
+  os.step();  // warm-up: channel precompute + first optimization
+
+  std::vector<double> laps;
+  laps.reserve(steps);
+  for (int i = 0; i < steps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    os.step();
+    laps.push_back(std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count());
+  }
+  telemetry::set_enabled(true);
+  return laps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 15;
+  const std::string out_path = argc > 2 ? argv[2] : "BENCH_telemetry.json";
+
+  // Interleave would share caches unevenly across a long run; instead run
+  // off first (it defines the baseline), then on.
+  const std::vector<double> off = run_steps(steps, false);
+  const std::vector<double> on = run_steps(steps, true);
+
+  const double median_off = median(off);
+  const double median_on = median(on);
+  const double overhead =
+      median_off > 0.0 ? (median_on - median_off) / median_off * 100.0 : 0.0;
+
+  std::printf("control cycle, %d steps (fig5 room, 20x20 surface)\n", steps);
+  std::printf("  telemetry off: median %.2f ms/step\n", median_off);
+  std::printf("  telemetry on:  median %.2f ms/step\n", median_on);
+  std::printf("  overhead: %+.2f%% (budget: <= 3%%)\n", overhead);
+
+  const telemetry::Snapshot snap =
+      telemetry::MetricsRegistry::instance().snapshot();
+  std::size_t events = 0;
+  for (const auto& counter : snap.counters) events += counter.value;
+  std::printf("  counted events while on: %zu across %zu counters\n", events,
+              snap.counters.size());
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"bench\": \"telemetry_overhead\",\n";
+  out << "  \"scene\": \"fig5_room_grid12_panel20x20\",\n";
+  out << "  \"steps\": " << steps << ",\n";
+  out << "  \"median_step_off_ms\": " << median_off << ",\n";
+  out << "  \"median_step_on_ms\": " << median_on << ",\n";
+  out << "  \"overhead_percent\": " << overhead << ",\n";
+  out << "  \"budget_percent\": 3.0\n";
+  out << "}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include "core/surfos.hpp"
 #include "sim/floorplan.hpp"
 #include "sim/heatmap.hpp"
+#include "telemetry/telemetry.hpp"
 
 int main() {
   using namespace surfos;
@@ -47,14 +48,19 @@ int main() {
   //    so the achievable gain is real but bounded — a 12 dB target is what
   //    this hardware class can deliver here; an element-wise design reaches
   //    ~23 dB in the same spot.)
-  const orch::TaskId task =
+  const orch::TaskHandle task =
       os.orchestrator().enhance_link({"laptop", /*snr=*/12.0, /*latency=*/50.0});
   const orch::StepReport report = os.step();
 
-  const orch::Task* t = os.orchestrator().find_task(task);
   std::printf("After enhance_link(): SNR %.1f dB (target 12 dB) -> %s\n",
-              t->achieved.value_or(-999.0), t->goal_met ? "met" : "NOT met");
+              task.last_metric().value_or(-999.0),
+              task.goal_met() ? "met" : "NOT met");
   std::printf("Scheduler produced %zu assignment(s); %zu optimization(s) ran\n",
               report.assignment_count, report.optimizations_run);
-  return t->goal_met ? 0 : 1;
+
+  // 6. What did the control plane spend its time on? Every layer reports
+  //    into the process-wide metrics registry (SURFOS_TELEMETRY=off mutes
+  //    collection).
+  std::printf("\n%s", telemetry::snapshot_table().c_str());
+  return task.goal_met() ? 0 : 1;
 }

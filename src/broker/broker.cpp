@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -73,6 +74,8 @@ void ServiceBroker::start_app(std::string app_id, AppDemand demand) {
   }
   SURFOS_INFO(kLog) << "app " << app_id << " started with "
                     << session.tasks.size() << " task(s)";
+  SURFOS_COUNT("broker.apps.started");
+  SURFOS_COUNT_N("broker.demand.translations", requests.size());
   sessions_.insert_or_assign(std::move(app_id), std::move(session));
 }
 
@@ -85,6 +88,7 @@ void ServiceBroker::stop_app(const std::string& app_id) {
     }
   }
   it->second.running = false;
+  SURFOS_COUNT("broker.apps.stopped");
   SURFOS_INFO(kLog) << "app " << app_id << " stopped; tasks idled";
 }
 
@@ -151,6 +155,7 @@ std::size_t ServiceBroker::escalate_unsatisfied() {
       };
       id = std::visit(Dispatch{*orchestrator_, bumped}, goal);
       ++escalated;
+      SURFOS_COUNT("broker.escalations");
       SURFOS_INFO(kLog) << "escalated a task of app " << app_id
                         << " to priority " << bumped;
     }
@@ -199,13 +204,16 @@ std::size_t ServiceBroker::apply_traffic_suggestions(
     }
     start_app(app_id, std::move(demand));
     ++started;
+    SURFOS_COUNT("broker.traffic.auto_sessions");
   }
   return started;
 }
 
 IntentResult ServiceBroker::handle_utterance(const std::string& text) {
   const IntentResult result = intent_.interpret(text);
+  SURFOS_COUNT("broker.utterances");
   if (!result.understood) return result;
+  SURFOS_COUNT("broker.utterances_understood");
   for (const AppClass app_class : result.activities) {
     AppDemand demand = demand_profile(app_class, result.device, result.room);
     const std::string app_id =

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "broker/translate.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/strings.hpp"
 
 namespace surfos::broker {
@@ -111,6 +112,7 @@ IntentEngine::IntentEngine(IntentContext context)
     : context_(std::move(context)) {}
 
 IntentResult IntentEngine::interpret(const std::string& utterance) const {
+  SURFOS_COUNT("broker.intents.interpreted");
   IntentResult result;
   const std::string lowered = util::to_lower(utterance);
 

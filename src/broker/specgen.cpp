@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "em/propagation.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/strings.hpp"
 
 namespace surfos::broker {
@@ -66,6 +67,7 @@ hal::HardwareSpec DriverBlueprint::to_spec() const {
 }
 
 SpecGenResult parse_datasheet(const std::string& text) {
+  SURFOS_COUNT("broker.datasheets.parsed");
   SpecGenResult result;
   DriverBlueprint bp;
   bool have_model = false;
@@ -186,12 +188,14 @@ SpecGenResult parse_datasheet(const std::string& text) {
 
   if (!have_model || !have_band) {
     result.warnings.push_back("datasheet missing required model/frequency");
+    SURFOS_COUNT_N("broker.datasheets.warnings", result.warnings.size());
     return result;
   }
   if (!spacing_set) {
     bp.element.spacing_m = em::wavelength(em::band_center(bp.band)) / 2.0;
   }
   result.blueprint = std::move(bp);
+  SURFOS_COUNT_N("broker.datasheets.warnings", result.warnings.size());
   return result;
 }
 

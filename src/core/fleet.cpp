@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace surfos {
 
 SurfOS& Fleet::add_site(std::string site_id, std::unique_ptr<SurfOS> os) {
@@ -20,6 +22,11 @@ SurfOS& Fleet::site(const std::string& site_id) {
     throw std::invalid_argument("Fleet: unknown site " + site_id);
   }
   return *it->second;
+}
+
+SurfOS* Fleet::find_site(const std::string& site_id) noexcept {
+  const auto it = sites_.find(site_id);
+  return it == sites_.end() ? nullptr : it->second.get();
 }
 
 const SurfOS* Fleet::find_site(const std::string& site_id) const noexcept {
@@ -41,6 +48,8 @@ broker::IntentResult Fleet::handle_utterance(const std::string& site_id,
 
 FleetReport Fleet::step_all() {
   FleetReport report;
+  telemetry::Span span("core.fleet.step_all");
+  SURFOS_COUNT("core.fleet.step_alls");
   for (auto& [id, os] : sites_) {
     SiteReport site_report;
     site_report.site_id = id;
@@ -48,6 +57,16 @@ FleetReport Fleet::step_all() {
     report.total_assignments += site_report.step.assignment_count;
     report.total_optimizations += site_report.step.optimizations_run;
     report.total_starved += site_report.step.starved.size();
+    const orch::StepTrace& trace = site_report.step.trace;
+    report.trace.schedule_us += trace.schedule_us;
+    report.trace.optimize_us += trace.optimize_us;
+    report.trace.actuate_us += trace.actuate_us;
+    report.trace.measure_us += trace.measure_us;
+    report.trace.total_us += trace.total_us;
+    report.trace.plans_fresh += trace.plans_fresh;
+    report.trace.plans_reused += trace.plans_reused;
+    report.trace.objective_evaluations += trace.objective_evaluations;
+    report.trace.config_writes += trace.config_writes;
     report.sites.push_back(std::move(site_report));
   }
   return report;

@@ -27,6 +27,9 @@ struct FleetReport {
   std::size_t total_assignments = 0;
   std::size_t total_optimizations = 0;
   std::size_t total_starved = 0;
+  /// Fleet-wide control-cycle trace: per-site StepTraces summed (timings
+  /// accumulate; counts are exact and deterministic).
+  orch::StepTrace trace;
 };
 
 struct FleetInventory {
@@ -43,7 +46,9 @@ class Fleet {
   /// outlive the fleet. Throws on duplicate ids.
   SurfOS& add_site(std::string site_id, std::unique_ptr<SurfOS> os);
 
+  /// Throws std::invalid_argument naming the site id when unknown.
   SurfOS& site(const std::string& site_id);
+  SurfOS* find_site(const std::string& site_id) noexcept;
   const SurfOS* find_site(const std::string& site_id) const noexcept;
   std::vector<std::string> site_ids() const;
   std::size_t size() const noexcept { return sites_.size(); }

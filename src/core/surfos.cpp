@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "hal/driver.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace surfos {
 
@@ -37,6 +38,7 @@ const std::string& SurfOS::install_programmable(
   auto spec = hal::spec_for_panel(*panels_.back(), band_);
   auto driver = std::make_unique<hal::ProgrammableSurfaceDriver>(
       std::move(device_id), panels_.back().get(), std::move(spec), &clock_);
+  SURFOS_COUNT("core.surfaces.installed");
   return registry_.add_surface(std::move(driver));
 }
 
@@ -56,14 +58,14 @@ const std::string& SurfOS::install_passive(
                                   hal::to_string(status));
     }
   }
+  SURFOS_COUNT("core.surfaces.installed");
   return registry_.add_surface(std::move(driver));
 }
 
-const std::string& SurfOS::install_from_datasheet(
-    const std::string& datasheet_text, const geom::Frame& pose,
-    std::string device_id, std::vector<std::string>* warnings) {
-  const auto parsed = broker::parse_datasheet(datasheet_text);
-  if (warnings != nullptr) *warnings = parsed.warnings;
+InstallReport SurfOS::install_from_datasheet(const std::string& datasheet_text,
+                                             const geom::Frame& pose,
+                                             std::string device_id) {
+  auto parsed = broker::parse_datasheet(datasheet_text);
   if (!parsed.blueprint) {
     throw std::invalid_argument("install_from_datasheet: unusable datasheet");
   }
@@ -72,7 +74,11 @@ const std::string& SurfOS::install_from_datasheet(
   auto driver = broker::synthesize_driver(*parsed.blueprint,
                                           panels_.back().get(),
                                           std::move(device_id), &clock_);
-  return registry_.add_surface(std::move(driver));
+  InstallReport report;
+  report.device_id = registry_.add_surface(std::move(driver));
+  report.warnings = std::move(parsed.warnings);
+  SURFOS_COUNT("core.surfaces.installed");
+  return report;
 }
 
 void SurfOS::register_endpoint(std::string id, hal::EndpointKind kind,

@@ -27,6 +27,14 @@
 
 namespace surfos {
 
+/// Result of a datasheet-driven install: the registered device id plus any
+/// non-fatal parse warnings. Replaces the old `std::vector<std::string>*`
+/// warnings out-parameter.
+struct InstallReport {
+  std::string device_id;
+  std::vector<std::string> warnings;
+};
+
 class SurfOS {
  public:
   /// `environment` must be finalized and outlive the SurfOS instance.
@@ -50,10 +58,10 @@ class SurfOS {
 
   /// Parses a datasheet and installs the described surface (driver
   /// generation workflow). Throws std::invalid_argument on fatal parse
-  /// failure; warnings are returned through `warnings` when non-null.
-  const std::string& install_from_datasheet(
-      const std::string& datasheet_text, const geom::Frame& pose,
-      std::string device_id, std::vector<std::string>* warnings = nullptr);
+  /// failure; non-fatal parse warnings come back in the report.
+  InstallReport install_from_datasheet(const std::string& datasheet_text,
+                                       const geom::Frame& pose,
+                                       std::string device_id);
 
   /// Registers a client/sensor endpoint the orchestrator can target.
   void register_endpoint(std::string id, hal::EndpointKind kind,

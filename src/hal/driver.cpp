@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace surfos::hal {
@@ -73,6 +74,8 @@ DriverStatus ProgrammableSurfaceDriver::write_config(
     std::uint16_t slot, const surface::SurfaceConfig& config) {
   if (slot >= slot_count()) return DriverStatus::kBadSlot;
   if (config.size() != panel().element_count()) return DriverStatus::kBadConfig;
+  SURFOS_SPAN("hal.driver.write_config");
+  SURFOS_COUNT("hal.driver.config_writes");
   Frame frame;
   frame.type = MessageType::kWriteConfig;
   frame.sequence = next_sequence_++;
@@ -84,6 +87,7 @@ DriverStatus ProgrammableSurfaceDriver::write_config(
 
 DriverStatus ProgrammableSurfaceDriver::select_config(std::uint16_t slot) {
   if (slot >= slot_count()) return DriverStatus::kBadSlot;
+  SURFOS_COUNT("hal.driver.config_selects");
   Frame frame;
   frame.type = MessageType::kSelectConfig;
   frame.sequence = next_sequence_++;
@@ -93,6 +97,8 @@ DriverStatus ProgrammableSurfaceDriver::select_config(std::uint16_t slot) {
 }
 
 void ProgrammableSurfaceDriver::poll() {
+  const std::size_t applied_before = frames_applied_;
+  const std::size_t rejected_before = frames_rejected_;
   for (const auto& datagram : link_.receive_ready()) {
     const DecodeResult decoded = decode_frame(datagram);
     if (!decoded.frame) {
@@ -129,6 +135,9 @@ void ProgrammableSurfaceDriver::poll() {
         break;
     }
   }
+  SURFOS_COUNT_N("hal.driver.frames_applied", frames_applied_ - applied_before);
+  SURFOS_COUNT_N("hal.driver.frames_rejected",
+                 frames_rejected_ - rejected_before);
 }
 
 // --- PassiveSurfaceDriver ----------------------------------------------------

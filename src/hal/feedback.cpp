@@ -2,11 +2,16 @@
 
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace surfos::hal {
 
 SweepResult CodebookSelector::sweep_and_select(SurfaceDriver& driver,
                                                const SlotProbe& probe) {
   if (!probe) throw std::invalid_argument("CodebookSelector: null probe");
+  SURFOS_SPAN("hal.feedback.sweep");
+  SURFOS_COUNT("hal.feedback.sweeps");
+  SURFOS_COUNT_N("hal.feedback.probes", driver.slot_count());
   SweepResult result;
   result.per_slot_metric.resize(driver.slot_count());
   const std::uint16_t current = driver.active_slot();
@@ -26,6 +31,7 @@ SweepResult CodebookSelector::sweep_and_select(SurfaceDriver& driver,
           result.per_slot_metric[current] + switch_margin_) {
     driver.select_config(result.best_slot);
     ++switches_;
+    SURFOS_COUNT("hal.feedback.switches");
   }
   return result;
 }

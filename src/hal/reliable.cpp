@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace surfos::hal {
 
 ReliableLink::ReliableLink(const SimClock* clock, ReliableOptions options)
@@ -29,6 +31,7 @@ void ReliableLink::send(Frame frame) {
   outstanding.attempts = 1;
   forward_.send(outstanding.bytes);
   in_flight_.emplace(frame.sequence, std::move(outstanding));
+  SURFOS_COUNT("hal.arq.sends");
 }
 
 void ReliableLink::emit_ack() {
@@ -48,12 +51,14 @@ void ReliableLink::poll() {
     received_any = true;
     if (frame.sequence < expected_seq_) {
       ++duplicates_;  // already delivered; re-ack below
+      SURFOS_COUNT("hal.arq.duplicates");
       continue;
     }
     reorder_.emplace(frame.sequence, frame);
     while (!reorder_.empty() && reorder_.begin()->first == expected_seq_) {
       if (deliver_) deliver_(reorder_.begin()->second);
       ++delivered_;
+      SURFOS_COUNT("hal.arq.delivered");
       reorder_.erase(reorder_.begin());
       ++expected_seq_;
     }
@@ -77,6 +82,7 @@ void ReliableLink::poll() {
     if (clock_->now() - out.last_sent >= options_.rto_us) {
       if (out.attempts > options_.max_retransmissions) {
         ++abandoned_;
+        SURFOS_COUNT("hal.arq.abandoned");
         it = in_flight_.erase(it);
         continue;
       }
@@ -84,6 +90,7 @@ void ReliableLink::poll() {
       out.last_sent = clock_->now();
       ++out.attempts;
       ++retransmissions_;
+      SURFOS_COUNT("hal.arq.retransmissions");
     }
     ++it;
   }

@@ -4,12 +4,37 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace surfos::orch {
 
 namespace {
 constexpr const char* kLog = "orchestrator";
+}
+
+// --- TaskHandle ----------------------------------------------------------------
+
+bool TaskHandle::valid() const noexcept {
+  return orchestrator_ != nullptr && orchestrator_->find_task(id_) != nullptr;
+}
+
+const Task& TaskHandle::task() const {
+  const Task* task =
+      orchestrator_ == nullptr ? nullptr : orchestrator_->find_task(id_);
+  if (task == nullptr) {
+    throw std::invalid_argument("TaskHandle: invalid handle for task " +
+                                std::to_string(id_));
+  }
+  return *task;
+}
+
+TaskState TaskHandle::status() const { return task().state; }
+
+bool TaskHandle::goal_met() const { return task().goal_met; }
+
+std::optional<double> TaskHandle::last_metric() const {
+  return task().achieved;
 }
 
 Orchestrator::Orchestrator(hal::DeviceRegistry* registry, hal::SimClock* clock,
@@ -46,36 +71,37 @@ TaskId Orchestrator::admit(ServiceGoal goal, Priority priority,
   }
   SURFOS_INFO(kLog) << "admit task " << task.id << " ("
                     << to_string(task.type()) << ", prio " << priority << ")";
+  SURFOS_COUNT("orch.tasks.admitted");
   const TaskId id = task.id;
   tasks_.emplace(id, std::move(task));
   return id;
 }
 
-TaskId Orchestrator::enhance_link(LinkGoal goal, Priority priority,
-                                  std::optional<em::Band> band) {
-  return admit(std::move(goal), priority, std::nullopt, band);
+TaskHandle Orchestrator::enhance_link(LinkGoal goal, Priority priority,
+                                      std::optional<em::Band> band) {
+  return {this, admit(std::move(goal), priority, std::nullopt, band)};
 }
 
-TaskId Orchestrator::optimize_coverage(CoverageGoal goal, Priority priority,
+TaskHandle Orchestrator::optimize_coverage(CoverageGoal goal, Priority priority,
+                                           std::optional<em::Band> band) {
+  return {this, admit(std::move(goal), priority, std::nullopt, band)};
+}
+
+TaskHandle Orchestrator::enable_sensing(SensingGoal goal, Priority priority,
+                                        std::optional<em::Band> band) {
+  const double duration = goal.duration_s;
+  return {this, admit(std::move(goal), priority, duration, band)};
+}
+
+TaskHandle Orchestrator::init_powering(PowerGoal goal, Priority priority,
                                        std::optional<em::Band> band) {
-  return admit(std::move(goal), priority, std::nullopt, band);
-}
-
-TaskId Orchestrator::enable_sensing(SensingGoal goal, Priority priority,
-                                    std::optional<em::Band> band) {
   const double duration = goal.duration_s;
-  return admit(std::move(goal), priority, duration, band);
+  return {this, admit(std::move(goal), priority, duration, band)};
 }
 
-TaskId Orchestrator::init_powering(PowerGoal goal, Priority priority,
-                                   std::optional<em::Band> band) {
-  const double duration = goal.duration_s;
-  return admit(std::move(goal), priority, duration, band);
-}
-
-TaskId Orchestrator::protect(SecurityGoal goal, Priority priority,
-                             std::optional<em::Band> band) {
-  return admit(std::move(goal), priority, std::nullopt, band);
+TaskHandle Orchestrator::protect(SecurityGoal goal, Priority priority,
+                                 std::optional<em::Band> band) {
+  return {this, admit(std::move(goal), priority, std::nullopt, band)};
 }
 
 // --- Task lifecycle -------------------------------------------------------------
@@ -111,6 +137,7 @@ std::vector<const Task*> Orchestrator::tasks() const {
 
 void Orchestrator::notify_environment_changed() {
   ++env_revision_;
+  SURFOS_COUNT("orch.env.changes");
   SURFOS_INFO(kLog) << "environment changed (revision " << env_revision_ << ")";
 }
 
@@ -306,7 +333,8 @@ std::vector<std::vector<double>> Orchestrator::initial_candidates(
 
 // --- Optimization / actuation / measurement ------------------------------------
 
-void Orchestrator::optimize_plan(const Assignment& assignment, Plan& plan) {
+std::size_t Orchestrator::optimize_plan(const Assignment& assignment,
+                                        Plan& plan) {
   const double rho = context_.budget.snr(1.0);  // linear SNR per unit |h|^2
 
   std::vector<std::unique_ptr<opt::Objective>> terms;
@@ -363,15 +391,17 @@ void Orchestrator::optimize_plan(const Assignment& assignment, Plan& plan) {
     }
     joint.add_term(terms.back().get(), weight);
   }
-  if (terms.empty()) return;
+  if (terms.empty()) return 0;
 
   const std::vector<std::vector<double>> starts =
       plan.x.empty() ? initial_candidates(assignment, plan)
                      : std::vector<std::vector<double>>{plan.x};
   opt::OptimizeResult best;
   bool have_best = false;
+  std::size_t evaluations = 0;
   for (const auto& x0 : starts) {
     opt::OptimizeResult result = optimizer_->minimize(joint, x0);
+    evaluations += result.evaluations;
     if (!have_best || result.value < best.value) {
       best = std::move(result);
       have_best = true;
@@ -380,19 +410,25 @@ void Orchestrator::optimize_plan(const Assignment& assignment, Plan& plan) {
   plan.x = best.x;
   plan.last_loss = best.value;
   plan.optimized = true;
+  SURFOS_COUNT("orch.optimizations");
+  SURFOS_COUNT_N("opt.objective.evaluations", evaluations);
   SURFOS_INFO(kLog) << "optimized assignment (" << assignment.tasks.size()
                     << " tasks, " << starts.size() << " start(s)): loss "
                     << best.value << " after " << best.evaluations
                     << " evaluations";
+  return evaluations;
 }
 
-void Orchestrator::actuate(const Assignment& assignment, const Plan& plan) {
-  if (plan.x.empty()) return;
+std::size_t Orchestrator::actuate(const Assignment& assignment,
+                                  const Plan& plan) {
+  if (plan.x.empty()) return 0;
   const auto realized = plan.variables->realize(plan.x);
   hal::Micros worst_delay = 0;
+  std::size_t writes = 0;
   for (std::size_t i = 0; i < assignment.devices.size(); ++i) {
     auto* driver = registry_->find_surface(assignment.devices[i]);
     const auto status = driver->write_config(assignment.slot, realized[i]);
+    ++writes;
     if (status == hal::DriverStatus::kOk) {
       driver->select_config(assignment.slot);
       if (!driver->spec().is_passive()) {
@@ -406,6 +442,7 @@ void Orchestrator::actuate(const Assignment& assignment, const Plan& plan) {
   // Wait out the slowest control path, then drain the links.
   clock_->advance(worst_delay + 1);
   registry_->poll_all();
+  return writes;
 }
 
 std::vector<surface::SurfaceConfig> Orchestrator::hardware_configs(
@@ -479,6 +516,8 @@ void Orchestrator::measure(const Assignment& assignment, Plan& plan,
 
 StepReport Orchestrator::step() {
   StepReport report;
+  telemetry::Span step_span("orch.step");
+  SURFOS_COUNT("orch.steps");
 
   // Expire duration-bound tasks.
   for (auto& [id, task] : tasks_) {
@@ -493,9 +532,15 @@ StepReport Orchestrator::step() {
   }
   if (active.empty()) return report;
 
-  const Schedule schedule = scheduler_.build(active, *registry_);
+  Schedule schedule;
+  {
+    telemetry::Span span("orch.step.schedule");
+    schedule = scheduler_.build(active, *registry_);
+    report.trace.schedule_us = span.elapsed_us();
+  }
   report.assignment_count = schedule.assignments.size();
   report.starved = schedule.starved;
+  SURFOS_COUNT_N("orch.tasks.starved", schedule.starved.size());
   for (const TaskId id : schedule.starved) {
     tasks_.at(id).state = TaskState::kFailed;
     SURFOS_WARN(kLog) << "task " << id << " starved: no capable surface";
@@ -504,14 +549,34 @@ StepReport Orchestrator::step() {
   for (const Assignment& assignment : schedule.assignments) {
     bool fresh = false;
     Plan& plan = plan_for(assignment, fresh);
+    if (fresh) {
+      ++report.trace.plans_fresh;
+      SURFOS_COUNT("orch.plan.fresh");
+    } else {
+      ++report.trace.plans_reused;
+      SURFOS_COUNT("orch.plan.reused");
+    }
     if (!plan.channel) continue;
     if (fresh || !plan.optimized || options_.always_reoptimize) {
-      optimize_plan(assignment, plan);
-      actuate(assignment, plan);
+      {
+        telemetry::Span span("orch.step.optimize");
+        report.trace.objective_evaluations += optimize_plan(assignment, plan);
+        report.trace.optimize_us += span.elapsed_us();
+      }
+      {
+        telemetry::Span span("orch.step.actuate");
+        report.trace.config_writes += actuate(assignment, plan);
+        report.trace.actuate_us += span.elapsed_us();
+      }
       ++report.optimizations_run;
     }
-    measure(assignment, plan, report);
+    {
+      telemetry::Span span("orch.step.measure");
+      measure(assignment, plan, report);
+      report.trace.measure_us += span.elapsed_us();
+    }
   }
+  report.trace.total_us = step_span.elapsed_us();
   return report;
 }
 

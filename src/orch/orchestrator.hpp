@@ -53,11 +53,60 @@ struct TaskReport {
   bool goal_met = false;
 };
 
+/// Per-step control-cycle trace (telemetry). The counts are deterministic
+/// and always filled; the `*_us` wall-clock timings are only measured while
+/// telemetry is enabled and stay 0.0 under SURFOS_TELEMETRY=off, so a
+/// disabled-mode StepReport carries no run-to-run-varying state.
+struct StepTrace {
+  double schedule_us = 0.0;
+  double optimize_us = 0.0;
+  double actuate_us = 0.0;
+  double measure_us = 0.0;
+  double total_us = 0.0;
+  std::size_t plans_fresh = 0;      ///< Plans (re)built this step.
+  std::size_t plans_reused = 0;     ///< Cache hits: channel/optimum reused.
+  std::size_t objective_evaluations = 0;  ///< Optimizer loss evaluations.
+  std::size_t config_writes = 0;    ///< Driver write_config calls issued.
+};
+
 struct StepReport {
   std::size_t assignment_count = 0;
   std::size_t optimizations_run = 0;
   std::vector<TaskId> starved;
   std::vector<TaskReport> tasks;
+  StepTrace trace;
+};
+
+class Orchestrator;
+
+/// Typed handle returned by the service APIs: the task id plus live status
+/// accessors backed by the orchestrator that admitted it. Implicitly
+/// converts to TaskId so pre-redesign call sites keep compiling; the handle
+/// is only valid while its orchestrator is alive.
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+  TaskHandle(Orchestrator* orchestrator, TaskId id) noexcept
+      : orchestrator_(orchestrator), id_(id) {}
+
+  TaskId id() const noexcept { return id_; }
+  operator TaskId() const noexcept { return id_; }
+
+  /// True when the handle points at a task its orchestrator still knows.
+  bool valid() const noexcept;
+  /// Live task state. Throws std::invalid_argument on an invalid handle.
+  TaskState status() const;
+  /// Whether the goal was met at the last measurement. Throws on invalid.
+  bool goal_met() const;
+  /// Most recent achieved metric in the goal's own unit (SNR dB, error m,
+  /// power dBm); nullopt before the first measurement. Throws on invalid.
+  std::optional<double> last_metric() const;
+
+ private:
+  const Task& task() const;
+
+  Orchestrator* orchestrator_ = nullptr;
+  TaskId id_ = 0;
 };
 
 class Orchestrator {
@@ -72,18 +121,24 @@ class Orchestrator {
   // frequency axis of the scheduler's multiplexing (tasks on different
   // bands get independent slices over their bands' surfaces).
 
-  TaskId enhance_link(LinkGoal goal, Priority priority = kPriorityInteractive,
-                      std::optional<em::Band> band = std::nullopt);
-  TaskId optimize_coverage(CoverageGoal goal,
-                           Priority priority = kPriorityNormal,
+  // Each returns a TaskHandle bound to this orchestrator. The handle
+  // implicitly converts to TaskId, so code written against the pre-handle
+  // API keeps working unchanged (see DESIGN.md "Telemetry").
+
+  TaskHandle enhance_link(LinkGoal goal,
+                          Priority priority = kPriorityInteractive,
+                          std::optional<em::Band> band = std::nullopt);
+  TaskHandle optimize_coverage(CoverageGoal goal,
+                               Priority priority = kPriorityNormal,
+                               std::optional<em::Band> band = std::nullopt);
+  TaskHandle enable_sensing(SensingGoal goal,
+                            Priority priority = kPriorityNormal,
+                            std::optional<em::Band> band = std::nullopt);
+  TaskHandle init_powering(PowerGoal goal,
+                           Priority priority = kPriorityBackground,
                            std::optional<em::Band> band = std::nullopt);
-  TaskId enable_sensing(SensingGoal goal, Priority priority = kPriorityNormal,
-                        std::optional<em::Band> band = std::nullopt);
-  TaskId init_powering(PowerGoal goal,
-                       Priority priority = kPriorityBackground,
-                       std::optional<em::Band> band = std::nullopt);
-  TaskId protect(SecurityGoal goal, Priority priority = kPriorityCritical,
-                 std::optional<em::Band> band = std::nullopt);
+  TaskHandle protect(SecurityGoal goal, Priority priority = kPriorityCritical,
+                     std::optional<em::Band> band = std::nullopt);
 
   // --- Task lifecycle ------------------------------------------------------
 
@@ -134,8 +189,10 @@ class Orchestrator {
   std::vector<geom::Vec3> probe_points(const Task& task, bool& ok) const;
   Plan& plan_for(const Assignment& assignment, bool& fresh);
   std::string signature_of(const Assignment& assignment) const;
-  void optimize_plan(const Assignment& assignment, Plan& plan);
-  void actuate(const Assignment& assignment, const Plan& plan);
+  /// Returns the number of objective evaluations the optimizer spent.
+  std::size_t optimize_plan(const Assignment& assignment, Plan& plan);
+  /// Returns the number of write_config calls issued to drivers.
+  std::size_t actuate(const Assignment& assignment, const Plan& plan);
   void measure(const Assignment& assignment, Plan& plan, StepReport& report);
   /// Candidate starting points for a fresh plan: the relay-chain focus and
   /// the direct per-panel focus (multi-panel scenes can favor either

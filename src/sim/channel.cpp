@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace surfos::sim {
@@ -53,6 +54,10 @@ SceneChannel::SceneChannel(const Environment* environment, double frequency_hz,
 }
 
 void SceneChannel::precompute() {
+  SURFOS_SPAN("sim.channel.precompute");
+  SURFOS_COUNT("sim.channel.precomputes");
+  SURFOS_COUNT_N("sim.channel.precompute_rx_points", rx_points_.size());
+  SURFOS_COUNT_N("sim.channel.precompute_panels", panels_.size());
   const auto& tx_pattern = pattern_or_isotropic(tx_.antenna);
   const auto& rx_pattern = pattern_or_isotropic(rx_antenna_);
   const RayTracer tracer(environment_, frequency_hz_, options_.tracer);
@@ -290,6 +295,8 @@ std::vector<em::CVec> SceneChannel::coefficients_for(
 
 std::vector<double> SceneChannel::power_map(
     std::span<const surface::SurfaceConfig> configs) const {
+  SURFOS_SPAN("sim.channel.power_map");
+  SURFOS_COUNT("sim.channel.power_maps");
   const auto coeffs = coefficients_for(configs);
   std::vector<double> out(rx_points_.size());
   // Each RX index owns one output slot; deterministic under any thread count.

@@ -5,6 +5,7 @@
 
 #include "em/band.hpp"
 #include "em/propagation.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace surfos::sim {
 
@@ -33,6 +34,8 @@ std::vector<PropPath> RayTracer::trace(const geom::Vec3& a,
   for (int order = 1; order <= options_.max_reflection_order; ++order) {
     reflected_paths(a, b, order, paths);
   }
+  SURFOS_COUNT("sim.rays.traces");
+  SURFOS_COUNT_N("sim.rays.paths", paths.size());
   return paths;
 }
 

@@ -1,0 +1,121 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace surfos::telemetry {
+
+namespace {
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+void append_json_string(std::ostringstream& oss, const std::string& s) {
+  oss << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': oss << "\\\""; break;
+      case '\\': oss << "\\\\"; break;
+      case '\n': oss << "\\n"; break;
+      default: oss << c; break;
+    }
+  }
+  oss << '"';
+}
+
+}  // namespace
+
+std::string snapshot_table(const Snapshot& snapshot) {
+  std::size_t name_width = 4;
+  for (const auto& c : snapshot.counters) {
+    name_width = std::max(name_width, c.name.size());
+  }
+  for (const auto& g : snapshot.gauges) {
+    name_width = std::max(name_width, g.name.size());
+  }
+  for (const auto& h : snapshot.histograms) {
+    name_width = std::max(name_width, h.name.size());
+  }
+
+  std::ostringstream oss;
+  const auto row = [&](const std::string& name, const std::string& kind,
+                       const std::string& value) {
+    oss << "  " << name;
+    oss << std::string(name_width - name.size() + 2, ' ');
+    oss << kind << std::string(10 - std::min<std::size_t>(9, kind.size()), ' ')
+        << value << '\n';
+  };
+  oss << "telemetry snapshot ("
+      << snapshot.counters.size() + snapshot.gauges.size() +
+             snapshot.histograms.size()
+      << " instruments)\n";
+  for (const auto& c : snapshot.counters) {
+    row(c.name, c.deterministic ? "counter" : "counter*",
+        std::to_string(c.value));
+  }
+  for (const auto& g : snapshot.gauges) {
+    row(g.name, "gauge", format_double(g.value));
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::uint64_t n = h.count;
+    const double mean = n == 0 ? 0.0 : h.sum / static_cast<double>(n);
+    row(h.name, "latency",
+        "count " + std::to_string(n) + ", mean " + format_double(mean) +
+            " us");
+  }
+  return oss.str();
+}
+
+std::string snapshot_table() {
+  return snapshot_table(MetricsRegistry::instance().snapshot());
+}
+
+std::string snapshot_json(const Snapshot& snapshot) {
+  std::ostringstream oss;
+  oss << "{\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& c = snapshot.counters[i];
+    if (i > 0) oss << ',';
+    append_json_string(oss, c.name);
+    oss << ":{\"value\":" << c.value << ",\"deterministic\":"
+        << (c.deterministic ? "true" : "false") << '}';
+  }
+  oss << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& g = snapshot.gauges[i];
+    if (i > 0) oss << ',';
+    append_json_string(oss, g.name);
+    oss << ':' << format_double(g.value);
+  }
+  oss << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    if (i > 0) oss << ',';
+    append_json_string(oss, h.name);
+    oss << ":{\"count\":" << h.count << ",\"sum\":" << format_double(h.sum)
+        << ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) oss << ',';
+      oss << '[';
+      if (b < h.upper_bounds.size()) {
+        oss << format_double(h.upper_bounds[b]);
+      } else {
+        oss << "null";
+      }
+      oss << ',' << h.buckets[b] << ']';
+    }
+    oss << "]}";
+  }
+  oss << "}}";
+  return oss.str();
+}
+
+std::string snapshot_json() {
+  return snapshot_json(MetricsRegistry::instance().snapshot());
+}
+
+}  // namespace surfos::telemetry

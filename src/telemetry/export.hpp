@@ -1,0 +1,29 @@
+// Snapshot exporters: human-readable table and machine-readable JSON.
+//
+// Both render a Snapshot (default: the process-wide registry's) with
+// deterministic ordering — instruments appear sorted by name, so two
+// identical runs produce byte-identical exports of the deterministic
+// counter set regardless of thread count.
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace surfos::telemetry {
+
+/// Fixed-width table of counters, gauges, and histogram summaries
+/// (count / mean / max-bucket), for operator consoles and examples.
+std::string snapshot_table(const Snapshot& snapshot);
+std::string snapshot_table();  ///< Table of the global registry.
+
+/// JSON object:
+///   {"counters": {"name": {"value": N, "deterministic": true}, ...},
+///    "gauges": {"name": V, ...},
+///    "histograms": {"name": {"count": N, "sum": S,
+///                            "buckets": [[bound, count], ...]}, ...}}
+/// The final histogram bucket's bound is null (overflow).
+std::string snapshot_json(const Snapshot& snapshot);
+std::string snapshot_json();  ///< JSON of the global registry.
+
+}  // namespace surfos::telemetry

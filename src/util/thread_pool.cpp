@@ -1,5 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -155,12 +157,22 @@ void ThreadPool::run_chunked(
     const std::function<void(std::size_t, std::size_t)>& range_fn) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
+  // Dispatch count is structural (one per parallel loop issued), so it is
+  // identical under any SURFOS_THREADS value; which *path* a dispatch takes
+  // is a scheduling detail and tracked by the non-deterministic counters.
+  SURFOS_COUNT("util.pool.dispatches");
   // Serial path: SURFOS_THREADS=1, tiny ranges, or a nested call from a
   // worker (running inline avoids deadlock and keeps chunk order trivial).
   if (impl_ == nullptr || n == 1 || t_in_worker) {
+    if (t_in_worker) {
+      SURFOS_COUNT_SCHED("util.pool.nested_inline", 1);
+    } else {
+      SURFOS_COUNT_SCHED("util.pool.serial_runs", 1);
+    }
     range_fn(begin, end);
     return;
   }
+  SURFOS_SPAN("util.pool.run");
   auto state = std::make_shared<LoopState>();
   state->begin = begin;
   state->end = end;
@@ -171,6 +183,7 @@ void ThreadPool::run_chunked(
   state->chunk = std::max<std::size_t>(1, n / (4 * degree_));
   state->chunk_count = (n + state->chunk - 1) / state->chunk;
   state->range_fn = &range_fn;
+  SURFOS_COUNT_SCHED("util.pool.chunks", state->chunk_count);
   impl_->run(state);
   if (state->error) std::rethrow_exception(state->error);
 }

@@ -1,0 +1,109 @@
+// Fleet service API: site lookup (const and mutable), the unknown-site
+// error contract, and step_all()'s control-cycle trace aggregation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "core/fleet.hpp"
+#include "core/surfos.hpp"
+#include "sim/floorplan.hpp"
+#include "surface/catalog.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace surfos {
+namespace {
+
+/// Two small sites under one fleet; scenarios must outlive the SurfOS
+/// instances, so the fixture owns them.
+class FleetTest : public ::testing::Test {
+ protected:
+  FleetTest()
+      : home_(sim::make_coverage_room(/*grid_n=*/4)),
+        office_(sim::make_coverage_room(/*grid_n=*/4)) {
+    const surface::Catalog catalog = surface::Catalog::standard();
+    {
+      auto os = std::make_unique<SurfOS>(home_.environment.get(), home_.ap(),
+                                         home_.band, home_.budget);
+      os->install_programmable(*catalog.find("NR-Surface"),
+                               home_.surface_pose, 10, 10, "home-wall");
+      os->register_endpoint("laptop", hal::EndpointKind::kClient,
+                            {1.2, 2.4, 1.0});
+      fleet_.add_site("home", std::move(os));
+    }
+    {
+      auto os = std::make_unique<SurfOS>(office_.environment.get(),
+                                         office_.ap(), office_.band,
+                                         office_.budget);
+      os->install_programmable(*catalog.find("NR-Surface"),
+                               office_.surface_pose, 10, 10, "office-wall");
+      os->register_endpoint("phone", hal::EndpointKind::kClient,
+                            {1.0, 2.0, 1.0});
+      fleet_.add_site("office", std::move(os));
+    }
+  }
+
+  sim::CoverageRoomScenario home_;
+  sim::CoverageRoomScenario office_;
+  Fleet fleet_;
+};
+
+TEST_F(FleetTest, FindSiteConstAndMutableOverloads) {
+  SurfOS* site = fleet_.find_site("home");
+  ASSERT_NE(site, nullptr);
+  // The non-const overload supports mutation through the pointer.
+  site->register_endpoint("tablet", hal::EndpointKind::kClient,
+                          {2.0, 1.0, 1.0});
+  EXPECT_NE(site->registry().find_endpoint("tablet"), nullptr);
+
+  const Fleet& const_fleet = fleet_;
+  const SurfOS* const_site = const_fleet.find_site("home");
+  EXPECT_EQ(const_site, site);
+
+  EXPECT_EQ(fleet_.find_site("warehouse"), nullptr);
+  EXPECT_EQ(const_fleet.find_site("warehouse"), nullptr);
+}
+
+TEST_F(FleetTest, UnknownSiteThrowsConsistentlyWithSiteIdInMessage) {
+  const auto expect_names_site = [](const auto& call) {
+    try {
+      call();
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("warehouse"),
+                std::string::npos)
+          << error.what();
+    }
+  };
+  expect_names_site([&] { fleet_.site("warehouse"); });
+  expect_names_site(
+      [&] { fleet_.handle_utterance("warehouse", "stream a movie"); });
+}
+
+TEST_F(FleetTest, StepAllAggregatesStepTraces) {
+  fleet_.site("home").orchestrator().enhance_link({"laptop", 10.0, 50.0});
+  fleet_.site("office").orchestrator().enhance_link({"phone", 10.0, 50.0});
+
+  const FleetReport first = fleet_.step_all();
+  ASSERT_EQ(first.sites.size(), 2u);
+  EXPECT_EQ(first.trace.plans_fresh, 2u);  // one fresh plan per site
+  EXPECT_EQ(first.trace.plans_reused, 0u);
+  EXPECT_GT(first.trace.objective_evaluations, 0u);
+  EXPECT_EQ(first.trace.config_writes, 2u);  // one surface written per site
+
+  // Aggregation is exactly the per-site sum.
+  std::size_t evals = 0;
+  for (const auto& site : first.sites) {
+    evals += site.step.trace.objective_evaluations;
+  }
+  EXPECT_EQ(first.trace.objective_evaluations, evals);
+
+  const FleetReport second = fleet_.step_all();
+  EXPECT_EQ(second.trace.plans_fresh, 0u);
+  EXPECT_EQ(second.trace.plans_reused, 2u);  // cache hit on both sites
+  EXPECT_EQ(second.trace.config_writes, 0u);
+}
+
+}  // namespace
+}  // namespace surfos

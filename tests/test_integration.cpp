@@ -47,12 +47,12 @@ TEST(Facade, InstallRejectsWrongHardwareClass) {
 TEST(Facade, DatasheetInstallWorkflow) {
   sim::CoverageRoomScenario scene = sim::make_coverage_room(4);
   SurfOS os(scene.environment.get(), scene.ap(), scene.band, scene.budget);
-  std::vector<std::string> warnings;
-  os.install_from_datasheet(
+  const InstallReport install = os.install_from_datasheet(
       "model: Acme\nfrequency: 28 GHz\nmode: reflective\n"
       "reconfigurable: yes\nelements: 12x12\nmystery: value\n",
-      scene.surface_pose, "acme0", &warnings);
-  EXPECT_EQ(warnings.size(), 1u);  // the mystery key
+      scene.surface_pose, "acme0");
+  EXPECT_EQ(install.device_id, "acme0");
+  EXPECT_EQ(install.warnings.size(), 1u);  // the mystery key
   os.register_endpoint("laptop", hal::EndpointKind::kClient, {1.2, 2.4, 1.0});
   const orch::TaskId task =
       os.orchestrator().enhance_link({"laptop", 10.0, 50.0});

@@ -1,0 +1,320 @@
+// Telemetry subsystem: instrument semantics, span nesting, exporters, the
+// SURFOS_TELEMETRY switch, and the two contracts the rest of the system
+// relies on — counter snapshots bit-identical under any SURFOS_THREADS, and
+// disabled-mode StepReports identical to enabled-mode ones.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/surfos.hpp"
+#include "sim/floorplan.hpp"
+#include "surface/catalog.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace surfos {
+namespace {
+
+using telemetry::MetricsRegistry;
+
+/// Every test starts from a zeroed registry with telemetry on, and leaves
+/// the switch on for whoever runs next in this binary.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::set_enabled(true);
+    MetricsRegistry::instance().reset();
+  }
+  void TearDown() override {
+    telemetry::set_enabled(true);
+    MetricsRegistry::instance().reset();
+  }
+};
+
+TEST_F(TelemetryTest, CounterBasics) {
+  auto& registry = MetricsRegistry::instance();
+  telemetry::Counter& counter = registry.counter("test.counter");
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  EXPECT_TRUE(counter.deterministic());
+
+  // Find-or-create: same name yields the same instrument; the deterministic
+  // flag is fixed at first registration.
+  EXPECT_EQ(&registry.counter("test.counter", false), &counter);
+  EXPECT_TRUE(registry.counter("test.counter").deterministic());
+
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);  // cached reference survives reset
+}
+
+TEST_F(TelemetryTest, GaugeBasics) {
+  telemetry::Gauge& gauge = MetricsRegistry::instance().gauge("test.gauge");
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(3.5);
+  EXPECT_EQ(gauge.value(), 3.5);
+  gauge.set(-1.0);
+  EXPECT_EQ(gauge.value(), -1.0);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsAndOverflow) {
+  telemetry::Histogram& hist = MetricsRegistry::instance().histogram(
+      "test.hist", std::vector<double>{1.0, 10.0, 100.0});
+  hist.record(0.5);    // bucket 0 (<= 1)
+  hist.record(1.0);    // bucket 0 (inclusive upper edge)
+  hist.record(7.0);    // bucket 1
+  hist.record(1e6);    // overflow
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.5 + 1.0 + 7.0 + 1e6);
+  const auto buckets = hist.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 finite + overflow
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 1u);
+
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.sum(), 0.0);
+}
+
+TEST_F(TelemetryTest, SnapshotIsSortedByName) {
+  auto& registry = MetricsRegistry::instance();
+  // Registered out of order; the snapshot comes back name-sorted. (The
+  // registry may hold registrations from earlier tests in this binary —
+  // reset() zeroes but never removes — so check ordering, not exact size.)
+  registry.counter("z.last").add(1);
+  registry.counter("a.first").add(2);
+  registry.counter("m.middle").add(3);
+  const telemetry::Snapshot snap = registry.snapshot();
+  std::vector<std::string> names;
+  for (const auto& counter : snap.counters) names.push_back(counter.name);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* expected : {"a.first", "m.middle", "z.last"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end());
+  }
+}
+
+TEST_F(TelemetryTest, FingerprintExcludesSchedulingDependentCounters) {
+  auto& registry = MetricsRegistry::instance();
+  registry.counter("det.events").add(7);
+  registry.counter("sched.chunks", /*deterministic=*/false).add(13);
+  const std::string fingerprint = registry.counters_fingerprint();
+  EXPECT_NE(fingerprint.find("det.events=7"), std::string::npos);
+  EXPECT_EQ(fingerprint.find("sched.chunks"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, SpanNestsAndRecordsIntoHistogram) {
+  EXPECT_EQ(telemetry::Span::current(), nullptr);
+  EXPECT_EQ(telemetry::Span::depth(), 0u);
+  {
+    telemetry::Span outer("test.span.outer");
+    EXPECT_TRUE(outer.active());
+    EXPECT_EQ(telemetry::Span::current(), &outer);
+    EXPECT_EQ(telemetry::Span::depth(), 1u);
+    EXPECT_EQ(outer.parent(), nullptr);
+    {
+      telemetry::Span inner("test.span.inner");
+      EXPECT_EQ(inner.parent(), &outer);
+      EXPECT_EQ(telemetry::Span::current(), &inner);
+      EXPECT_EQ(telemetry::Span::depth(), 2u);
+      EXPECT_GE(inner.elapsed_us(), 0.0);
+    }
+    EXPECT_EQ(telemetry::Span::current(), &outer);
+  }
+  EXPECT_EQ(telemetry::Span::depth(), 0u);
+  const telemetry::Snapshot snap = MetricsRegistry::instance().snapshot();
+  bool outer_seen = false;
+  bool inner_seen = false;
+  for (const auto& hist : snap.histograms) {
+    if (hist.name == "test.span.outer") {
+      outer_seen = true;
+      EXPECT_EQ(hist.count, 1u);
+    }
+    if (hist.name == "test.span.inner") {
+      inner_seen = true;
+      EXPECT_EQ(hist.count, 1u);
+    }
+  }
+  EXPECT_TRUE(outer_seen);
+  EXPECT_TRUE(inner_seen);
+}
+
+TEST_F(TelemetryTest, DisabledModeIsInert) {
+  telemetry::set_enabled(false);
+  EXPECT_FALSE(telemetry::enabled());
+  SURFOS_COUNT("test.disabled.counter");
+  SURFOS_GAUGE_SET("test.disabled.gauge", 5.0);
+  {
+    telemetry::Span span("test.disabled.span");
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(span.elapsed_us(), 0.0);
+    EXPECT_EQ(telemetry::Span::current(), nullptr);
+  }
+  telemetry::set_enabled(true);
+  const telemetry::Snapshot snap = MetricsRegistry::instance().snapshot();
+  for (const auto& counter : snap.counters) {
+    EXPECT_NE(counter.name, "test.disabled.counter");
+  }
+  for (const auto& gauge : snap.gauges) {
+    EXPECT_NE(gauge.name, "test.disabled.gauge");
+  }
+  for (const auto& hist : snap.histograms) {
+    EXPECT_NE(hist.name, "test.disabled.span");
+  }
+}
+
+TEST_F(TelemetryTest, JsonAndTableExports) {
+  auto& registry = MetricsRegistry::instance();
+  registry.counter("export.events").add(5);
+  registry.gauge("export.level").set(2.5);
+  registry.histogram("export.lat", std::vector<double>{10.0}).record(3.0);
+
+  const std::string json = telemetry::snapshot_json();
+  EXPECT_NE(json.find("\"export.events\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"deterministic\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"export.level\""), std::string::npos);
+  EXPECT_NE(json.find("\"export.lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+
+  const std::string table = telemetry::snapshot_table();
+  EXPECT_NE(table.find("export.events"), std::string::npos);
+  EXPECT_NE(table.find("export.level"), std::string::npos);
+  EXPECT_NE(table.find("export.lat"), std::string::npos);
+}
+
+// --- System-level contracts --------------------------------------------------
+
+/// One full control-plane scenario: facade bring-up, a datasheet install, a
+/// broker utterance, a direct service call, and two steps (the second
+/// exercising the plan cache). Exercises counters in every layer.
+orch::StepReport run_scenario() {
+  sim::CoverageRoomScenario scene = sim::make_coverage_room(/*grid_n=*/4);
+  SurfOS os(scene.environment.get(), scene.ap(), scene.band, scene.budget);
+  const surface::Catalog catalog = surface::Catalog::standard();
+  os.install_programmable(*catalog.find("NR-Surface"), scene.surface_pose, 10,
+                          10, "wall");
+  os.install_from_datasheet(
+      "model: Acme\nfrequency: 28 GHz\nmode: reflective\n"
+      "reconfigurable: yes\nelements: 8x8\nmystery: value\n",
+      scene.surface_pose, "acme");
+  os.register_endpoint("laptop", hal::EndpointKind::kClient, {1.2, 2.4, 1.0});
+  os.broker().add_region("this_room",
+                         geom::SampleGrid(0.8, 2.8, 0.5, 2.5, 1.0, 3, 3));
+  os.broker().handle_utterance("stream a movie on my laptop");
+  os.orchestrator().enhance_link({"laptop", 10.0, 50.0});
+  os.step();
+  return os.step();  // second step reuses cached plans
+}
+
+std::string serialize_semantics(const orch::StepReport& report) {
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "assignments=%zu optimizations=%zu\n",
+                report.assignment_count, report.optimizations_run);
+  out += buf;
+  for (const orch::TaskId id : report.starved) {
+    out += "starved " + std::to_string(id) + "\n";
+  }
+  for (const auto& task : report.tasks) {
+    std::snprintf(buf, sizeof(buf), "task %llu type=%d state=%d %.17g met=%d\n",
+                  static_cast<unsigned long long>(task.id),
+                  static_cast<int>(task.type), static_cast<int>(task.state),
+                  task.achieved.value_or(-1e300), task.goal_met ? 1 : 0);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "trace fresh=%zu reused=%zu evals=%zu writes=%zu\n",
+                report.trace.plans_fresh, report.trace.plans_reused,
+                report.trace.objective_evaluations,
+                report.trace.config_writes);
+  out += buf;
+  return out;
+}
+
+TEST_F(TelemetryTest, CounterSnapshotIdenticalAcrossThreadCounts) {
+  auto& registry = MetricsRegistry::instance();
+
+  util::reset_global_pool(1);
+  run_scenario();
+  const std::string serial = registry.counters_fingerprint();
+
+  registry.reset();
+  util::reset_global_pool(4);
+  run_scenario();
+  const std::string threaded = registry.counters_fingerprint();
+
+  util::reset_global_pool(0);  // back to hardware default
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, threaded);
+  // The fingerprint really covers the whole stack.
+  for (const char* name :
+       {"orch.steps", "orch.tasks.admitted", "opt.objective.evaluations",
+        "hal.driver.config_writes", "sim.channel.precomputes",
+        "broker.utterances", "core.surfaces.installed",
+        "util.pool.dispatches"}) {
+    EXPECT_NE(serial.find(name), std::string::npos) << name;
+  }
+}
+
+TEST_F(TelemetryTest, DisabledTelemetryLeavesStepReportIdentical) {
+  telemetry::set_enabled(true);
+  const orch::StepReport on = run_scenario();
+
+  telemetry::set_enabled(false);
+  const orch::StepReport off = run_scenario();
+  telemetry::set_enabled(true);
+
+  EXPECT_EQ(serialize_semantics(on), serialize_semantics(off));
+  // Timings are only measured while telemetry is on.
+  EXPECT_EQ(off.trace.total_us, 0.0);
+  EXPECT_EQ(off.trace.schedule_us, 0.0);
+  EXPECT_EQ(off.trace.optimize_us, 0.0);
+  EXPECT_EQ(off.trace.actuate_us, 0.0);
+  EXPECT_EQ(off.trace.measure_us, 0.0);
+  // Deterministic trace counts are filled either way.
+  EXPECT_GT(off.trace.plans_reused, 0u);
+}
+
+TEST_F(TelemetryTest, TaskHandleTracksTaskState) {
+  sim::CoverageRoomScenario scene = sim::make_coverage_room(/*grid_n=*/4);
+  SurfOS os(scene.environment.get(), scene.ap(), scene.band, scene.budget);
+  // Element-wise hardware: a 10 dB link target is comfortably achievable
+  // (the same setup test_integration's datasheet workflow relies on).
+  os.install_from_datasheet(
+      "model: Handle\nfrequency: 28 GHz\nmode: reflective\n"
+      "reconfigurable: yes\nelements: 12x12\n",
+      scene.surface_pose, "wall");
+  os.register_endpoint("laptop", hal::EndpointKind::kClient, {1.2, 2.4, 1.0});
+
+  const orch::TaskHandle handle =
+      os.orchestrator().enhance_link({"laptop", 10.0, 50.0});
+  EXPECT_TRUE(handle.valid());
+  EXPECT_EQ(handle.status(), orch::TaskState::kPending);
+  EXPECT_FALSE(handle.last_metric().has_value());
+
+  os.step();
+  EXPECT_EQ(handle.status(), orch::TaskState::kRunning);
+  EXPECT_TRUE(handle.goal_met());
+  EXPECT_TRUE(handle.last_metric().has_value());
+
+  // The handle still converts to a bare TaskId for the pre-redesign API.
+  const orch::TaskId id = handle;
+  EXPECT_EQ(id, handle.id());
+  EXPECT_NE(os.orchestrator().find_task(handle), nullptr);
+
+  const orch::TaskHandle invalid;
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_THROW(invalid.status(), std::invalid_argument);
+  EXPECT_THROW(invalid.goal_met(), std::invalid_argument);
+  EXPECT_THROW(invalid.last_metric(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace surfos
