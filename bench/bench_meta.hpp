@@ -1,0 +1,24 @@
+// Shared provenance stamp for every BENCH_*.json: which library version and
+// git commit produced the numbers. SURFOS_GIT_SHA is injected by
+// bench/CMakeLists.txt (git rev-parse at configure time); builds outside a
+// git checkout stamp "unknown".
+#pragma once
+
+#include <ostream>
+
+#include "core/version.hpp"
+
+#ifndef SURFOS_GIT_SHA
+#define SURFOS_GIT_SHA "unknown"
+#endif
+
+namespace surfos::bench {
+
+/// Writes the shared `version`/`git_sha` JSON fields (with trailing comma —
+/// callers continue the object).
+inline void write_meta(std::ostream& os) {
+  os << "  \"version\": \"" << kVersionString << "\",\n";
+  os << "  \"git_sha\": \"" << SURFOS_GIT_SHA << "\",\n";
+}
+
+}  // namespace surfos::bench

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "opt/objective.hpp"
 #include "orch/objectives.hpp"
 #include "orch/variables.hpp"
@@ -172,6 +173,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   out << "{\n  \"bench\": \"parallel_scaling\",\n";
+  bench::write_meta(out);
   out << "  \"scene\": \"fig5_room_grid14_panel20x20\",\n";
   out << "  \"threads\": " << threads << ",\n";
   out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()

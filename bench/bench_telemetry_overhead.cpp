@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "core/surfos.hpp"
 #include "sim/floorplan.hpp"
 #include "surface/catalog.hpp"
@@ -101,6 +102,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   out << "{\n  \"bench\": \"telemetry_overhead\",\n";
+  bench::write_meta(out);
   out << "  \"scene\": \"fig5_room_grid12_panel20x20\",\n";
   out << "  \"steps\": " << steps << ",\n";
   out << "  \"median_step_off_ms\": " << median_off << ",\n";

@@ -1,0 +1,151 @@
+// Tracing overhead on the control cycle: median per-step latency of a
+// Fig-5-sized scene with SURFOS_TRACE off (the default — every
+// SURFOS_TRACE_SPAN site pays one predicted branch plus its plain Span
+// timing) versus on (flight-recorder writes armed). The budget in DESIGN.md
+// is <= 3% for either mode.
+//
+// Also checks the determinism contract: the deterministic fields of a
+// StepReport — counts, task outcomes, and per-assignment trace ids — must be
+// byte-identical whether tracing is off or on.
+//
+// Emits BENCH_trace.json:
+//   ./bench_trace_overhead [steps] [output.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_meta.hpp"
+#include "core/surfos.hpp"
+#include "sim/floorplan.hpp"
+#include "surface/catalog.hpp"
+#include "telemetry/telemetry.hpp"
+
+using namespace surfos;
+
+namespace {
+
+double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+/// The deterministic slice of a StepReport, serialized: everything except
+/// the wall-clock `*_us` timings. Identical across tracing modes by contract.
+std::string report_digest(const orch::StepReport& report) {
+  std::ostringstream oss;
+  oss << report.assignment_count << '|' << report.optimizations_run << '|';
+  for (const orch::TaskId id : report.starved) oss << id << ',';
+  oss << '|';
+  for (const auto& task : report.tasks) {
+    oss << task.id << ':' << static_cast<int>(task.type) << ':'
+        << static_cast<int>(task.state) << ':'
+        << task.achieved.value_or(-1e300) << ':' << task.goal_met << ';';
+  }
+  const orch::StepTrace& trace = report.trace;
+  oss << '|' << trace.plans_fresh << '|' << trace.plans_reused << '|'
+      << trace.objective_evaluations << '|' << trace.config_writes << '|';
+  for (const telemetry::TraceId id : trace.trace_ids) {
+    oss << std::hex << id << ',';
+  }
+  return oss.str();
+}
+
+struct RunResult {
+  std::vector<double> laps_ms;
+  std::string digest;  ///< Concatenated per-step deterministic digests.
+};
+
+/// Runs `steps` full control cycles with tracing forced on or off. A fresh
+/// stack per call keeps the two modes byte-for-byte comparable.
+RunResult run_steps(int steps, bool trace_on) {
+  telemetry::set_trace_enabled(trace_on);
+  telemetry::Recorder::instance().clear();
+  sim::CoverageRoomScenario scene = sim::make_coverage_room(/*grid_n=*/12);
+  orch::OrchestratorOptions options;
+  options.always_reoptimize = true;
+  SurfOS os(scene.environment.get(), scene.ap(), scene.band, scene.budget,
+            options);
+  const surface::Catalog catalog = surface::Catalog::standard();
+  os.install_programmable(*catalog.find("NR-Surface"), scene.surface_pose, 20,
+                          20, "wall");
+  os.register_endpoint("laptop", hal::EndpointKind::kClient, {1.2, 2.4, 1.0});
+
+  orch::CoverageGoal coverage;
+  coverage.region_id = "room";
+  coverage.region = scene.room_grid;
+  coverage.target_median_snr_db = 10.0;
+  os.orchestrator().optimize_coverage(coverage);
+  os.orchestrator().enhance_link({"laptop", 10.0, 50.0});
+  os.step();  // warm-up: channel precompute + first optimization
+
+  RunResult result;
+  result.laps_ms.reserve(steps);
+  for (int i = 0; i < steps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    const orch::StepReport report = os.step();
+    result.laps_ms.push_back(std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count());
+    result.digest += report_digest(report);
+    result.digest += '\n';
+  }
+  telemetry::set_trace_enabled(false);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 15;
+  const std::string out_path = argc > 2 ? argv[2] : "BENCH_trace.json";
+
+  // Off first (it defines the baseline), then on.
+  const RunResult off = run_steps(steps, false);
+  const RunResult on = run_steps(steps, true);
+
+  const double median_off = median(off.laps_ms);
+  const double median_on = median(on.laps_ms);
+  const double overhead =
+      median_off > 0.0 ? (median_on - median_off) / median_off * 100.0 : 0.0;
+  const bool reports_identical = off.digest == on.digest;
+
+  std::printf("control cycle, %d steps (fig5 room, 20x20 surface)\n", steps);
+  std::printf("  tracing off: median %.2f ms/step\n", median_off);
+  std::printf("  tracing on:  median %.2f ms/step\n", median_on);
+  std::printf("  overhead: %+.2f%% (budget: <= 3%%)\n", overhead);
+  std::printf("  deterministic report fields identical across modes: %s\n",
+              reports_identical ? "yes" : "NO");
+  std::printf("  events recorded while on: %llu (capacity %zu)\n",
+              static_cast<unsigned long long>(
+                  telemetry::Recorder::instance().recorded()),
+              telemetry::Recorder::instance().capacity());
+  if (!reports_identical) {
+    std::fprintf(stderr, "determinism contract violated\n");
+    return 1;
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"bench\": \"trace_overhead\",\n";
+  bench::write_meta(out);
+  out << "  \"scene\": \"fig5_room_grid12_panel20x20\",\n";
+  out << "  \"steps\": " << steps << ",\n";
+  out << "  \"median_step_off_ms\": " << median_off << ",\n";
+  out << "  \"median_step_on_ms\": " << median_on << ",\n";
+  out << "  \"overhead_percent\": " << overhead << ",\n";
+  out << "  \"reports_identical\": " << (reports_identical ? "true" : "false")
+      << ",\n";
+  out << "  \"budget_percent\": 3.0\n";
+  out << "}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# The repo's one-command health check, in CI order:
+#
+#   1. tier-1: configure + build + full ctest in ./build
+#   2. focused re-runs of the observability suites (ctest -L telemetry,
+#      ctest -L trace) so a tracing regression is named, not buried
+#   3. TSan build of the thread-pool/tracing tests (ctest -L tsan in
+#      ./build-tsan); any sanitizer report fails the run
+#
+#   $ ci/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc)"
+
+echo "== tier 1: build + full test suite (build/)"
+cmake -B build -S .
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo
+echo "== focused: telemetry + trace labels"
+ctest --test-dir build --output-on-failure -L telemetry
+ctest --test-dir build --output-on-failure -L trace
+
+echo
+echo "== tsan: thread-pool / tracing tests under ThreadSanitizer (build-tsan/)"
+cmake -B build-tsan -S . -DSURFOS_SANITIZE=thread
+cmake --build build-tsan -j"$JOBS" --target \
+  test_thread_pool test_parallel_determinism test_trace
+# TSan findings abort the test process (halt_on_error) so a data race can
+# never hide behind a green assertion run. -L is a regex: the trace suite
+# hammers the recorder from pool workers, so it runs under TSan too.
+TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
+  ctest --test-dir build-tsan --output-on-failure -L "tsan|trace"
+
+echo
+echo "ci/check.sh: all green"

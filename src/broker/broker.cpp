@@ -46,6 +46,16 @@ void ServiceBroker::start_app(std::string app_id, AppDemand demand) {
   session.demand = demand;
   session.running = true;
 
+  // One causal trace per admitted intent: every task this demand fans out
+  // into — and later every span those tasks cause down through the
+  // optimizer and HAL — carries this deterministic id.
+  const telemetry::TraceContext intent_trace{
+      telemetry::make_trace_id(telemetry::trace_domain("broker.intent"),
+                               ++trace_seq_),
+      0};
+  telemetry::TraceScope trace_scope(intent_trace);
+  SURFOS_TRACE_SPAN("broker.translate");
+
   const auto& budget = orchestrator_->context().budget;
   const auto requests =
       translate(demand, budget, region_for(demand.region_id), translation_);
@@ -130,9 +140,13 @@ std::size_t ServiceBroker::escalate_unsatisfied() {
       const auto* task = orchestrator_->find_task(id);
       if (task == nullptr || !task->active() || task->goal_met) continue;
       if (task->priority >= orch::kPriorityCritical) continue;
-      // Re-admit at the next priority tier; the old task is cancelled.
+      // Re-admit at the next priority tier; the old task is cancelled. The
+      // replacement keeps the original intent's trace id so the escalation
+      // shows up as one causal chain, not a fresh trace.
       const orch::ServiceGoal goal = task->goal;
       const orch::Priority bumped = task->priority + 10;
+      const telemetry::TraceScope trace_scope({task->trace.trace_id, 0});
+      SURFOS_TRACE_INSTANT("broker.escalate");
       orchestrator_->cancel_task(id);
       struct Dispatch {
         orch::Orchestrator& orch;
@@ -210,6 +224,7 @@ std::size_t ServiceBroker::apply_traffic_suggestions(
 }
 
 IntentResult ServiceBroker::handle_utterance(const std::string& text) {
+  SURFOS_TRACE_SPAN("broker.utterance");
   const IntentResult result = intent_.interpret(text);
   SURFOS_COUNT("broker.utterances");
   if (!result.understood) return result;

@@ -89,6 +89,9 @@ class ServiceBroker {
   std::map<std::string, geom::SampleGrid> regions_;
   std::map<std::string, AppSession> sessions_;
   std::size_t utterance_counter_ = 0;
+  /// Monotone per-intent sequence — the `seq` of each admitted intent's
+  /// deterministic trace id (see telemetry/trace.hpp).
+  std::uint64_t trace_seq_ = 0;
 };
 
 }  // namespace surfos::broker

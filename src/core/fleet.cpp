@@ -48,7 +48,7 @@ broker::IntentResult Fleet::handle_utterance(const std::string& site_id,
 
 FleetReport Fleet::step_all() {
   FleetReport report;
-  telemetry::Span span("core.fleet.step_all");
+  telemetry::TraceSpan span("core.fleet.step_all");
   SURFOS_COUNT("core.fleet.step_alls");
   for (auto& [id, os] : sites_) {
     SiteReport site_report;
@@ -67,6 +67,9 @@ FleetReport Fleet::step_all() {
     report.trace.plans_reused += trace.plans_reused;
     report.trace.objective_evaluations += trace.objective_evaluations;
     report.trace.config_writes += trace.config_writes;
+    report.trace.trace_ids.insert(report.trace.trace_ids.end(),
+                                  trace.trace_ids.begin(),
+                                  trace.trace_ids.end());
     report.sites.push_back(std::move(site_report));
   }
   return report;

@@ -74,7 +74,7 @@ DriverStatus ProgrammableSurfaceDriver::write_config(
     std::uint16_t slot, const surface::SurfaceConfig& config) {
   if (slot >= slot_count()) return DriverStatus::kBadSlot;
   if (config.size() != panel().element_count()) return DriverStatus::kBadConfig;
-  SURFOS_SPAN("hal.driver.write_config");
+  SURFOS_TRACE_SPAN("hal.driver.write_config");
   SURFOS_COUNT("hal.driver.config_writes");
   Frame frame;
   frame.type = MessageType::kWriteConfig;

@@ -32,6 +32,7 @@ void ReliableLink::send(Frame frame) {
   forward_.send(outstanding.bytes);
   in_flight_.emplace(frame.sequence, std::move(outstanding));
   SURFOS_COUNT("hal.arq.sends");
+  SURFOS_TRACE_INSTANT("hal.arq.send");
 }
 
 void ReliableLink::emit_ack() {
@@ -83,6 +84,7 @@ void ReliableLink::poll() {
       if (out.attempts > options_.max_retransmissions) {
         ++abandoned_;
         SURFOS_COUNT("hal.arq.abandoned");
+        SURFOS_TRACE_INSTANT("hal.arq.abandon");
         it = in_flight_.erase(it);
         continue;
       }
@@ -91,6 +93,7 @@ void ReliableLink::poll() {
       ++out.attempts;
       ++retransmissions_;
       SURFOS_COUNT("hal.arq.retransmissions");
+      SURFOS_TRACE_INSTANT("hal.arq.retransmit");
     }
     ++it;
   }

@@ -2,11 +2,13 @@
 #include <stdexcept>
 
 #include "opt/optimizer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace surfos::opt {
 
 OptimizeResult Adam::minimize(const Objective& objective,
                               std::vector<double> x0) const {
+  SURFOS_TRACE_SPAN("opt.minimize");
   if (x0.size() != objective.dimension()) {
     throw std::invalid_argument("Adam: x0 dimension mismatch");
   }

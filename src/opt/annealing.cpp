@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "opt/optimizer.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace surfos::opt {
@@ -21,6 +22,7 @@ namespace surfos::opt {
 // SURFOS_THREADS setting.
 OptimizeResult SimulatedAnnealing::minimize(const Objective& objective,
                                             std::vector<double> x0) const {
+  SURFOS_TRACE_SPAN("opt.minimize");
   if (x0.size() != objective.dimension()) {
     throw std::invalid_argument("SimulatedAnnealing: x0 dimension mismatch");
   }

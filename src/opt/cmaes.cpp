@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "opt/optimizer.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace surfos::opt {
@@ -15,6 +16,7 @@ namespace surfos::opt {
 // matters on multimodal coverage objectives.
 OptimizeResult CmaEs::minimize(const Objective& objective,
                                std::vector<double> x0) const {
+  SURFOS_TRACE_SPAN("opt.minimize");
   const std::size_t n = x0.size();
   if (n != objective.dimension()) {
     throw std::invalid_argument("CmaEs: x0 dimension mismatch");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace surfos::opt {
@@ -13,6 +14,7 @@ double Objective::value_and_gradient(std::span<const double> x,
     throw std::invalid_argument("Objective: gradient size mismatch");
   }
   // Base value once, up front; the probes below never revisit x itself.
+  SURFOS_TRACE_SPAN("opt.objective.fd_gradient");
   const double base = value(x);
   const double h = fd_step();
   if (thread_safe() && x.size() > 1) {
@@ -51,6 +53,7 @@ void Objective::value_batch(std::span<const std::vector<double>> xs,
   if (out.size() != xs.size()) {
     throw std::invalid_argument("Objective: batch output size mismatch");
   }
+  SURFOS_TRACE_SPAN("opt.objective.value_batch");
   if (thread_safe()) {
     util::parallel_for(0, xs.size(),
                        [&](std::size_t k) { out[k] = value(xs[k]); });

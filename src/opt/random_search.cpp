@@ -2,6 +2,7 @@
 #include <stdexcept>
 
 #include "opt/optimizer.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace surfos::opt {
@@ -14,6 +15,7 @@ namespace surfos::opt {
 // under any SURFOS_THREADS setting.
 OptimizeResult RandomSearch::minimize(const Objective& objective,
                                       std::vector<double> x0) const {
+  SURFOS_TRACE_SPAN("opt.minimize");
   if (x0.size() != objective.dimension()) {
     throw std::invalid_argument("RandomSearch: x0 dimension mismatch");
   }

@@ -2,12 +2,14 @@
 #include <stdexcept>
 
 #include "opt/optimizer.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace surfos::opt {
 
 OptimizeResult Spsa::minimize(const Objective& objective,
                               std::vector<double> x0) const {
+  SURFOS_TRACE_SPAN("opt.minimize");
   if (x0.size() != objective.dimension()) {
     throw std::invalid_argument("Spsa: x0 dimension mismatch");
   }

@@ -37,6 +37,8 @@ std::optional<double> TaskHandle::last_metric() const {
   return task().achieved;
 }
 
+telemetry::TraceContext TaskHandle::trace() const { return task().trace; }
+
 Orchestrator::Orchestrator(hal::DeviceRegistry* registry, hal::SimClock* clock,
                            OrchestratorContext context,
                            OrchestratorOptions options)
@@ -69,6 +71,16 @@ TaskId Orchestrator::admit(ServiceGoal goal, Priority priority,
     task.expires_at = clock_->now() + static_cast<hal::Micros>(
                                           *duration_s * hal::kMicrosPerSecond);
   }
+  // Adopt the caller's causal trace (the broker installs one per intent);
+  // direct service-API calls mint a task-id-derived trace instead. Either
+  // way the id is deterministic and independent of the SURFOS_TRACE switch.
+  const telemetry::TraceContext& ambient = telemetry::current_trace();
+  task.trace = ambient.valid()
+                   ? ambient
+                   : telemetry::TraceContext{
+                         telemetry::make_trace_id(
+                             telemetry::trace_domain("orch.task"), task.id),
+                         0};
   SURFOS_INFO(kLog) << "admit task " << task.id << " ("
                     << to_string(task.type()) << ", prio " << priority << ")";
   SURFOS_COUNT("orch.tasks.admitted");
@@ -516,7 +528,7 @@ void Orchestrator::measure(const Assignment& assignment, Plan& plan,
 
 StepReport Orchestrator::step() {
   StepReport report;
-  telemetry::Span step_span("orch.step");
+  telemetry::TraceSpan step_span("orch.step");
   SURFOS_COUNT("orch.steps");
 
   // Expire duration-bound tasks.
@@ -534,7 +546,7 @@ StepReport Orchestrator::step() {
 
   Schedule schedule;
   {
-    telemetry::Span span("orch.step.schedule");
+    telemetry::TraceSpan span("orch.step.schedule");
     schedule = scheduler_.build(active, *registry_);
     report.trace.schedule_us = span.elapsed_us();
   }
@@ -547,6 +559,20 @@ StepReport Orchestrator::step() {
   }
 
   for (const Assignment& assignment : schedule.assignments) {
+    // The assignment runs under its primary task's trace (the first task the
+    // orchestrator still knows about), so every span and driver write below
+    // carries the originating intent's trace id.
+    telemetry::TraceContext assignment_trace;
+    for (const TaskId id : assignment.tasks) {
+      if (const Task* task = find_task(id)) {
+        assignment_trace = {task->trace.trace_id, 0};
+        break;
+      }
+    }
+    telemetry::TraceScope trace_scope(assignment_trace);
+    report.trace.trace_ids.push_back(assignment_trace.trace_id);
+    SURFOS_TRACE_INSTANT("orch.schedule.assign");
+
     bool fresh = false;
     Plan& plan = plan_for(assignment, fresh);
     if (fresh) {
@@ -559,19 +585,19 @@ StepReport Orchestrator::step() {
     if (!plan.channel) continue;
     if (fresh || !plan.optimized || options_.always_reoptimize) {
       {
-        telemetry::Span span("orch.step.optimize");
+        telemetry::TraceSpan span("orch.step.optimize");
         report.trace.objective_evaluations += optimize_plan(assignment, plan);
         report.trace.optimize_us += span.elapsed_us();
       }
       {
-        telemetry::Span span("orch.step.actuate");
+        telemetry::TraceSpan span("orch.step.actuate");
         report.trace.config_writes += actuate(assignment, plan);
         report.trace.actuate_us += span.elapsed_us();
       }
       ++report.optimizations_run;
     }
     {
-      telemetry::Span span("orch.step.measure");
+      telemetry::TraceSpan span("orch.step.measure");
       measure(assignment, plan, report);
       report.trace.measure_us += span.elapsed_us();
     }

@@ -67,6 +67,10 @@ struct StepTrace {
   std::size_t plans_reused = 0;     ///< Cache hits: channel/optimum reused.
   std::size_t objective_evaluations = 0;  ///< Optimizer loss evaluations.
   std::size_t config_writes = 0;    ///< Driver write_config calls issued.
+  /// Trace id of each assignment processed this step (the primary task's),
+  /// in schedule order — the join key between a StepReport and the flight
+  /// recorder. Deterministic and identical whether SURFOS_TRACE is on or off.
+  std::vector<telemetry::TraceId> trace_ids;
 };
 
 struct StepReport {
@@ -101,6 +105,9 @@ class TaskHandle {
   /// Most recent achieved metric in the goal's own unit (SNR dB, error m,
   /// power dBm); nullopt before the first measurement. Throws on invalid.
   std::optional<double> last_metric() const;
+  /// The task's causal trace context (intent-derived trace id). Throws on
+  /// invalid. Join key into the flight recorder / Chrome trace export.
+  telemetry::TraceContext trace() const;
 
  private:
   const Task& task() const;

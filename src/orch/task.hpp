@@ -12,6 +12,7 @@
 #include "geom/grid.hpp"
 #include "geom/vec3.hpp"
 #include "hal/clock.hpp"
+#include "telemetry/trace.hpp"
 
 namespace surfos::orch {
 
@@ -126,6 +127,12 @@ struct Task {
   /// power dBm), refreshed by the orchestrator each step.
   std::optional<double> achieved;
   bool goal_met = false;
+
+  /// Causal trace: adopted from the ambient TraceContext at admission (the
+  /// broker installs one per intent) or minted from the task id. The
+  /// trace_id is deterministic — same call sequence, same id, regardless of
+  /// thread count or the SURFOS_TRACE switch.
+  telemetry::TraceContext trace;
 
   ServiceType type() const noexcept { return service_type_of(goal); }
   bool active() const noexcept {

@@ -54,7 +54,7 @@ SceneChannel::SceneChannel(const Environment* environment, double frequency_hz,
 }
 
 void SceneChannel::precompute() {
-  SURFOS_SPAN("sim.channel.precompute");
+  SURFOS_TRACE_SPAN("sim.channel.precompute");
   SURFOS_COUNT("sim.channel.precomputes");
   SURFOS_COUNT_N("sim.channel.precompute_rx_points", rx_points_.size());
   SURFOS_COUNT_N("sim.channel.precompute_panels", panels_.size());
@@ -295,7 +295,7 @@ std::vector<em::CVec> SceneChannel::coefficients_for(
 
 std::vector<double> SceneChannel::power_map(
     std::span<const surface::SurfaceConfig> configs) const {
-  SURFOS_SPAN("sim.channel.power_map");
+  SURFOS_TRACE_SPAN("sim.channel.power_map");
   SURFOS_COUNT("sim.channel.power_maps");
   const auto coeffs = coefficients_for(configs);
   std::vector<double> out(rx_points_.size());

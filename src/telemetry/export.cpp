@@ -14,20 +14,33 @@ std::string format_double(double value) {
   return buffer;
 }
 
-void append_json_string(std::ostringstream& oss, const std::string& s) {
-  oss << '"';
+}  // namespace
+
+void append_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
   for (const char c : s) {
     switch (c) {
-      case '"': oss << "\\\""; break;
-      case '\\': oss << "\\\\"; break;
-      case '\n': oss << "\\n"; break;
-      default: oss << c; break;
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buffer;
+        } else {
+          os << c;
+        }
+        break;
     }
   }
-  oss << '"';
+  os << '"';
 }
-
-}  // namespace
 
 std::string snapshot_table(const Snapshot& snapshot) {
   std::size_t name_width = 4;

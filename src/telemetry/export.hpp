@@ -6,11 +6,19 @@
 // counter set regardless of thread count.
 #pragma once
 
+#include <ostream>
 #include <string>
+#include <string_view>
 
 #include "telemetry/metrics.hpp"
 
 namespace surfos::telemetry {
+
+/// Appends `s` to `os` as a JSON string literal, escaping quotes,
+/// backslashes, and every control character (U+0000..U+001F as \uXXXX or the
+/// short forms \b \f \n \r \t) — arbitrary instrument/span names always emit
+/// valid JSON. Shared by the snapshot and trace exporters.
+void append_json_string(std::ostream& os, std::string_view s);
 
 /// Fixed-width table of counters, gauges, and histogram summaries
 /// (count / mean / max-bucket), for operator consoles and examples.

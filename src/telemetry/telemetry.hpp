@@ -12,11 +12,18 @@
 //                                                 // excluded from determinism
 //   SURFOS_GAUGE_SET("core.fleet.sites", 3.0);
 //   SURFOS_SPAN("orch.step.optimize");            // RAII scope timer
+//   SURFOS_TRACE_SPAN("orch.step.optimize");      // id-carrying scope timer:
+//                                                 // Span histogram + flight-
+//                                                 // recorder event w/ ambient
+//                                                 // trace/parent ids
+//   SURFOS_TRACE_INSTANT("hal.arq.send");         // point causal marker
 #pragma once
 
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
 #include "telemetry/span.hpp"
+#include "telemetry/trace.hpp"
 
 #define SURFOS_TELEMETRY_CONCAT_IMPL(a, b) a##b
 #define SURFOS_TELEMETRY_CONCAT(a, b) SURFOS_TELEMETRY_CONCAT_IMPL(a, b)
@@ -56,3 +63,14 @@
 #define SURFOS_SPAN(name)                       \
   ::surfos::telemetry::Span SURFOS_TELEMETRY_CONCAT(surfos_telemetry_span_, \
                                                     __LINE__)(name)
+
+/// Id-carrying scope timer: the SURFOS_SPAN histogram timing (same name, so
+/// upgrading a site never changes histogram counts) plus — while SURFOS_TRACE
+/// is on — a flight-recorder span event parented to the ambient TraceContext.
+#define SURFOS_TRACE_SPAN(name)                                              \
+  ::surfos::telemetry::TraceSpan SURFOS_TELEMETRY_CONCAT(                    \
+      surfos_telemetry_trace_span_, __LINE__)(name)
+
+/// Point-in-time causal marker under the ambient TraceContext (one predicted
+/// branch while tracing is off).
+#define SURFOS_TRACE_INSTANT(name) ::surfos::telemetry::record_instant(name)

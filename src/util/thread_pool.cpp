@@ -40,6 +40,10 @@ struct LoopState {
   std::size_t chunk = 1;
   std::size_t chunk_count = 0;
   const std::function<void(std::size_t, std::size_t)>* range_fn = nullptr;
+  /// The submitting thread's ambient trace context: workers adopt it while
+  /// draining this loop, so traced spans inside the body keep the intent's
+  /// trace id across the pool boundary.
+  telemetry::TraceContext trace{};
 
   std::atomic<std::size_t> next_chunk{0};
   std::atomic<std::size_t> done_chunks{0};
@@ -126,7 +130,10 @@ struct ThreadPool::Impl {
         if (queue.empty()) continue;
         loop = queue.front();
       }
-      loop->drain();
+      {
+        const telemetry::TraceScope trace_scope(loop->trace);
+        loop->drain();
+      }
     }
   }
 
@@ -172,10 +179,11 @@ void ThreadPool::run_chunked(
     range_fn(begin, end);
     return;
   }
-  SURFOS_SPAN("util.pool.run");
+  SURFOS_TRACE_SPAN("util.pool.run");
   auto state = std::make_shared<LoopState>();
   state->begin = begin;
   state->end = end;
+  state->trace = telemetry::current_trace();
   // ~4 chunks per thread bounds imbalance from uneven per-index cost while
   // keeping scheduling overhead negligible; chunk geometry only affects
   // which thread runs which indices, so slot-writing callers stay

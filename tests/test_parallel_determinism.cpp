@@ -6,7 +6,10 @@
 
 #include <cmath>
 #include <memory>
+#include <stdexcept>
 #include <vector>
+
+#include "telemetry/telemetry.hpp"
 
 #include "em/propagation.hpp"
 #include "opt/objective.hpp"
@@ -233,6 +236,60 @@ TEST(ParallelDeterminism, BatchOptimizersBitIdentical) {
   EXPECT_EQ(serial.rs.evaluations, threaded.rs.evaluations);
   EXPECT_EQ(serial.sa.evaluations, threaded.sa.evaluations);
   util::reset_global_pool(1);
+}
+
+TEST(ParallelDeterminism, SpanDepthRestoredAfterParallelForException) {
+  telemetry::set_enabled(true);
+  util::reset_global_pool(kThreadedDegree);
+  ASSERT_EQ(telemetry::Span::depth(), 0u);
+  {
+    telemetry::Span outer("test.par.outer");
+    // Worker-side spans unwind with the exception; the pool rethrows the
+    // lowest-index chunk's error on the submitting thread, whose own span
+    // stack must be untouched.
+    EXPECT_THROW(util::parallel_for(0, 64,
+                                    [](std::size_t i) {
+                                      telemetry::Span inner("test.par.inner");
+                                      if (i % 16 == 1) {
+                                        throw std::runtime_error("boom");
+                                      }
+                                    }),
+                 std::runtime_error);
+    EXPECT_EQ(telemetry::Span::depth(), 1u);
+    EXPECT_EQ(telemetry::Span::current(), &outer);
+  }
+  EXPECT_EQ(telemetry::Span::depth(), 0u);
+  util::reset_global_pool(1);
+}
+
+TEST(ParallelDeterminism, SpanHistogramCountsThreadCountInvariant) {
+  telemetry::set_enabled(true);
+  auto& registry = telemetry::MetricsRegistry::instance();
+  const auto span_count = [&registry](const char* name) -> std::uint64_t {
+    for (const auto& hist : registry.snapshot().histograms) {
+      if (hist.name == name) return hist.count;
+    }
+    return 0;
+  };
+  const auto run = [](std::size_t threads) {
+    util::reset_global_pool(threads);
+    util::parallel_for(0, 100, [](std::size_t) {
+      telemetry::Span span("test.par.count_span");
+    });
+  };
+
+  registry.reset();
+  run(1);
+  const std::uint64_t serial = span_count("test.par.count_span");
+
+  registry.reset();
+  run(kThreadedDegree);
+  const std::uint64_t threaded = span_count("test.par.count_span");
+
+  EXPECT_EQ(serial, 100u);   // one histogram record per logical iteration
+  EXPECT_EQ(serial, threaded);
+  util::reset_global_pool(1);
+  registry.reset();
 }
 
 TEST(HeatmapRegression, EmptyMapStatsThrowInsteadOfUb) {

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -167,6 +168,59 @@ TEST_F(TelemetryTest, DisabledModeIsInert) {
   for (const auto& hist : snap.histograms) {
     EXPECT_NE(hist.name, "test.disabled.span");
   }
+}
+
+/// Minimal JSON string unescaper (enough for what append_json_string emits)
+/// so the hostile-name test below can check a true round trip.
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        out += static_cast<char>(std::stoi(s.substr(i + 1, 4), nullptr, 16));
+        i += 4;
+        break;
+      }
+      default: out += s[i]; break;
+    }
+  }
+  return out;
+}
+
+TEST_F(TelemetryTest, JsonExportEscapesHostileNames) {
+  // Quotes, backslashes, newlines, and raw control bytes in instrument names
+  // must not be able to break the exported JSON.
+  const std::string hostile = "evil\"name\\with\nnewline\ttab\x01" "ctl";
+  MetricsRegistry::instance().counter(hostile).add(3);
+  const std::string json = telemetry::snapshot_json();
+
+  // No raw control characters survive in the document.
+  for (const char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+  const std::string escaped =
+      "\"evil\\\"name\\\\with\\nnewline\\ttab\\u0001ctl\"";
+  const std::size_t pos = json.find(escaped);
+  ASSERT_NE(pos, std::string::npos) << json;
+  // Round trip: unescaping the emitted key recovers the original name.
+  EXPECT_EQ(json_unescape(escaped.substr(1, escaped.size() - 2)), hostile);
+
+  // The string-level helper agrees on a pure control-character torture case.
+  std::ostringstream oss;
+  telemetry::append_json_string(oss, std::string_view("\x02\x1f\x7f"));
+  EXPECT_EQ(oss.str(), "\"\\u0002\\u001f\x7f\"");  // 0x7f is legal raw JSON
 }
 
 TEST_F(TelemetryTest, JsonAndTableExports) {
