@@ -3,9 +3,10 @@
 #
 #   1. tier-1: configure + build + full ctest in ./build
 #   2. focused re-runs of the observability suites (ctest -L telemetry,
-#      ctest -L trace) so a tracing regression is named, not buried
-#   3. TSan build of the thread-pool/tracing tests (ctest -L tsan in
-#      ./build-tsan); any sanitizer report fails the run
+#      ctest -L trace) and the incremental-evaluation equivalence suite
+#      (ctest -L incremental) so a regression there is named, not buried
+#   3. TSan build of the thread-pool/tracing/incremental tests (ctest -L
+#      tsan in ./build-tsan); any sanitizer report fails the run
 #
 #   $ ci/check.sh
 set -euo pipefail
@@ -19,20 +20,22 @@ cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
 echo
-echo "== focused: telemetry + trace labels"
+echo "== focused: telemetry + trace + incremental labels"
 ctest --test-dir build --output-on-failure -L telemetry
 ctest --test-dir build --output-on-failure -L trace
+ctest --test-dir build --output-on-failure -L incremental
 
 echo
-echo "== tsan: thread-pool / tracing tests under ThreadSanitizer (build-tsan/)"
+echo "== tsan: thread-pool / tracing / incremental tests under ThreadSanitizer (build-tsan/)"
 cmake -B build-tsan -S . -DSURFOS_SANITIZE=thread
 cmake --build build-tsan -j"$JOBS" --target \
-  test_thread_pool test_parallel_determinism test_trace
+  test_thread_pool test_parallel_determinism test_trace test_incremental
 # TSan findings abort the test process (halt_on_error) so a data race can
 # never hide behind a green assertion run. -L is a regex: the trace suite
-# hammers the recorder from pool workers, so it runs under TSan too.
+# hammers the recorder from pool workers and the incremental cache fills
+# per-RX entries from FD-probe workers, so both run under TSan too.
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
-  ctest --test-dir build-tsan --output-on-failure -L "tsan|trace"
+  ctest --test-dir build-tsan --output-on-failure -L "tsan|trace|incremental"
 
 echo
 echo "ci/check.sh: all green"

@@ -14,7 +14,7 @@ namespace surfos::opt {
 // pool size is 1. Once a long rejection streak shows the chain has settled
 // into reject-mostly behaviour, candidates are speculated in fixed-size
 // pools from the current state and evaluated together through
-// Objective::value_batch (parallel for thread-safe objectives); accept
+// Objective::value_delta_batch (parallel for thread-safe objectives); accept
 // decisions replay in candidate order and the rest of a pool is discarded
 // after the first acceptance, since later candidates were speculated
 // against a stale base. Pool sizes and every RNG draw are independent of
@@ -41,8 +41,8 @@ OptimizeResult SimulatedAnnealing::minimize(const Objective& objective,
 
   double temperature = options_.initial_temperature;
   std::size_t rejection_streak = 0;
-  std::vector<std::vector<double>> candidates;
   std::vector<std::size_t> coords;
+  std::vector<double> proposals;
   std::vector<double> temps;
   std::vector<double> values;
   while (result.evaluations < options_.max_evaluations) {
@@ -52,23 +52,25 @@ OptimizeResult SimulatedAnnealing::minimize(const Objective& objective,
             ? std::min<std::size_t>(
                   kPool, options_.max_evaluations - result.evaluations)
             : 1;
-    candidates.assign(batch, x);
     coords.resize(batch);
+    proposals.resize(batch);
     temps.resize(batch);
     values.assign(batch, 0.0);
     // Proposal draws happen here, sequentially, before any (possibly
     // parallel) evaluation; temperature cools once per evaluation as in the
     // sequential algorithm. Acceptance uniforms are drawn lazily below, on
     // the calling thread, preserving the sequential algorithm's RNG stream
-    // exactly whenever the pool size is 1.
+    // exactly whenever the pool size is 1. Every candidate is a
+    // single-coordinate move off x, so the pool is evaluated through
+    // value_delta_batch: no per-candidate copies of x, and incremental
+    // objectives answer each probe with a rank-1 channel update.
     for (std::size_t k = 0; k < batch; ++k) {
       coords[k] = static_cast<std::size_t>(rng.below(x.size()));
-      candidates[k][coords[k]] =
-          x[coords[k]] + options_.sigma * temperature * rng.normal();
+      proposals[k] = x[coords[k]] + options_.sigma * temperature * rng.normal();
       temps[k] = temperature;
       temperature *= options_.cooling;
     }
-    objective.value_batch(candidates, values);
+    objective.value_delta_batch(x, value, coords, proposals, values);
     result.evaluations += batch;
     for (std::size_t k = 0; k < batch; ++k) {
       const bool accept =
@@ -76,7 +78,7 @@ OptimizeResult SimulatedAnnealing::minimize(const Objective& objective,
           rng.uniform() <
               std::exp(-(values[k] - value) / std::fmax(1e-12, temps[k]));
       if (accept) {
-        x[coords[k]] = candidates[k][coords[k]];
+        x[coords[k]] = proposals[k];
         value = values[k];
         if (value < result.value) {
           result.value = value;

@@ -55,7 +55,11 @@ OptimizeResult GradientDescent::minimize(const Objective& objective,
       result.converged = true;
       break;
     }
-    value = objective.value_and_gradient(result.x, gradient);
+    // The accepted line-search probe already evaluated value(result.x), so
+    // only the gradient is missing — gradient_at skips the base re-eval a
+    // full value_and_gradient would repeat (one dense sweep per iteration
+    // for finite-difference objectives).
+    objective.gradient_at(result.x, value, gradient);
     ++result.evaluations;
   }
   result.value = value;

@@ -1,3 +1,4 @@
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
@@ -18,8 +19,10 @@ OptimizeResult Spsa::minimize(const Objective& objective,
   const std::size_t n = x0.size();
   std::vector<double> x = std::move(x0);
   std::vector<double> delta(n);
-  std::vector<double> plus(n);
-  std::vector<double> minus(n);
+  std::vector<std::vector<double>> probes(2, std::vector<double>(n));
+  std::vector<double>& plus = probes[0];
+  std::vector<double>& minus = probes[1];
+  std::array<double, 2> probe_values{};
 
   double best_value = objective.value(x);
   ++result.evaluations;
@@ -36,8 +39,11 @@ OptimizeResult Spsa::minimize(const Objective& objective,
       plus[i] = x[i] + ck * delta[i];
       minus[i] = x[i] - ck * delta[i];
     }
-    const double f_plus = objective.value(plus);
-    const double f_minus = objective.value(minus);
+    // Both probes through value_batch so thread-safe objectives evaluate
+    // them concurrently; slots keep the results order-independent.
+    objective.value_batch(probes, probe_values);
+    const double f_plus = probe_values[0];
+    const double f_minus = probe_values[1];
     result.evaluations += 2;
     const double diff = (f_plus - f_minus) / (2.0 * ck);
     for (std::size_t i = 0; i < n; ++i) {

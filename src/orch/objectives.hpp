@@ -13,6 +13,11 @@
 #include "sense/aoa.hpp"
 #include "sim/channel.hpp"
 
+namespace surfos::sim {
+class ChannelEvalCache;
+class DigestMemo;
+}  // namespace surfos::sim
+
 namespace surfos::orch {
 
 /// Spectral-efficiency objective over a set of RX probe points:
@@ -27,13 +32,30 @@ class CapacityObjective final : public opt::Objective {
                     const PanelVariables* variables,
                     std::vector<std::size_t> rx_indices, double rho,
                     double sign = 1.0);
+  ~CapacityObjective() override;
 
   std::size_t dimension() const override;
+  /// Digest-memoized (SURFOS_EVAL_CACHE): repeated evaluations of the same
+  /// x — optimizer restarts, measure() re-sweeps — return the stored value
+  /// byte-identically.
   double value(std::span<const double> x) const override;
   double value_and_gradient(std::span<const double> x,
                             std::span<double> gradient) const override;
-  /// Evaluation only reads the immutable channel/variables structure.
+  /// Analytic: the known base value adds nothing, delegate to the full pass.
+  void gradient_at(std::span<const double> x, double base_value,
+                   std::span<double> gradient) const override;
+  /// Rank-1 incremental probe through ChannelEvalCache (SURFOS_INCREMENTAL):
+  /// a single-coordinate move re-evaluates each RX in O(1) off the cached
+  /// linear response instead of re-sweeping every element and cascade.
+  double value_delta(std::span<const double> base, double base_value,
+                     std::size_t coord, double coord_value) const override;
+  /// Evaluation only reads the immutable channel/variables structure; the
+  /// incremental cache synchronizes internally.
   bool thread_safe() const override { return true; }
+
+  /// Incremental-evaluation statistics (rebases / rx fills / delta evals and
+  /// the value memo counters) for tests and benches.
+  const sim::ChannelEvalCache& eval_cache() const noexcept { return *cache_; }
 
  private:
   const sim::SceneChannel* channel_;
@@ -41,6 +63,8 @@ class CapacityObjective final : public opt::Objective {
   std::vector<std::size_t> rx_indices_;
   double rho_;
   double sign_;
+  std::vector<double> panel_loss_;
+  mutable std::unique_ptr<sim::ChannelEvalCache> cache_;
 };
 
 /// Received-power objective for wireless charging:
@@ -52,19 +76,32 @@ class PowerDeliveryObjective final : public opt::Objective {
   PowerDeliveryObjective(const sim::SceneChannel* channel,
                          const PanelVariables* variables,
                          std::vector<std::size_t> rx_indices, double p0);
+  ~PowerDeliveryObjective() override;
 
   std::size_t dimension() const override;
+  /// Digest-memoized, like CapacityObjective::value.
   double value(std::span<const double> x) const override;
   double value_and_gradient(std::span<const double> x,
                             std::span<double> gradient) const override;
-  /// Evaluation only reads the immutable channel/variables structure.
+  /// Analytic: the known base value adds nothing, delegate to the full pass.
+  void gradient_at(std::span<const double> x, double base_value,
+                   std::span<double> gradient) const override;
+  /// Rank-1 incremental probe, like CapacityObjective::value_delta.
+  double value_delta(std::span<const double> base, double base_value,
+                     std::size_t coord, double coord_value) const override;
+  /// Evaluation only reads the immutable channel/variables structure; the
+  /// incremental cache synchronizes internally.
   bool thread_safe() const override { return true; }
+
+  const sim::ChannelEvalCache& eval_cache() const noexcept { return *cache_; }
 
  private:
   const sim::SceneChannel* channel_;
   const PanelVariables* variables_;
   std::vector<std::size_t> rx_indices_;
   double p0_;
+  std::vector<double> panel_loss_;
+  mutable std::unique_ptr<sim::ChannelEvalCache> cache_;
 };
 
 /// Localization objective: mean cross-entropy between each probe location's
@@ -79,11 +116,18 @@ class LocalizationObjective final : public opt::Objective {
                         std::size_t sensing_panel,
                         std::vector<std::size_t> rx_indices,
                         std::size_t spectrum_bins = 121);
+  ~LocalizationObjective() override;
 
   std::size_t dimension() const override;
+  /// Digest-memoized (the beamscan spectrum is nonlinear in the sensing
+  /// panel's coefficients, so there is no rank-1 path — only full-value
+  /// memoization applies).
   double value(std::span<const double> x) const override;
   double value_and_gradient(std::span<const double> x,
                             std::span<double> gradient) const override;
+  /// Analytic: the known base value adds nothing, delegate to the full pass.
+  void gradient_at(std::span<const double> x, double base_value,
+                   std::span<double> gradient) const override;
   /// Evaluation only reads the immutable channel/model structure.
   bool thread_safe() const override { return true; }
 
@@ -98,6 +142,7 @@ class LocalizationObjective final : public opt::Objective {
   std::vector<std::size_t> rx_indices_;
   std::unique_ptr<sense::AoaSensingModel> model_;
   std::vector<std::vector<double>> targets_;  ///< Per probe location.
+  mutable std::unique_ptr<sim::DigestMemo> memo_;
 };
 
 }  // namespace surfos::orch

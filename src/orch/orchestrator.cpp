@@ -351,6 +351,22 @@ std::size_t Orchestrator::optimize_plan(const Assignment& assignment,
 
   std::vector<std::unique_ptr<opt::Objective>> terms;
   opt::WeightedSumObjective joint;
+  // The warm-start point and its coefficients normalize the power terms
+  // (security leak level, powering focus power); computed lazily once and
+  // shared across tasks instead of re-deriving candidates per power term.
+  std::vector<double> x0_norm;
+  std::vector<em::CVec> x0_coefficients;
+  const auto p0_at_start = [&](const std::vector<std::size_t>& rx) {
+    if (x0_coefficients.empty()) {
+      x0_norm = initial_candidates(assignment, plan).front();
+      x0_coefficients = plan.variables->coefficients(x0_norm);
+    }
+    double p0 = 0.0;
+    for (const std::size_t j : rx) {
+      p0 += std::norm(plan.channel->evaluate(j, x0_coefficients));
+    }
+    return std::max(p0 / static_cast<double>(rx.size()), 1e-30);
+  };
   for (std::size_t k = 0; k < assignment.tasks.size(); ++k) {
     const TaskId id = assignment.tasks[k];
     const auto rx_it = plan.task_rx.find(id);
@@ -369,13 +385,7 @@ std::size_t Orchestrator::optimize_plan(const Assignment& assignment,
         // protection ceiling cares about. Negative weight turns the
         // power-delivery objective into power suppression; p0 normalizes it
         // to the pre-optimization leak level.
-        const auto x0 = initial_candidates(assignment, plan).front();
-        const auto coefficients = plan.variables->coefficients(x0);
-        double p0 = 0.0;
-        for (const std::size_t j : rx_it->second) {
-          p0 += std::norm(plan.channel->evaluate(j, coefficients));
-        }
-        p0 = std::max(p0 / static_cast<double>(rx_it->second.size()), 1e-30);
+        const double p0 = p0_at_start(rx_it->second);
         terms.push_back(std::make_unique<PowerDeliveryObjective>(
             plan.channel.get(), plan.variables.get(), rx_it->second, p0));
         joint.add_term(terms.back().get(), -weight);
@@ -389,13 +399,7 @@ std::size_t Orchestrator::optimize_plan(const Assignment& assignment,
         break;
       case ServiceType::kPowering: {
         // Normalize by the focus-init power at the device so the loss is O(1).
-        const auto x0 = initial_candidates(assignment, plan).front();
-        const auto coefficients = plan.variables->coefficients(x0);
-        double p0 = 0.0;
-        for (const std::size_t j : rx_it->second) {
-          p0 += std::norm(plan.channel->evaluate(j, coefficients));
-        }
-        p0 = std::max(p0 / static_cast<double>(rx_it->second.size()), 1e-30);
+        const double p0 = p0_at_start(rx_it->second);
         terms.push_back(std::make_unique<PowerDeliveryObjective>(
             plan.channel.get(), plan.variables.get(), rx_it->second, p0));
         break;

@@ -13,8 +13,10 @@ LinkMetrics link_metrics(const sim::SceneChannel& channel,
                          const em::LinkBudget& budget,
                          std::span<const surface::SurfaceConfig> configs,
                          std::size_t rx_index) {
-  const auto coefficients = channel.coefficients_for(configs);
-  const double power = std::norm(channel.evaluate(rx_index, coefficients));
+  // powers_at digests (config, rx) and memoizes, so the per-step measure()
+  // sweeps over unchanged hardware configs become cache hits.
+  const std::size_t indices[1] = {rx_index};
+  const double power = channel.powers_at(indices, configs).front();
   LinkMetrics metrics;
   metrics.rss_dbm = budget.rss_dbm(power);
   metrics.snr_db = budget.snr_db(power);
@@ -26,12 +28,11 @@ CoverageMetrics coverage_metrics(const sim::SceneChannel& channel,
                                  const em::LinkBudget& budget,
                                  std::span<const surface::SurfaceConfig> configs,
                                  const std::vector<std::size_t>& rx_indices) {
-  const auto coefficients = channel.coefficients_for(configs);
+  const auto powers = channel.powers_at(rx_indices, configs);
   CoverageMetrics metrics;
   metrics.snr_db.reserve(rx_indices.size());
   double capacity_sum = 0.0;
-  for (std::size_t j : rx_indices) {
-    const double power = std::norm(channel.evaluate(j, coefficients));
+  for (const double power : powers) {
     metrics.snr_db.push_back(budget.snr_db(power));
     capacity_sum += budget.capacity(power);
   }
@@ -46,7 +47,8 @@ SensingMetrics sensing_metrics(const sim::SceneChannel& channel,
                                std::size_t sensing_panel,
                                const std::vector<std::size_t>& rx_indices,
                                std::size_t spectrum_bins) {
-  const auto coefficients = channel.coefficients_for(configs);
+  thread_local std::vector<em::CVec> coefficients;
+  channel.coefficients_for(configs, coefficients);
   const auto& panel = channel.panel(sensing_panel);
   const sense::AoaSensingModel model(&panel, channel.frequency_hz(),
                                      spectrum_bins);
@@ -69,8 +71,8 @@ PowerMetrics power_metrics(const sim::SceneChannel& channel,
                            const em::LinkBudget& budget,
                            std::span<const surface::SurfaceConfig> configs,
                            std::size_t rx_index) {
-  const auto coefficients = channel.coefficients_for(configs);
-  const double power = std::norm(channel.evaluate(rx_index, coefficients));
+  const std::size_t indices[1] = {rx_index};
+  const double power = channel.powers_at(indices, configs).front();
   return PowerMetrics{budget.rss_dbm(power)};
 }
 

@@ -44,21 +44,40 @@ std::size_t PanelVariables::control_of(std::size_t p,
 
 std::vector<em::CVec> PanelVariables::coefficients(
     std::span<const double> x) const {
+  std::vector<em::CVec> out;
+  coefficients_into(x, out);
+  return out;
+}
+
+void PanelVariables::coefficients_into(std::span<const double> x,
+                                       std::vector<em::CVec>& out) const {
   if (x.size() != dimension_) {
     throw std::invalid_argument("PanelVariables: dimension mismatch");
   }
-  std::vector<em::CVec> out(panels_.size());
+  out.resize(panels_.size());
   for (std::size_t p = 0; p < panels_.size(); ++p) {
     const auto& panel = *panels_[p];
-    const double loss =
-        std::pow(10.0, -panel.design().insertion_loss_db / 20.0);
+    const double loss = panel_loss(p);
     const std::size_t offset = offsets_[p];
     out[p].resize(panel.element_count());
     for (std::size_t e = 0; e < panel.element_count(); ++e) {
       out[p][e] = std::polar(loss, x[offset + group_of(panel, e)]);
     }
   }
-  return out;
+}
+
+std::pair<std::size_t, std::size_t> PanelVariables::locate(
+    std::size_t coord) const {
+  if (coord >= dimension_) {
+    throw std::out_of_range("PanelVariables: coordinate index");
+  }
+  std::size_t p = panels_.size() - 1;
+  while (offsets_[p] > coord) --p;
+  return {p, coord - offsets_[p]};
+}
+
+double PanelVariables::panel_loss(std::size_t p) const {
+  return std::pow(10.0, -panels_.at(p)->design().insertion_loss_db / 20.0);
 }
 
 void PanelVariables::reduce_gradient(std::size_t p,

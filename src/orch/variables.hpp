@@ -39,6 +39,19 @@ class PanelVariables {
   /// c_e = insertion_loss * exp(j * phase of e's control). No quantization.
   std::vector<em::CVec> coefficients(std::span<const double> x) const;
 
+  /// Scratch-filling variant: writes into `out`, reusing its per-panel
+  /// buffers (called once per objective evaluation on the optimizer hot
+  /// path).
+  void coefficients_into(std::span<const double> x,
+                         std::vector<em::CVec>& out) const;
+
+  /// Panel owning flat coordinate `coord`, and the coordinate's panel-local
+  /// control index — the (panel, control-group) a rank-1 probe perturbs.
+  std::pair<std::size_t, std::size_t> locate(std::size_t coord) const;
+
+  /// Linear insertion-loss magnitude of panel p's coefficients.
+  double panel_loss(std::size_t p) const;
+
   /// Adds each panel's per-element phase gradient into the flat gradient
   /// (summing within shared control groups).
   void reduce_gradient(std::size_t p, std::span<const double> element_grad,

@@ -1,8 +1,10 @@
 #include "sim/channel.hpp"
 
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
+#include "sim/incremental.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
@@ -11,6 +13,21 @@ namespace surfos::sim {
 namespace {
 
 const em::IsotropicAntenna kIsotropic;
+
+/// Digest over per-panel complex coefficient vectors (bit patterns of the
+/// real/imag doubles), the memo key for full power evaluations.
+util::ConfigDigest digest_coefficients(std::span<const em::CVec> coeffs) {
+  util::DigestBuilder builder;
+  builder.add_size(coeffs.size());
+  for (const em::CVec& c : coeffs) {
+    builder.add_size(c.size());
+    for (const em::Cx& v : c) {
+      builder.add_double(v.real());
+      builder.add_double(v.imag());
+    }
+  }
+  return builder.digest();
+}
 
 const em::AntennaPattern& pattern_or_isotropic(const em::AntennaPattern* p) {
   return p != nullptr ? *p : kIsotropic;
@@ -50,8 +67,11 @@ SceneChannel::SceneChannel(const Environment* environment, double frequency_hz,
   if (rx_points_.empty()) {
     throw std::invalid_argument("SceneChannel: no RX points");
   }
+  power_memo_ = std::make_unique<DigestMemo>();
   precompute();
 }
+
+SceneChannel::~SceneChannel() = default;
 
 void SceneChannel::precompute() {
   SURFOS_TRACE_SPAN("sim.channel.precompute");
@@ -283,26 +303,63 @@ void SceneChannel::evaluate_with_partials(
 
 std::vector<em::CVec> SceneChannel::coefficients_for(
     std::span<const surface::SurfaceConfig> configs) const {
+  std::vector<em::CVec> out;
+  coefficients_for(configs, out);
+  return out;
+}
+
+void SceneChannel::coefficients_for(
+    std::span<const surface::SurfaceConfig> configs,
+    std::vector<em::CVec>& out) const {
   if (configs.size() != panels_.size()) {
     throw std::invalid_argument("SceneChannel: config count mismatch");
   }
-  std::vector<em::CVec> out(panels_.size());
+  out.resize(panels_.size());
   for (std::size_t p = 0; p < panels_.size(); ++p) {
-    out[p] = panels_[p]->coefficients(configs[p]);
+    panels_[p]->coefficients_into(configs[p], out[p]);
   }
-  return out;
 }
 
 std::vector<double> SceneChannel::power_map(
     std::span<const surface::SurfaceConfig> configs) const {
   SURFOS_TRACE_SPAN("sim.channel.power_map");
   SURFOS_COUNT("sim.channel.power_maps");
-  const auto coeffs = coefficients_for(configs);
-  std::vector<double> out(rx_points_.size());
+  thread_local std::vector<std::size_t> all_rx;
+  all_rx.resize(rx_points_.size());
+  std::iota(all_rx.begin(), all_rx.end(), std::size_t{0});
+  return powers_at(all_rx, configs);
+}
+
+std::vector<double> SceneChannel::powers_at(
+    std::span<const std::size_t> rx_indices,
+    std::span<const surface::SurfaceConfig> configs) const {
+  for (const std::size_t j : rx_indices) {
+    if (j >= rx_points_.size()) {
+      throw std::invalid_argument("SceneChannel: RX index out of range");
+    }
+  }
+  thread_local std::vector<em::CVec> coeff_scratch_tls;
+  // Local reference so the parallel lambda below captures *this* thread's
+  // scratch (thread_locals are never captured; workers would see their own).
+  std::vector<em::CVec>& coeff_scratch = coeff_scratch_tls;
+  coefficients_for(configs, coeff_scratch);
+
+  const bool memoize =
+      incremental_enabled() && power_memo_->capacity() > 0;
+  util::ConfigDigest key;
+  std::vector<double> out;
+  if (memoize) {
+    key = util::combine(digest_coefficients(coeff_scratch),
+                        util::digest_indices(rx_indices));
+    if (power_memo_->lookup(key, out)) return out;
+  }
+
+  out.resize(rx_indices.size());
   // Each RX index owns one output slot; deterministic under any thread count.
-  util::parallel_for(0, rx_points_.size(), [&](std::size_t j) {
-    out[j] = std::norm(evaluate(j, coeffs));
+  util::parallel_for(0, rx_indices.size(), [&](std::size_t k) {
+    out[k] = std::norm(evaluate(rx_indices[k], coeff_scratch));
   });
+  if (memoize) power_memo_->store(key, out);
   return out;
 }
 

@@ -28,6 +28,8 @@
 
 namespace surfos::sim {
 
+class DigestMemo;
+
 struct ChannelOptions {
   TracerOptions tracer;          ///< Direct-component ray tracing options.
   bool include_surface_cascades = true;  ///< Panel-to-panel double bounces.
@@ -53,6 +55,7 @@ class SceneChannel {
                std::vector<geom::Vec3> rx_points,
                const em::AntennaPattern* rx_antenna = nullptr,
                ChannelOptions options = {});
+  ~SceneChannel();
 
   std::size_t panel_count() const noexcept { return panels_.size(); }
   std::size_t rx_count() const noexcept { return rx_points_.size(); }
@@ -88,12 +91,29 @@ class SceneChannel {
                               std::vector<em::CVec>& dh_dc_out) const;
 
   /// Convenience: channel power |h|^2 at every RX for panel configs.
+  /// Memoized by config digest under SURFOS_INCREMENTAL (a hit returns the
+  /// stored vector, byte-identical to recomputation).
   std::vector<double> power_map(
+      std::span<const surface::SurfaceConfig> configs) const;
+
+  /// |h|^2 at a subset of RX indices for panel configs — the orchestrator's
+  /// per-task measurement sweep. Memoized like power_map, keyed by
+  /// (config digest, RX-subset digest).
+  std::vector<double> powers_at(
+      std::span<const std::size_t> rx_indices,
       std::span<const surface::SurfaceConfig> configs) const;
 
   /// Per-panel coefficients from configs (applies granularity/quantization).
   std::vector<em::CVec> coefficients_for(
       std::span<const surface::SurfaceConfig> configs) const;
+
+  /// Scratch-filling variant: reuses `out`'s per-panel buffers instead of
+  /// reallocating (hot path: every power sweep / objective evaluation).
+  void coefficients_for(std::span<const surface::SurfaceConfig> configs,
+                        std::vector<em::CVec>& out) const;
+
+  /// The digest memo behind power_map/powers_at (stats; tests).
+  const DigestMemo& power_memo() const noexcept { return *power_memo_; }
 
  private:
   void precompute();
@@ -110,6 +130,10 @@ class SceneChannel {
   std::vector<std::vector<em::CVec>> g_;        // [rx][panel] elements -> rx
   std::vector<em::Cx> h_dir_;                   // [rx]
   std::vector<std::vector<em::CMat>> cascades_; // [q][p] p-elements -> q-elements
+
+  /// Digest-keyed power results for repeated configs (SURFOS_EVAL_CACHE
+  /// entries; thread-safe internally).
+  std::unique_ptr<DigestMemo> power_memo_;
 };
 
 }  // namespace surfos::sim

@@ -1,0 +1,303 @@
+#include "sim/incremental.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "sim/channel.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace surfos::sim {
+
+namespace {
+
+bool incremental_from_env() noexcept {
+  const char* env = std::getenv("SURFOS_INCREMENTAL");
+  if (env == nullptr) return true;
+  const std::string value(env);
+  return !(value == "0" || value == "off" || value == "false");
+}
+
+std::atomic<bool>& incremental_flag() noexcept {
+  static std::atomic<bool> flag{incremental_from_env()};
+  return flag;
+}
+
+std::size_t capacity_from_env() noexcept {
+  const char* env = std::getenv("SURFOS_EVAL_CACHE");
+  if (env == nullptr) return 64;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(env, &end, 10);
+  if (end == env || (end != nullptr && *end != '\0')) return 64;
+  return static_cast<std::size_t>(parsed);
+}
+
+std::atomic<std::size_t>& capacity_slot() noexcept {
+  static std::atomic<std::size_t> slot{capacity_from_env()};
+  return slot;
+}
+
+constexpr std::size_t kFillStripes = 64;
+
+}  // namespace
+
+bool incremental_enabled() noexcept {
+  return incremental_flag().load(std::memory_order_relaxed);
+}
+
+void set_incremental_enabled(bool on) noexcept {
+  incremental_flag().store(on, std::memory_order_relaxed);
+}
+
+std::size_t eval_cache_capacity() noexcept {
+  return capacity_slot().load(std::memory_order_relaxed);
+}
+
+void set_eval_cache_capacity(std::size_t entries) noexcept {
+  capacity_slot().store(entries, std::memory_order_relaxed);
+}
+
+// --- DigestMemo --------------------------------------------------------------
+
+DigestMemo::DigestMemo(std::size_t capacity) : capacity_(capacity) {}
+
+std::size_t DigestMemo::size() const {
+  std::lock_guard lock(mutex_);
+  return map_.size();
+}
+
+bool DigestMemo::lookup(const util::ConfigDigest& key,
+                        std::vector<double>& out) const {
+  if (capacity_ == 0) return false;
+  std::lock_guard lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    SURFOS_COUNT_SCHED("sim.incremental.memo_misses", 1);
+    return false;
+  }
+  ++stats_.hits;
+  SURFOS_COUNT_SCHED("sim.incremental.memo_hits", 1);
+  out.assign(it->second.begin(), it->second.end());
+  return true;
+}
+
+bool DigestMemo::lookup(const util::ConfigDigest& key, double& out) const {
+  if (capacity_ == 0) return false;
+  std::lock_guard lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end() || it->second.size() != 1) {
+    ++stats_.misses;
+    SURFOS_COUNT_SCHED("sim.incremental.memo_misses", 1);
+    return false;
+  }
+  ++stats_.hits;
+  SURFOS_COUNT_SCHED("sim.incremental.memo_hits", 1);
+  out = it->second.front();
+  return true;
+}
+
+void DigestMemo::store(const util::ConfigDigest& key,
+                       std::span<const double> values) {
+  if (capacity_ == 0) return;
+  std::lock_guard lock(mutex_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Concurrent evaluators of the same config both store; results are
+    // deterministic per key, so overwriting is value-neutral.
+    it->second.assign(values.begin(), values.end());
+    return;
+  }
+  while (map_.size() >= capacity_ && !order_.empty()) {
+    map_.erase(order_.front());
+    order_.pop_front();
+    ++stats_.evictions;
+    SURFOS_COUNT_SCHED("sim.incremental.memo_evictions", 1);
+  }
+  map_.emplace(key, std::vector<double>(values.begin(), values.end()));
+  order_.push_back(key);
+}
+
+void DigestMemo::store(const util::ConfigDigest& key, double value) {
+  store(key, std::span<const double>(&value, 1));
+}
+
+void DigestMemo::clear() {
+  std::lock_guard lock(mutex_);
+  map_.clear();
+  order_.clear();
+}
+
+DigestMemo::Stats DigestMemo::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+// --- ChannelEvalCache --------------------------------------------------------
+
+struct ChannelEvalCache::RxEntry {
+  /// Valid when equal to the cache's current epoch (0 = never filled).
+  std::atomic<std::uint64_t> epoch{0};
+  em::Cx h;  ///< Baseline channel value, bit-identical to the dense path.
+  /// Per panel, per control group: W = sum of dh/dc_e over the group and
+  /// B = sum of c_e * dh/dc_e at the baseline (heterogeneous fallback).
+  std::vector<em::CVec> weight_sum;
+  std::vector<em::CVec> base_dot;
+};
+
+ChannelEvalCache::ChannelEvalCache(const SceneChannel* channel,
+                                   std::size_t memo_capacity)
+    : channel_(channel), memo_(memo_capacity) {
+  if (channel_ == nullptr) {
+    throw std::invalid_argument("ChannelEvalCache: null channel");
+  }
+  groupings_.resize(channel_->panel_count());
+  rx_.resize(channel_->rx_count());
+  for (auto& entry : rx_) entry = std::make_unique<RxEntry>();
+  rx_fill_mutexes_ = std::make_unique<std::mutex[]>(kFillStripes);
+}
+
+ChannelEvalCache::~ChannelEvalCache() = default;
+
+void ChannelEvalCache::set_grouping(std::size_t p,
+                                    std::vector<std::uint32_t> group_of_element,
+                                    std::size_t group_count) {
+  std::unique_lock lock(base_mutex_);
+  if (based_) {
+    throw std::logic_error("ChannelEvalCache: set_grouping after rebase");
+  }
+  if (p >= groupings_.size()) {
+    throw std::invalid_argument("ChannelEvalCache: bad panel index");
+  }
+  if (group_of_element.size() != channel_->panel(p).element_count()) {
+    throw std::invalid_argument("ChannelEvalCache: grouping size mismatch");
+  }
+  for (const std::uint32_t g : group_of_element) {
+    if (g >= group_count) {
+      throw std::invalid_argument("ChannelEvalCache: group out of range");
+    }
+  }
+  groupings_[p] = {std::move(group_of_element), group_count};
+}
+
+bool ChannelEvalCache::based_on(const util::ConfigDigest& key) const {
+  std::shared_lock lock(base_mutex_);
+  return based_ && base_key_ == key;
+}
+
+void ChannelEvalCache::rebase(const util::ConfigDigest& key,
+                              std::span<const em::CVec> coefficients) {
+  std::unique_lock lock(base_mutex_);
+  if (based_ && base_key_ == key) return;  // benign concurrent duplicate
+  if (coefficients.size() != channel_->panel_count()) {
+    throw std::invalid_argument("ChannelEvalCache: coefficient count mismatch");
+  }
+  for (std::size_t p = 0; p < coefficients.size(); ++p) {
+    if (coefficients[p].size() != channel_->panel(p).element_count()) {
+      throw std::invalid_argument("ChannelEvalCache: coefficient size mismatch");
+    }
+  }
+  base_.assign(coefficients.begin(), coefficients.end());
+
+  // Reduce each panel's baseline to per-group representatives. A group is
+  // homogeneous when every member shares one bit-identical coefficient (the
+  // granularity mapping guarantees this on the optimizer path); only then can
+  // the delta use the (new_c - c0) * W form that is exactly zero at new_c ==
+  // c0.
+  group_coeff_.assign(base_.size(), {});
+  group_homogeneous_.assign(base_.size(), {});
+  for (std::size_t p = 0; p < base_.size(); ++p) {
+    const Grouping& grouping = groupings_[p];
+    const std::size_t groups = grouping.group_of_element.empty()
+                                   ? base_[p].size()
+                                   : grouping.group_count;
+    group_coeff_[p].assign(groups, em::Cx{});
+    group_homogeneous_[p].assign(groups, 0);
+    std::vector<char> seen(groups, 0);
+    for (std::size_t e = 0; e < base_[p].size(); ++e) {
+      const std::size_t g = grouping.group_of_element.empty()
+                                ? e
+                                : grouping.group_of_element[e];
+      if (!seen[g]) {
+        seen[g] = 1;
+        group_coeff_[p][g] = base_[p][e];
+        group_homogeneous_[p][g] = 1;
+      } else if (group_homogeneous_[p][g] && group_coeff_[p][g] != base_[p][e]) {
+        group_homogeneous_[p][g] = 0;
+      }
+    }
+  }
+
+  ++epoch_;  // invalidates every RxEntry fill
+  based_ = true;
+  base_key_ = key;
+  rebases_.fetch_add(1, std::memory_order_relaxed);
+  SURFOS_COUNT("sim.incremental.rebases");
+}
+
+const ChannelEvalCache::RxEntry& ChannelEvalCache::ensure_rx(std::size_t j) {
+  RxEntry& entry = *rx_.at(j);
+  if (entry.epoch.load(std::memory_order_acquire) == epoch_) return entry;
+  std::lock_guard fill_lock(rx_fill_mutexes_[j % kFillStripes]);
+  if (entry.epoch.load(std::memory_order_acquire) == epoch_) return entry;
+
+  // One dense pass yields both the baseline h (bit-identical to
+  // SceneChannel::evaluate — same summation order) and every panel's
+  // effective weights dh/dc, which the grouping then reduces to per-control
+  // sums. Amortized over the 2n probes of one finite-difference gradient.
+  thread_local std::vector<em::CVec> dh_scratch;
+  em::Cx h{};
+  channel_->evaluate_with_partials(j, base_, h, dh_scratch);
+  entry.h = h;
+  entry.weight_sum.assign(base_.size(), {});
+  entry.base_dot.assign(base_.size(), {});
+  for (std::size_t p = 0; p < base_.size(); ++p) {
+    const Grouping& grouping = groupings_[p];
+    const std::size_t groups = grouping.group_of_element.empty()
+                                   ? base_[p].size()
+                                   : grouping.group_count;
+    entry.weight_sum[p].assign(groups, em::Cx{});
+    entry.base_dot[p].assign(groups, em::Cx{});
+    for (std::size_t e = 0; e < base_[p].size(); ++e) {
+      const std::size_t g = grouping.group_of_element.empty()
+                                ? e
+                                : grouping.group_of_element[e];
+      entry.weight_sum[p][g] += dh_scratch[p][e];
+      entry.base_dot[p][g] += base_[p][e] * dh_scratch[p][e];
+    }
+  }
+  rx_fills_.fetch_add(1, std::memory_order_relaxed);
+  SURFOS_COUNT("sim.incremental.rx_fills");
+  entry.epoch.store(epoch_, std::memory_order_release);
+  return entry;
+}
+
+em::Cx ChannelEvalCache::base_value(std::size_t j) {
+  std::shared_lock lock(base_mutex_);
+  if (!based_) throw std::logic_error("ChannelEvalCache: no baseline");
+  return ensure_rx(j).h;
+}
+
+em::Cx ChannelEvalCache::evaluate_delta(std::size_t j, std::size_t p,
+                                        std::size_t group, em::Cx new_c) {
+  std::shared_lock lock(base_mutex_);
+  if (!based_) throw std::logic_error("ChannelEvalCache: no baseline");
+  const RxEntry& entry = ensure_rx(j);
+  delta_evals_.fetch_add(1, std::memory_order_relaxed);
+  SURFOS_COUNT("sim.incremental.delta_evals");
+  const em::Cx w = entry.weight_sum.at(p).at(group);
+  if (group_homogeneous_[p][group]) {
+    return entry.h + (new_c - group_coeff_[p][group]) * w;
+  }
+  return entry.h + (new_c * w - entry.base_dot[p][group]);
+}
+
+ChannelEvalCache::Stats ChannelEvalCache::stats() const {
+  Stats out;
+  out.rebases = rebases_.load(std::memory_order_relaxed);
+  out.rx_fills = rx_fills_.load(std::memory_order_relaxed);
+  out.delta_evals = delta_evals_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace surfos::sim

@@ -1,0 +1,194 @@
+// Incremental channel evaluation: linear-response caching, rank-1 probe
+// updates, and config-digest memoization.
+//
+// The composed channel h(rx) is *linear* in panel p's per-element
+// coefficients once every other panel is held fixed (channel.hpp): changing
+// one element — or one shared control group, since grouped elements share a
+// coefficient — moves h by
+//
+//   delta h(rx) = (c' - c) * sum_{e in group} w_e(rx),   w_e = dh/dc_e,
+//
+// where the effective weights w_e fold the direct term and every cascade
+// contribution of the *other* panels' frozen coefficients. ChannelEvalCache
+// precomputes, per RX point, the baseline h and the per-control-group weight
+// sums, turning each single-coordinate probe (finite-difference gradients,
+// annealing moves) from O(elements + cascades) into O(1).
+//
+// DigestMemo is the companion full-evaluation cache: bounded, digest-keyed
+// (util/digest.hpp) result vectors for configurations the orchestrator
+// replays across optimizer restarts and re-scheduling. A memo hit returns
+// the stored vector, so memoized results are byte-identical to recomputation
+// by construction.
+//
+// Both layers sit behind the SURFOS_INCREMENTAL switch (on by default; set
+// to 0/off/false for the dense fallback) and report hit/miss/delta counters
+// into the telemetry registry. The rank-1 path is mathematically exact but
+// reassociates floating-point sums, so probe values agree with the dense
+// path to ~1e-12 relative; everything digest-memoized is bit-exact.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "em/cx.hpp"
+#include "util/digest.hpp"
+
+namespace surfos::sim {
+
+class SceneChannel;
+
+/// Process-wide incremental-evaluation switch, initialized from the
+/// SURFOS_INCREMENTAL environment variable ("0"/"off"/"false" disable it,
+/// anything else — including unset — enables it).
+bool incremental_enabled() noexcept;
+/// Overrides the switch at runtime (tests / equivalence benches).
+void set_incremental_enabled(bool on) noexcept;
+
+/// Default DigestMemo capacity (entries), from SURFOS_EVAL_CACHE (>= 0;
+/// 0 disables memoization; unset/invalid -> 64).
+std::size_t eval_cache_capacity() noexcept;
+/// Overrides the default capacity at runtime (applies to memos constructed
+/// afterwards; tests).
+void set_eval_cache_capacity(std::size_t entries) noexcept;
+
+/// Bounded, thread-safe digest -> value-vector memo with FIFO eviction.
+/// Scalars are stored as size-1 vectors. Capacity 0 disables storage.
+class DigestMemo {
+ public:
+  explicit DigestMemo(std::size_t capacity = eval_cache_capacity());
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const;
+
+  /// On hit, copies the stored vector into `out` and returns true.
+  bool lookup(const util::ConfigDigest& key, std::vector<double>& out) const;
+  /// Scalar convenience: returns the stored value on hit.
+  bool lookup(const util::ConfigDigest& key, double& out) const;
+
+  void store(const util::ConfigDigest& key, std::span<const double> values);
+  void store(const util::ConfigDigest& key, double value);
+
+  void clear();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const util::ConfigDigest& d) const noexcept {
+      return static_cast<std::size_t>(d.lo ^ (d.hi * 0x9e3779b97f4a7c15ull));
+    }
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::unordered_map<util::ConfigDigest, std::vector<double>, KeyHash> map_;
+  std::deque<util::ConfigDigest> order_;  ///< Insertion order for eviction.
+  mutable Stats stats_;
+};
+
+/// Linear-response cache over one SceneChannel: baseline values plus
+/// per-control-group effective-weight sums for O(1) rank-1 probe updates.
+///
+/// Concurrency contract: `rebase`/`based_on` and every evaluation may be
+/// called concurrently (finite-difference probes fan out on the thread
+/// pool). A rebase under a key the cache already holds is a no-op, so
+/// parallel probes sharing one base race benignly; rebasing to a *different*
+/// base concurrently with evaluations against the old one is a caller bug
+/// (probes of one gradient always share their base).
+class ChannelEvalCache {
+ public:
+  /// `channel` is non-owning and must outlive the cache.
+  explicit ChannelEvalCache(const SceneChannel* channel,
+                            std::size_t memo_capacity = eval_cache_capacity());
+  ~ChannelEvalCache();
+
+  ChannelEvalCache(const ChannelEvalCache&) = delete;
+  ChannelEvalCache& operator=(const ChannelEvalCache&) = delete;
+
+  /// Declares panel p's element -> control-group mapping (from the
+  /// optimizer's granularity reduction). Without a grouping, every element
+  /// is its own group. Must be called before the first rebase.
+  void set_grouping(std::size_t p, std::vector<std::uint32_t> group_of_element,
+                    std::size_t group_count);
+
+  /// True when the current baseline was established under `key` (the
+  /// caller's digest of whatever the coefficients were derived from, e.g.
+  /// the optimizer's flat x vector).
+  bool based_on(const util::ConfigDigest& key) const;
+
+  /// Sets the baseline coefficients (copied; one CVec per panel). No-op when
+  /// already based on `key`. Invalidates cached per-RX values and weights.
+  void rebase(const util::ConfigDigest& key,
+              std::span<const em::CVec> coefficients);
+
+  /// Baseline h at RX j — bit-identical to SceneChannel::evaluate at the
+  /// baseline coefficients. Lazily filled (with the weights) per RX.
+  em::Cx base_value(std::size_t j);
+
+  /// h at RX j when every element of panel p's control group `group` takes
+  /// coefficient `new_c` and everything else stays at the baseline. Exact
+  /// linear response; O(1) after the per-RX fill. Returns base_value(j)
+  /// bit-exactly when `new_c` equals the group's (homogeneous) baseline
+  /// coefficient.
+  em::Cx evaluate_delta(std::size_t j, std::size_t p, std::size_t group,
+                        em::Cx new_c);
+
+  /// The companion full-evaluation memo (objective values, power maps).
+  DigestMemo& memo() noexcept { return memo_; }
+  const DigestMemo& memo() const noexcept { return memo_; }
+
+  struct Stats {
+    std::uint64_t rebases = 0;
+    std::uint64_t rx_fills = 0;     ///< Per-RX weight computations.
+    std::uint64_t delta_evals = 0;  ///< O(1) rank-1 evaluations served.
+  };
+  Stats stats() const;
+
+ private:
+  struct RxEntry;
+
+  const RxEntry& ensure_rx(std::size_t j);
+
+  const SceneChannel* channel_;
+  DigestMemo memo_;
+
+  struct Grouping {
+    std::vector<std::uint32_t> group_of_element;
+    std::size_t group_count = 0;
+  };
+  std::vector<Grouping> groupings_;  ///< Per panel; empty vector = identity.
+
+  /// Guards the baseline (shared: evaluations; unique: rebase).
+  mutable std::shared_mutex base_mutex_;
+  bool based_ = false;
+  util::ConfigDigest base_key_;
+  std::vector<em::CVec> base_;  ///< Per-panel baseline coefficients.
+  /// Per panel, per group: the baseline coefficient when every element in
+  /// the group shares one bit-identical value (the optimizer path always
+  /// does); heterogeneous groups fall back to the sum form.
+  std::vector<em::CVec> group_coeff_;
+  std::vector<std::vector<char>> group_homogeneous_;
+  std::uint64_t epoch_ = 0;  ///< Bumped per rebase; invalidates RxEntry fills.
+
+  std::vector<std::unique_ptr<RxEntry>> rx_;
+  std::unique_ptr<std::mutex[]> rx_fill_mutexes_;  ///< Striped fill locks.
+
+  // Lock-free counters: delta_evals_ sits on the per-probe hot path.
+  std::atomic<std::uint64_t> rebases_{0};
+  std::atomic<std::uint64_t> rx_fills_{0};
+  std::atomic<std::uint64_t> delta_evals_{0};
+};
+
+}  // namespace surfos::sim

@@ -169,13 +169,19 @@ std::vector<double> SurfacePanel::extract_controls(
 }
 
 em::CVec SurfacePanel::coefficients(const SurfaceConfig& config) const {
+  em::CVec out;
+  coefficients_into(config, out);
+  return out;
+}
+
+void SurfacePanel::coefficients_into(const SurfaceConfig& config,
+                                     em::CVec& out) const {
   const SurfaceConfig real = realizable(config);
   const double loss = std::pow(10.0, -design_.insertion_loss_db / 20.0);
-  em::CVec out(real.size());
+  out.resize(real.size());
   for (std::size_t i = 0; i < real.size(); ++i) {
     out[i] = std::polar(real.amplitude(i) * loss, real.phase(i));
   }
-  return out;
 }
 
 SurfaceConfig SurfacePanel::focus_config(const geom::Vec3& source,

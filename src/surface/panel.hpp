@@ -105,6 +105,11 @@ class SurfacePanel {
   /// projected through realizable().
   em::CVec coefficients(const SurfaceConfig& config) const;
 
+  /// Scratch-filling variant of coefficients(): writes into `out`, reusing
+  /// its buffer (hot path: per-candidate coefficient mapping in the
+  /// optimizer loop).
+  void coefficients_into(const SurfaceConfig& config, em::CVec& out) const;
+
   /// Analytic focusing configuration: phases that co-phase the path
   /// source -> element -> target at `frequency_hz` (before quantization /
   /// granularity projection, which realizable() applies on use). The

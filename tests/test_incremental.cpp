@@ -1,0 +1,608 @@
+// Incremental evaluation engine: rank-1 delta updates must match dense
+// re-evaluation (to FP re-association tolerance, and bit-exactly for the
+// zero move), digest memoization must be byte-identical, and the optimizer
+// hot paths must produce equivalent results with SURFOS_INCREMENTAL on and
+// off — byte-identical StepReports for the orchestrator's default
+// (analytic-gradient + memoization) pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "em/propagation.hpp"
+#include "opt/objective.hpp"
+#include "opt/optimizer.hpp"
+#include "orch/objectives.hpp"
+#include "orch/orchestrator.hpp"
+#include "orch/variables.hpp"
+#include "sim/channel.hpp"
+#include "sim/floorplan.hpp"
+#include "sim/incremental.hpp"
+#include "surface/panel.hpp"
+#include "util/digest.hpp"
+#include "util/rng.hpp"
+
+namespace surfos {
+namespace {
+
+/// Restores the incremental switch and memo capacity after each test.
+struct IncrementalGuard {
+  bool enabled = sim::incremental_enabled();
+  std::size_t capacity = sim::eval_cache_capacity();
+  ~IncrementalGuard() {
+    sim::set_incremental_enabled(enabled);
+    sim::set_eval_cache_capacity(capacity);
+  }
+};
+
+/// Two-panel coverage room with cascades: panel A element-controlled, panel
+/// B column-controlled, so both identity and shared-group rank-1 moves are
+/// exercised.
+struct Scene {
+  sim::CoverageRoomScenario scenario;
+  std::unique_ptr<surface::SurfacePanel> panel_a;
+  std::unique_ptr<surface::SurfacePanel> panel_b;
+  std::vector<const surface::SurfacePanel*> panels;
+
+  Scene() : scenario(sim::make_coverage_room(/*grid_n=*/5)) {
+    surface::ElementDesign design;
+    design.spacing_m = em::wavelength(em::band_center(scenario.band)) / 2.0;
+    design.insertion_loss_db = 1.0;
+    panel_a = std::make_unique<surface::SurfacePanel>(
+        "inc-a", scenario.surface_pose, 6, 6, design,
+        surface::OperationMode::kReflective,
+        surface::Reconfigurability::kPassive,
+        surface::ControlGranularity::kElement);
+    const geom::Frame pose_b(
+        scenario.surface_pose.origin() + geom::Vec3{0.9, 0.4, 0.0},
+        scenario.surface_pose.normal() + geom::Vec3{0.2, 0.1, 0.0});
+    panel_b = std::make_unique<surface::SurfacePanel>(
+        "inc-b", pose_b, 5, 5, design, surface::OperationMode::kReflective,
+        surface::Reconfigurability::kPassive,
+        surface::ControlGranularity::kColumn);
+    panels = {panel_a.get(), panel_b.get()};
+  }
+
+  std::unique_ptr<sim::SceneChannel> make_channel(bool cascades = true) const {
+    sim::ChannelOptions options;
+    options.include_surface_cascades = cascades;
+    return std::make_unique<sim::SceneChannel>(
+        scenario.environment.get(), em::band_center(scenario.band),
+        scenario.ap(), panels, scenario.room_grid.points(), nullptr, options);
+  }
+
+  std::vector<em::CVec> random_coefficients(std::uint64_t seed) const {
+    util::Rng rng(seed);
+    std::vector<em::CVec> out;
+    for (const auto* panel : panels) {
+      em::CVec c(panel->element_count());
+      const double loss =
+          std::pow(10.0, -panel->design().insertion_loss_db / 20.0);
+      for (auto& v : c) v = std::polar(loss, rng.uniform() * 6.28318);
+      out.push_back(std::move(c));
+    }
+    return out;
+  }
+};
+
+double rel_err(em::Cx a, em::Cx b) {
+  return std::abs(a - b) / std::max(1e-30, std::abs(b));
+}
+
+// --- Digests ------------------------------------------------------------------
+
+TEST(Digest, DistinctStableAndOrderSensitive) {
+  const std::vector<double> a{0.1, 0.2, 0.3};
+  const std::vector<double> b{0.1, 0.2, 0.30000000001};
+  const std::vector<double> a_swapped{0.2, 0.1, 0.3};
+  EXPECT_TRUE(util::digest_values(a) == util::digest_values(a));
+  EXPECT_FALSE(util::digest_values(a) == util::digest_values(b));
+  EXPECT_FALSE(util::digest_values(a) == util::digest_values(a_swapped));
+  // +0.0 and -0.0 hash by bit pattern, so they are distinct keys.
+  const std::vector<double> pz{0.0};
+  const std::vector<double> nz{-0.0};
+  EXPECT_FALSE(util::digest_values(pz) == util::digest_values(nz));
+
+  const std::vector<std::size_t> i1{1, 2, 3};
+  const std::vector<std::size_t> i2{1, 2, 4};
+  EXPECT_FALSE(util::digest_indices(i1) == util::digest_indices(i2));
+  const auto c1 = util::combine(util::digest_values(a), util::digest_indices(i1));
+  const auto c2 = util::combine(util::digest_values(a), util::digest_indices(i2));
+  EXPECT_FALSE(c1 == c2);
+}
+
+TEST(DigestMemoTest, StoreLookupAndFifoEviction) {
+  sim::DigestMemo memo(/*capacity=*/2);
+  const auto k1 = util::digest_values(std::vector<double>{1.0});
+  const auto k2 = util::digest_values(std::vector<double>{2.0});
+  const auto k3 = util::digest_values(std::vector<double>{3.0});
+  memo.store(k1, 11.0);
+  memo.store(k2, std::vector<double>{22.0, 23.0});
+  double scalar = 0.0;
+  std::vector<double> vec;
+  EXPECT_TRUE(memo.lookup(k1, scalar));
+  EXPECT_EQ(scalar, 11.0);
+  EXPECT_TRUE(memo.lookup(k2, vec));
+  EXPECT_EQ(vec, (std::vector<double>{22.0, 23.0}));
+  memo.store(k3, 33.0);  // evicts k1 (FIFO)
+  EXPECT_EQ(memo.size(), 2u);
+  EXPECT_FALSE(memo.lookup(k1, scalar));
+  EXPECT_TRUE(memo.lookup(k3, scalar));
+  const auto stats = memo.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_GE(stats.hits, 3u);
+  EXPECT_GE(stats.misses, 1u);
+}
+
+TEST(DigestMemoTest, ZeroCapacityDisablesStorage) {
+  sim::DigestMemo memo(0);
+  const auto k = util::digest_values(std::vector<double>{1.0});
+  memo.store(k, 1.0);
+  double out = 0.0;
+  EXPECT_FALSE(memo.lookup(k, out));
+  EXPECT_EQ(memo.size(), 0u);
+}
+
+// --- ChannelEvalCache ---------------------------------------------------------
+
+TEST(EvalCache, SingleElementDeltaMatchesDense) {
+  const Scene scene;
+  for (const bool cascades : {true, false}) {
+    const auto channel = scene.make_channel(cascades);
+    sim::ChannelEvalCache cache(channel.get());
+    auto base = scene.random_coefficients(7);
+    cache.rebase(util::digest_values(std::vector<double>{1.0}), base);
+
+    util::Rng rng(11);
+    for (int trial = 0; trial < 20; ++trial) {
+      const std::size_t p = rng.below(base.size());
+      const std::size_t e = rng.below(base[p].size());
+      const em::Cx new_c = std::polar(0.9, rng.uniform() * 6.28318);
+      const std::size_t j = rng.below(channel->rx_count());
+
+      auto dense_coeff = base;
+      dense_coeff[p][e] = new_c;
+      const em::Cx dense = channel->evaluate(j, dense_coeff);
+      const em::Cx delta = cache.evaluate_delta(j, p, e, new_c);
+      EXPECT_LT(rel_err(delta, dense), 1e-9)
+          << "cascades=" << cascades << " trial " << trial;
+    }
+  }
+}
+
+TEST(EvalCache, ZeroMoveIsBitExact) {
+  const Scene scene;
+  const auto channel = scene.make_channel();
+  sim::ChannelEvalCache cache(channel.get());
+  const auto base = scene.random_coefficients(3);
+  cache.rebase(util::digest_values(std::vector<double>{2.0}), base);
+  for (std::size_t j = 0; j < channel->rx_count(); j += 5) {
+    const em::Cx dense = channel->evaluate(j, base);
+    const em::Cx cached = cache.base_value(j);
+    // The lazily filled baseline is bit-identical to the dense evaluation
+    // (same summation order) ...
+    EXPECT_EQ(cached.real(), dense.real());
+    EXPECT_EQ(cached.imag(), dense.imag());
+    // ... and a probe that re-applies the baseline coefficient is exactly
+    // the baseline (homogeneous groups use the (new_c - c0) * W form).
+    const em::Cx same = cache.evaluate_delta(j, 0, 4, base[0][4]);
+    EXPECT_EQ(same.real(), dense.real());
+    EXPECT_EQ(same.imag(), dense.imag());
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.rebases, 1u);
+  EXPECT_GT(stats.delta_evals, 0u);
+}
+
+TEST(EvalCache, GroupDeltaMovesWholeControlGroup) {
+  const Scene scene;
+  const auto channel = scene.make_channel();
+  const orch::PanelVariables vars(scene.panels);
+
+  sim::ChannelEvalCache cache(channel.get());
+  for (std::size_t p = 0; p < vars.panel_count(); ++p) {
+    const std::size_t n = vars.panel(p).element_count();
+    std::vector<std::uint32_t> group_of(n);
+    for (std::size_t e = 0; e < n; ++e) {
+      group_of[e] = static_cast<std::uint32_t>(vars.control_of(p, e));
+    }
+    cache.set_grouping(p, std::move(group_of), vars.panel(p).control_count());
+  }
+
+  // Homogeneous baseline within groups, as the optimizer produces.
+  util::Rng rng(5);
+  std::vector<double> x(vars.dimension());
+  for (auto& v : x) v = rng.uniform() * 6.28318;
+  const auto base = vars.coefficients(x);
+  cache.rebase(util::digest_values(x), base);
+
+  // Move one column group of panel B (panel 1, kColumn granularity).
+  const std::size_t group = 2;
+  const em::Cx new_c = std::polar(std::abs(base[1][0]), 1.234);
+  auto dense_coeff = base;
+  for (std::size_t e = 0; e < dense_coeff[1].size(); ++e) {
+    if (vars.control_of(1, e) == group) dense_coeff[1][e] = new_c;
+  }
+  for (std::size_t j = 0; j < channel->rx_count(); j += 3) {
+    const em::Cx dense = channel->evaluate(j, dense_coeff);
+    const em::Cx delta = cache.evaluate_delta(j, 1, group, new_c);
+    EXPECT_LT(rel_err(delta, dense), 1e-9) << "rx " << j;
+  }
+}
+
+TEST(EvalCache, RebaseInvalidatesAndRefills) {
+  const Scene scene;
+  const auto channel = scene.make_channel();
+  sim::ChannelEvalCache cache(channel.get());
+  const auto base1 = scene.random_coefficients(1);
+  const auto base2 = scene.random_coefficients(2);
+  const auto k1 = util::digest_values(std::vector<double>{1.0});
+  const auto k2 = util::digest_values(std::vector<double>{2.0});
+
+  cache.rebase(k1, base1);
+  EXPECT_TRUE(cache.based_on(k1));
+  (void)cache.base_value(0);
+  cache.rebase(k1, base1);  // same key: no-op
+  EXPECT_EQ(cache.stats().rebases, 1u);
+
+  cache.rebase(k2, base2);
+  EXPECT_FALSE(cache.based_on(k1));
+  EXPECT_TRUE(cache.based_on(k2));
+  const em::Cx h = cache.base_value(0);
+  const em::Cx dense = channel->evaluate(0, base2);
+  EXPECT_EQ(h.real(), dense.real());
+  EXPECT_EQ(h.imag(), dense.imag());
+  EXPECT_EQ(cache.stats().rebases, 2u);
+  EXPECT_GE(cache.stats().rx_fills, 2u);  // refilled after the base change
+}
+
+// --- power_map / powers_at memoization ---------------------------------------
+
+TEST(PowerMapMemo, RepeatedSweepIsByteIdenticalAndHits) {
+  IncrementalGuard guard;
+  sim::set_incremental_enabled(true);
+  const Scene scene;
+  const auto channel = scene.make_channel();
+  const geom::Vec3 target =
+      scene.scenario.room_grid.point(scene.scenario.room_grid.size() / 2);
+  const double f = em::band_center(scene.scenario.band);
+  const std::vector<surface::SurfaceConfig> configs{
+      scene.panel_a->focus_config(scene.scenario.ap_position, target, f),
+      scene.panel_b->focus_config(scene.scenario.ap_position, target, f)};
+
+  const auto first = channel->power_map(configs);
+  const auto hits_before = channel->power_memo().stats().hits;
+  const auto second = channel->power_map(configs);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t j = 0; j < first.size(); ++j) {
+    EXPECT_EQ(first[j], second[j]) << "rx " << j;
+  }
+  EXPECT_GT(channel->power_memo().stats().hits, hits_before);
+
+  // A subset sweep keys on (config, indices) and must not alias the full map.
+  const std::vector<std::size_t> subset{0, 2, 4};
+  const auto powers = channel->powers_at(subset, configs);
+  ASSERT_EQ(powers.size(), 3u);
+  EXPECT_EQ(powers[0], first[0]);
+  EXPECT_EQ(powers[1], first[2]);
+  EXPECT_EQ(powers[2], first[4]);
+}
+
+TEST(PowerMapMemo, DisabledSwitchMatchesDense) {
+  IncrementalGuard guard;
+  const Scene scene;
+  const auto channel = scene.make_channel();
+  const geom::Vec3 target = scene.scenario.room_grid.point(0);
+  const double f = em::band_center(scene.scenario.band);
+  const std::vector<surface::SurfaceConfig> configs{
+      scene.panel_a->focus_config(scene.scenario.ap_position, target, f),
+      scene.panel_b->focus_config(scene.scenario.ap_position, target, f)};
+
+  sim::set_incremental_enabled(true);
+  const auto memoized = channel->power_map(configs);
+  sim::set_incremental_enabled(false);
+  const auto dense = channel->power_map(configs);
+  ASSERT_EQ(memoized.size(), dense.size());
+  for (std::size_t j = 0; j < dense.size(); ++j) {
+    EXPECT_EQ(memoized[j], dense[j]) << "rx " << j;
+  }
+}
+
+// --- Objective value_delta / memoization -------------------------------------
+
+struct ObjectiveScene {
+  Scene scene;
+  std::unique_ptr<sim::SceneChannel> channel = scene.make_channel();
+  orch::PanelVariables vars{scene.panels};
+  std::vector<std::size_t> rx{0, 3, 6, 9, 12};
+
+  std::vector<double> random_x(std::uint64_t seed) const {
+    util::Rng rng(seed);
+    std::vector<double> x(vars.dimension());
+    for (auto& v : x) v = rng.uniform() * 6.28318;
+    return x;
+  }
+};
+
+TEST(ObjectiveDelta, CapacityProbeMatchesDenseValue) {
+  IncrementalGuard guard;
+  const ObjectiveScene fx;
+  const orch::CapacityObjective capacity(fx.channel.get(), &fx.vars, fx.rx,
+                                         /*rho=*/1e9);
+  const auto x = fx.random_x(17);
+  const double base = capacity.value(x);
+
+  util::Rng rng(19);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t coord = rng.below(x.size());
+    const double v = rng.uniform() * 6.28318;
+    auto probe = x;
+    probe[coord] = v;
+    const double dense = capacity.value(probe);
+
+    sim::set_incremental_enabled(true);
+    const double incremental = capacity.value_delta(x, base, coord, v);
+    EXPECT_NEAR(incremental, dense,
+                1e-9 * std::max(1.0, std::abs(dense)))
+        << "coord " << coord;
+
+    // Disabled, value_delta routes through the dense fallback: identical to
+    // value(probe) by construction (modulo the probe memo, which returns
+    // stored values byte-identically).
+    sim::set_incremental_enabled(false);
+    EXPECT_EQ(capacity.value_delta(x, base, coord, v), dense);
+  }
+}
+
+TEST(ObjectiveDelta, PowerDeliveryProbeMatchesDenseValue) {
+  IncrementalGuard guard;
+  sim::set_incremental_enabled(true);
+  const ObjectiveScene fx;
+  const orch::PowerDeliveryObjective power(fx.channel.get(), &fx.vars, fx.rx,
+                                           /*p0=*/1e-9);
+  const auto x = fx.random_x(23);
+  const double base = power.value(x);
+  util::Rng rng(29);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t coord = rng.below(x.size());
+    const double v = rng.uniform() * 6.28318;
+    auto probe = x;
+    probe[coord] = v;
+    const double dense = power.value(probe);
+    const double incremental = power.value_delta(x, base, coord, v);
+    EXPECT_NEAR(incremental, dense, 1e-9 * std::max(1.0, std::abs(dense)));
+  }
+}
+
+TEST(ObjectiveDelta, FdGradientThroughRank1MatchesAnalytic) {
+  IncrementalGuard guard;
+  sim::set_incremental_enabled(true);
+  const ObjectiveScene fx;
+  const orch::CapacityObjective capacity(fx.channel.get(), &fx.vars, fx.rx,
+                                         /*rho=*/1e9);
+  const auto x = fx.random_x(31);
+  std::vector<double> analytic(x.size());
+  const double v1 = capacity.value_and_gradient(x, analytic);
+  std::vector<double> fd(x.size());
+  // Qualified call: force the base-class finite-difference gradient (the
+  // analytic override would otherwise win the virtual dispatch), which
+  // routes every probe through the rank-1 value_delta.
+  capacity.opt::Objective::gradient_at(x, v1, fd);
+  const auto stats = capacity.eval_cache().stats();
+  EXPECT_GE(stats.rebases, 1u);
+  EXPECT_GE(stats.rx_fills, fx.rx.size());
+  EXPECT_GE(stats.delta_evals, 2 * x.size() * fx.rx.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(fd[i], analytic[i],
+                1e-4 * std::max(1.0, std::abs(analytic[i])))
+        << "coord " << i;
+  }
+}
+
+TEST(ObjectiveDelta, MemoizedValueIsByteIdentical) {
+  IncrementalGuard guard;
+  sim::set_incremental_enabled(true);
+  const ObjectiveScene fx;
+  const orch::CapacityObjective capacity(fx.channel.get(), &fx.vars, fx.rx,
+                                         /*rho=*/1e9);
+  const auto x = fx.random_x(37);
+  const double first = capacity.value(x);
+  const auto hits_before = capacity.eval_cache().memo().stats().hits;
+  const double second = capacity.value(x);
+  EXPECT_EQ(first, second);
+  EXPECT_GT(capacity.eval_cache().memo().stats().hits, hits_before);
+
+  // And the memoized value equals the dense (disabled) evaluation bitwise:
+  // hits return stored results, which were computed by the same dense sweep.
+  sim::set_incremental_enabled(false);
+  EXPECT_EQ(capacity.value(x), first);
+}
+
+// --- WeightedSum regression ---------------------------------------------------
+
+TEST(WeightedSum, MixedThreadSafetyAndDeltaEquivalence) {
+  const std::size_t n = 6;
+  const opt::FunctionObjective quad(
+      n,
+      [](std::span<const double> x) {
+        double s = 0.0;
+        for (const double v : x) s += (v - 0.3) * (v - 0.3);
+        return s;
+      },
+      /*thread_safe=*/true);
+  const opt::FunctionObjective quartic(
+      n,
+      [](std::span<const double> x) {
+        double s = 0.0;
+        for (const double v : x) s += v * v * v * v;
+        return s;
+      },
+      /*thread_safe=*/false);
+  opt::WeightedSumObjective joint;
+  joint.add_term(&quad, 2.0);
+  joint.add_term(&quartic, 0.5);
+  // One non-thread-safe term must force the sum serial.
+  EXPECT_FALSE(joint.thread_safe());
+
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = 0.1 * static_cast<double>(i + 1);
+  const double base = joint.value(x);
+  EXPECT_EQ(base, 2.0 * quad.value(x) + 0.5 * quartic.value(x));
+
+  // Single-coordinate probes decompose term-by-term, bit-identically to the
+  // dense weighted sum at the probe point.
+  for (std::size_t coord = 0; coord < n; ++coord) {
+    auto probe = x;
+    probe[coord] = -0.7;
+    EXPECT_EQ(joint.value_delta(x, base, coord, -0.7), joint.value(probe));
+  }
+
+  // value_and_gradient sums each term's gradient exactly once, and
+  // gradient_at (used after an accepted line-search step) agrees.
+  std::vector<double> g1(n), g2(n);
+  const double v = joint.value_and_gradient(x, g1);
+  EXPECT_EQ(v, base);
+  joint.gradient_at(x, base, g2);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(g1[i], g2[i]);
+}
+
+// --- Optimizer equivalence ----------------------------------------------------
+
+TEST(OptimizerEquivalence, AnnealingValueConsistentWithDenseRecompute) {
+  IncrementalGuard guard;
+  sim::set_incremental_enabled(true);
+  const ObjectiveScene fx;
+  const orch::CapacityObjective capacity(fx.channel.get(), &fx.vars, fx.rx,
+                                         /*rho=*/1e9);
+  opt::AnnealingOptions options;
+  options.max_evaluations = 300;
+  const opt::SimulatedAnnealing annealer(options);
+  const auto x0 = fx.random_x(41);
+  const double initial = capacity.value(x0);
+  const auto result = annealer.minimize(capacity, x0);
+  EXPECT_LE(result.value, initial);
+  // The reported best value came from chained rank-1 probes; it must agree
+  // with a dense re-evaluation of the best point (no drift accumulation —
+  // every accepted move rebases off a fresh dense fill).
+  sim::set_incremental_enabled(false);
+  const double dense = capacity.value(result.x);
+  EXPECT_NEAR(result.value, dense, 1e-9 * std::max(1.0, std::abs(dense)));
+}
+
+TEST(OptimizerEquivalence, AnnealingBitIdenticalOnDefaultDeltaPath) {
+  // For objectives without an incremental override, value_delta clones the
+  // base and calls value(): the annealer's trajectory must not depend on the
+  // switch at all.
+  IncrementalGuard guard;
+  const std::size_t n = 8;
+  const opt::FunctionObjective quad(
+      n,
+      [](std::span<const double> x) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+          s += (x[i] - 0.1 * static_cast<double>(i)) *
+               (x[i] - 0.1 * static_cast<double>(i));
+        }
+        return s;
+      },
+      /*thread_safe=*/true);
+  opt::AnnealingOptions options;
+  options.max_evaluations = 500;
+  const opt::SimulatedAnnealing annealer(options);
+  const std::vector<double> x0(n, 1.0);
+
+  sim::set_incremental_enabled(true);
+  const auto on = annealer.minimize(quad, x0);
+  sim::set_incremental_enabled(false);
+  const auto off = annealer.minimize(quad, x0);
+  EXPECT_EQ(on.value, off.value);
+  EXPECT_EQ(on.evaluations, off.evaluations);
+  ASSERT_EQ(on.x.size(), off.x.size());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(on.x[i], off.x[i]);
+}
+
+TEST(OptimizerEquivalence, GradientDescentTrajectoryIdenticalAcrossModes) {
+  IncrementalGuard guard;
+  const ObjectiveScene fx;
+  const orch::CapacityObjective capacity(fx.channel.get(), &fx.vars, fx.rx,
+                                         /*rho=*/1e9);
+  opt::GradientDescentOptions options;
+  options.max_iterations = 10;
+  const opt::GradientDescent descent(options);
+  const auto x0 = fx.random_x(43);
+
+  // The default pipeline (analytic gradients + digest memoization) must be
+  // byte-identical between modes: memo hits return stored dense values.
+  sim::set_incremental_enabled(true);
+  const auto on = descent.minimize(capacity, x0);
+  sim::set_incremental_enabled(false);
+  const auto off = descent.minimize(capacity, x0);
+  EXPECT_EQ(on.value, off.value);
+  ASSERT_EQ(on.x.size(), off.x.size());
+  for (std::size_t i = 0; i < on.x.size(); ++i) EXPECT_EQ(on.x[i], off.x[i]);
+}
+
+// --- Orchestrator end-to-end equivalence -------------------------------------
+
+struct OrchestratorFixture {
+  sim::CoverageRoomScenario scene = sim::make_coverage_room(5);
+  hal::SimClock clock;
+  hal::DeviceRegistry registry;
+  surface::SurfacePanel panel;
+  std::unique_ptr<orch::Orchestrator> orchestrator;
+
+  OrchestratorFixture()
+      : panel([&] {
+          surface::ElementDesign d;
+          d.spacing_m = em::wavelength(em::band_center(scene.band)) / 2.0;
+          d.insertion_loss_db = 1.0;
+          return surface::SurfacePanel(
+              "wall", scene.surface_pose, 12, 12, d,
+              surface::OperationMode::kReflective,
+              surface::Reconfigurability::kProgrammable,
+              surface::ControlGranularity::kElement);
+        }()) {
+    hal::HardwareSpec spec = hal::spec_for_panel(panel, scene.band);
+    registry.add_surface(std::make_unique<hal::ProgrammableSurfaceDriver>(
+        "wall", &panel, spec, &clock));
+    registry.add_endpoint({"laptop", hal::EndpointKind::kClient,
+                           {1.2, 2.4, 1.0}, scene.band, std::nullopt});
+    orch::OrchestratorContext context;
+    context.environment = scene.environment.get();
+    context.ap = scene.ap();
+    context.default_band = scene.band;
+    context.budget = scene.budget;
+    orchestrator = std::make_unique<orch::Orchestrator>(
+        &registry, &clock, context, orch::OrchestratorOptions{});
+  }
+};
+
+TEST(OrchestratorEquivalence, StepReportsByteIdenticalAcrossModes) {
+  IncrementalGuard guard;
+  std::vector<orch::StepReport> reports;
+  for (const bool incremental : {false, true}) {
+    sim::set_incremental_enabled(incremental);
+    OrchestratorFixture fx;
+    fx.orchestrator->enhance_link({"laptop", 15.0, 50.0});
+    fx.orchestrator->step();                       // optimize + actuate
+    reports.push_back(fx.orchestrator->step());    // steady-state measure
+  }
+  const auto& off = reports[0];
+  const auto& on = reports[1];
+  ASSERT_EQ(off.tasks.size(), on.tasks.size());
+  for (std::size_t t = 0; t < off.tasks.size(); ++t) {
+    EXPECT_EQ(off.tasks[t].state, on.tasks[t].state);
+    EXPECT_EQ(off.tasks[t].goal_met, on.tasks[t].goal_met);
+    ASSERT_EQ(off.tasks[t].achieved.has_value(), on.tasks[t].achieved.has_value());
+    if (off.tasks[t].achieved.has_value()) {
+      // Byte-identical achieved metrics: the incremental mode's memoized
+      // values are stored dense results, never approximations.
+      EXPECT_EQ(*off.tasks[t].achieved, *on.tasks[t].achieved);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace surfos
