@@ -95,9 +95,22 @@ int main(int argc, char** argv) {
       argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1]))
                : util::ThreadPool().thread_count();
   const std::string out_path = argc > 2 ? argv[2] : "BENCH_parallel.json";
+  const unsigned hw = std::thread::hardware_concurrency();
+  // A "speedup" measured with one worker (or on one hardware core) is just
+  // pool overhead: an earlier BENCH_parallel.json recorded ~1.0x claims
+  // taken on a single-core runner as if they were scaling numbers. Refuse
+  // to make the claim unless both the pool and the hardware can parallelize.
+  const bool speedup_meaningful = threads > 1 && hw > 1;
 
   std::printf("=== Parallel execution engine scaling (fig-5-sized scene) ===\n");
-  std::printf("threads: %zu\n", threads);
+  std::printf("threads: %zu, hardware_concurrency: %u\n", threads, hw);
+  if (!speedup_meaningful) {
+    std::printf(
+        "WARNING: %s -- timings are recorded but speedup claims are "
+        "suppressed (null in the JSON)\n",
+        hw <= 1 ? "single hardware core detected"
+                : "running with a single worker thread");
+  }
 
   const Fig5Scene scene;
   const auto configs = std::vector<surface::SurfaceConfig>{
@@ -155,8 +168,13 @@ int main(int argc, char** argv) {
   std::printf("\n%-20s %12s %12s %9s\n", "section", "serial_ms", "parallel_ms",
               "speedup");
   for (const auto& s : sections) {
-    std::printf("%-20s %12.2f %12.2f %8.2fx\n", s.name.c_str(), s.serial_ms,
-                s.parallel_ms, s.speedup());
+    if (speedup_meaningful) {
+      std::printf("%-20s %12.2f %12.2f %8.2fx\n", s.name.c_str(), s.serial_ms,
+                  s.parallel_ms, s.speedup());
+    } else {
+      std::printf("%-20s %12.2f %12.2f %9s\n", s.name.c_str(), s.serial_ms,
+                  s.parallel_ms, "n/a");
+    }
     if (s.name == "precompute" || s.name == "power_map") {
       core_serial += s.serial_ms;
       core_parallel += s.parallel_ms;
@@ -164,8 +182,12 @@ int main(int argc, char** argv) {
   }
   const double core_speedup =
       core_parallel > 0.0 ? core_serial / core_parallel : 0.0;
-  std::printf("\nprecompute+power_map speedup: %.2fx at %zu threads\n",
-              core_speedup, threads);
+  if (speedup_meaningful) {
+    std::printf("\nprecompute+power_map speedup: %.2fx at %zu threads\n",
+                core_speedup, threads);
+  } else {
+    std::printf("\nprecompute+power_map speedup: n/a (no parallelism)\n");
+  }
 
   std::ofstream out(out_path);
   if (!out) {
@@ -176,19 +198,29 @@ int main(int argc, char** argv) {
   bench::write_meta(out);
   out << "  \"scene\": \"fig5_room_grid14_panel20x20\",\n";
   out << "  \"threads\": " << threads << ",\n";
-  out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+  out << "  \"hardware_concurrency\": " << hw << ",\n";
+  out << "  \"speedup_claims_valid\": " << (speedup_meaningful ? "true" : "false")
       << ",\n";
   out << "  \"sections\": [\n";
   for (std::size_t i = 0; i < sections.size(); ++i) {
     const auto& s = sections[i];
     out << "    {\"name\": \"" << s.name << "\", \"serial_ms\": " << s.serial_ms
-        << ", \"parallel_ms\": " << s.parallel_ms
-        << ", \"speedup\": " << s.speedup() << "}"
-        << (i + 1 < sections.size() ? "," : "") << "\n";
+        << ", \"parallel_ms\": " << s.parallel_ms << ", \"speedup\": ";
+    if (speedup_meaningful) {
+      out << s.speedup();
+    } else {
+      out << "null";
+    }
+    out << "}" << (i + 1 < sections.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
-  out << "  \"core_speedup_precompute_power_map\": " << core_speedup << "\n";
-  out << "}\n";
+  out << "  \"core_speedup_precompute_power_map\": ";
+  if (speedup_meaningful) {
+    out << core_speedup;
+  } else {
+    out << "null";
+  }
+  out << "\n}\n";
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

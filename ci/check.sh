@@ -5,8 +5,14 @@
 #   2. focused re-runs of the observability suites (ctest -L telemetry,
 #      ctest -L trace) and the incremental-evaluation equivalence suite
 #      (ctest -L incremental) so a regression there is named, not buried
-#   3. TSan build of the thread-pool/tracing/incremental tests (ctest -L
+#   3. forced-scalar re-run of the full suite (SURFOS_SIMD=scalar): the
+#      scalar SIMD backend is the bit-exact reference, so every test must
+#      pass with vectorization disabled
+#   4. TSan build of the thread-pool/tracing/incremental tests (ctest -L
 #      tsan in ./build-tsan); any sanitizer report fails the run
+#   5. UBSan build of the SIMD/geometry/channel tests (ctest -L simd plus
+#      the dense-path suites in ./build-ubsan); undefined behavior in the
+#      lane kernels fails the run
 #
 #   $ ci/check.sh
 set -euo pipefail
@@ -26,6 +32,10 @@ ctest --test-dir build --output-on-failure -L trace
 ctest --test-dir build --output-on-failure -L incremental
 
 echo
+echo "== forced scalar: full suite with SURFOS_SIMD=scalar (vector dispatch off)"
+SURFOS_SIMD=scalar ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo
 echo "== tsan: thread-pool / tracing / incremental tests under ThreadSanitizer (build-tsan/)"
 cmake -B build-tsan -S . -DSURFOS_SANITIZE=thread
 cmake --build build-tsan -j"$JOBS" --target \
@@ -36,6 +46,16 @@ cmake --build build-tsan -j"$JOBS" --target \
 # per-RX entries from FD-probe workers, so both run under TSan too.
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
   ctest --test-dir build-tsan --output-on-failure -L "tsan|trace|incremental"
+
+echo
+echo "== ubsan: SIMD kernels + dense channel path under UBSan (build-ubsan/)"
+cmake -B build-ubsan -S . -DSURFOS_SANITIZE=undefined
+cmake --build build-ubsan -j"$JOBS" --target test_simd test_geom test_em test_sim
+# halt_on_error turns any UB report into a test failure instead of a log
+# line; the simd suite runs every available backend against the scalar
+# reference, so lane-kernel UB (misaligned loads, bad masks) surfaces here.
+UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+  ctest --test-dir build-ubsan --output-on-failure -R "Simd|Geom|Em|Channel"
 
 echo
 echo "ci/check.sh: all green"

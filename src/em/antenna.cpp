@@ -2,10 +2,20 @@
 
 #include <stdexcept>
 
+#include "util/simd.hpp"
 #include "util/strings.hpp"
 #include "util/units.hpp"
 
 namespace surfos::em {
+
+void AntennaPattern::amplitude_gain_batch(const double* ux, const double* uy,
+                                          const double* uz, double sign,
+                                          double* out,
+                                          std::size_t n) const noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = amplitude_gain({sign * ux[i], sign * uy[i], sign * uz[i]});
+  }
+}
 
 CosinePowerAntenna::CosinePowerAntenna(const geom::Vec3& boresight,
                                        double exponent)
@@ -45,6 +55,18 @@ double SectorAntenna::amplitude_gain(const geom::Vec3& direction) const noexcept
   const double c = boresight_.dot(direction.normalized());
   if (c >= cos_half_) return std::sqrt(peak_gain_);
   return sidelobe_amplitude_;
+}
+
+void SectorAntenna::amplitude_gain_batch(const double* ux, const double* uy,
+                                         const double* uz, double sign,
+                                         double* out,
+                                         std::size_t n) const noexcept {
+  // Directions are unit length by contract, so the renormalization in the
+  // scalar path is skipped here (<= 1 ulp on the dot product, and the
+  // threshold compare is a step function of a continuous quantity).
+  util::simd::ops().sector_gain(boresight_.x, boresight_.y, boresight_.z, sign,
+                                cos_half_, std::sqrt(peak_gain_),
+                                sidelobe_amplitude_, ux, uy, uz, out, n);
 }
 
 std::string SectorAntenna::name() const {

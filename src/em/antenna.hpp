@@ -24,6 +24,17 @@ class AntennaPattern {
   /// reversed for RX). Must be >= 0.
   virtual double amplitude_gain(const geom::Vec3& direction) const noexcept = 0;
 
+  /// Batched amplitude gain over n unit directions stored as SoA planes.
+  /// `sign` (+1 or -1) flips the direction, so arrival gains can be
+  /// evaluated without materializing reversed vectors (the flip is exact
+  /// in floating point). Directions must be unit length: vectorized
+  /// overrides may skip the renormalization amplitude_gain performs, which
+  /// is the identity for unit input up to 1 ulp.
+  /// Default implementation loops over amplitude_gain.
+  virtual void amplitude_gain_batch(const double* ux, const double* uy,
+                                    const double* uz, double sign, double* out,
+                                    std::size_t n) const noexcept;
+
   /// Peak power gain (linear), for link-budget reporting.
   virtual double peak_power_gain() const noexcept = 0;
 
@@ -34,6 +45,11 @@ class AntennaPattern {
 class IsotropicAntenna final : public AntennaPattern {
  public:
   double amplitude_gain(const geom::Vec3&) const noexcept override { return 1.0; }
+  void amplitude_gain_batch(const double*, const double*, const double*,
+                            double, double* out,
+                            std::size_t n) const noexcept override {
+    for (std::size_t i = 0; i < n; ++i) out[i] = 1.0;
+  }
   double peak_power_gain() const noexcept override { return 1.0; }
   std::string name() const override { return "isotropic"; }
 };
@@ -64,6 +80,9 @@ class SectorAntenna final : public AntennaPattern {
                 double sidelobe_db = 20.0);
 
   double amplitude_gain(const geom::Vec3& direction) const noexcept override;
+  void amplitude_gain_batch(const double* ux, const double* uy,
+                            const double* uz, double sign, double* out,
+                            std::size_t n) const noexcept override;
   double peak_power_gain() const noexcept override { return peak_gain_; }
   std::string name() const override;
 

@@ -98,6 +98,13 @@ std::complex<double> transmission_coefficient(const Material& material,
   return std::polar(std::fmin(mag, 1.0), std::arg(t_te));
 }
 
+util::simd::SlabConsts slab_consts(const Material& material,
+                                   double frequency_hz) noexcept {
+  const auto eps = material.permittivity(frequency_hz);
+  const double k0 = 2.0 * M_PI * frequency_hz / kSpeedOfLight;
+  return {eps.real(), eps.imag(), k0 * material.thickness_m};
+}
+
 int MaterialDb::add(Material material) {
   materials_.push_back(std::move(material));
   return static_cast<int>(materials_.size()) - 1;

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "util/simd.hpp"
+
 namespace surfos::em {
 
 struct Material {
@@ -46,6 +48,12 @@ std::complex<double> reflection_coefficient(const Material& material,
 std::complex<double> transmission_coefficient(const Material& material,
                                               double frequency_hz,
                                               double incidence_rad) noexcept;
+
+/// Precomputed per-(material, frequency) constants for the SIMD Fresnel
+/// kernels: complex relative permittivity and k0 * thickness. Hoists the
+/// std::pow in Material::permittivity out of the per-segment hot path.
+util::simd::SlabConsts slab_consts(const Material& material,
+                                   double frequency_hz) noexcept;
 
 /// Material database keyed by a small id (stored per-triangle in meshes).
 class MaterialDb {

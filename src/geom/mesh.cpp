@@ -73,16 +73,39 @@ std::vector<Hit> TriangleMesh::all_hits_on_segment(const Vec3& from,
   if (length < kRayEpsilon) return hits;
   const Ray ray{from, delta / length};
   bvh_->collect_hits(ray, kRayEpsilon, length - kRayEpsilon, hits);
-  std::sort(hits.begin(), hits.end(),
-            [](const Hit& a, const Hit& b) { return a.t < b.t; });
+  // Tie-break exactly-coincident hits (a segment through a shared edge of
+  // two quads) on triangle order so the survivor of the dedup below — and
+  // therefore the incidence normal used for its slab response — is
+  // deterministic, not an artifact of std::sort's handling of equal keys.
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.triangle_index < b.triangle_index;
+  });
   // A segment crossing a quad's shared diagonal (or any coplanar triangle
   // pair) reports one hit per triangle; keep a single crossing per surface
-  // point so wall attenuation is not double-counted.
-  const auto duplicate = [](const Hit& a, const Hit& b) {
-    return std::abs(a.t - b.t) < 1e-9 && a.material_id == b.material_id;
-  };
-  hits.erase(std::unique(hits.begin(), hits.end(), duplicate), hits.end());
-  return hits;
+  // point so wall attenuation is not double-counted. Within a coincident
+  // same-material cluster the surviving hit is the lowest-triangle-index
+  // member: when the cluster spans quads with different normals (a segment
+  // through the shared edge of two box faces), the incidence angle depends
+  // on which hit survives, and "lowest index" is the one rule both this
+  // path and the vectorized seg_transmission kernel can apply cheaply.
+  // Cluster membership is anchored on the first (smallest-t) member, like
+  // std::unique's compare-against-last-kept.
+  std::vector<Hit> unique_hits;
+  unique_hits.reserve(hits.size());
+  double anchor_t = 0.0;
+  for (const Hit& hit : hits) {
+    if (!unique_hits.empty() && std::abs(hit.t - anchor_t) < 1e-9 &&
+        hit.material_id == unique_hits.back().material_id) {
+      if (hit.triangle_index < unique_hits.back().triangle_index) {
+        unique_hits.back() = hit;
+      }
+      continue;
+    }
+    unique_hits.push_back(hit);
+    anchor_t = hit.t;
+  }
+  return unique_hits;
 }
 
 }  // namespace surfos::geom

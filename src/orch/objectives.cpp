@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "em/soa.hpp"
 #include "sense/steering.hpp"
 #include "sim/incremental.hpp"
 #include "util/digest.hpp"
@@ -70,17 +71,30 @@ util::ConfigDigest ensure_based(sim::ChannelEvalCache& cache,
   return key;
 }
 
+/// Copies the quantized per-panel coefficients into SoA planes for the
+/// vectorized channel entry points (bit-exact copy; padding stays zero).
+void to_planes(const std::vector<em::CVec>& src,
+               std::vector<em::CxPlanes>& dst) {
+  dst.resize(src.size());
+  for (std::size_t p = 0; p < src.size(); ++p) dst[p].assign(src[p]);
+}
+
 /// Accumulates d|h|^2/dphi for one RX into per-panel element gradients:
 /// d|h|^2/dphi_e = 2 Re(conj(h) * j * c_e * dh/dc_e), scaled by `weight`.
 void accumulate_power_gradient(const em::Cx& h,
-                               const std::vector<em::CVec>& dh_dc,
-                               const std::vector<em::CVec>& coefficients,
+                               const std::vector<em::CxPlanes>& dh_dc,
+                               const std::vector<em::CxPlanes>& coefficients,
                                double weight,
                                std::vector<std::vector<double>>& elem_grads) {
   const em::Cx h_conj = std::conj(h);
   for (std::size_t p = 0; p < dh_dc.size(); ++p) {
+    const double* cr = coefficients[p].re();
+    const double* ci = coefficients[p].im();
+    const double* dr = dh_dc[p].re();
+    const double* di = dh_dc[p].im();
     for (std::size_t e = 0; e < dh_dc[p].size(); ++e) {
-      const em::Cx dh_dphi = em::Cx{0.0, 1.0} * coefficients[p][e] * dh_dc[p][e];
+      const em::Cx dh_dphi =
+          em::Cx{0.0, 1.0} * em::Cx{cr[e], ci[e]} * em::Cx{dr[e], di[e]};
       elem_grads[p][e] += weight * 2.0 * (h_conj * dh_dphi).real();
     }
   }
@@ -124,11 +138,14 @@ double CapacityObjective::value(std::span<const double> x) const {
     if (cache_->memo().lookup(key, cached)) return cached;
   }
   thread_local std::vector<em::CVec> coeff_scratch;
+  thread_local std::vector<em::CxPlanes> coeff_planes;
   variables_->coefficients_into(x, coeff_scratch);
-  const auto& coefficients = coeff_scratch;
+  to_planes(coeff_scratch, coeff_planes);
+  const auto& coefficients = coeff_planes;
   std::vector<double> powers(rx_indices_.size());
   util::parallel_for(0, rx_indices_.size(), [&](std::size_t k) {
-    powers[k] = std::norm(channel_->evaluate(rx_indices_[k], coefficients));
+    powers[k] =
+        std::norm(channel_->evaluate_planes(rx_indices_[k], coefficients));
   });
   double sum = 0.0;
   for (const double power : powers) sum += std::log2(1.0 + rho_ * power);
@@ -163,8 +180,10 @@ double CapacityObjective::value_delta(std::span<const double> base,
 double CapacityObjective::value_and_gradient(std::span<const double> x,
                                              std::span<double> gradient) const {
   thread_local std::vector<em::CVec> coeff_scratch;
+  thread_local std::vector<em::CxPlanes> coeff_planes;
   variables_->coefficients_into(x, coeff_scratch);
-  const auto& coefficients = coeff_scratch;
+  to_planes(coeff_scratch, coeff_planes);
+  const auto& coefficients = coeff_planes;
   std::fill(gradient.begin(), gradient.end(), 0.0);
   std::vector<std::vector<double>> elem_grads(variables_->panel_count());
   for (std::size_t p = 0; p < variables_->panel_count(); ++p) {
@@ -175,12 +194,13 @@ double CapacityObjective::value_and_gradient(std::span<const double> x,
   const std::size_t m = rx_indices_.size();
   const std::size_t block = std::min<std::size_t>(kRxBlock, m);
   std::vector<em::Cx> h_slots(block);
-  std::vector<std::vector<em::CVec>> dh_slots(block);
+  std::vector<std::vector<em::CxPlanes>> dh_slots(block);
   for (std::size_t start = 0; start < m; start += block) {
     const std::size_t count = std::min(block, m - start);
     util::parallel_for(0, count, [&](std::size_t t) {
-      channel_->evaluate_with_partials(rx_indices_[start + t], coefficients,
-                                       h_slots[t], dh_slots[t]);
+      channel_->evaluate_with_partials_planes(rx_indices_[start + t],
+                                              coefficients, h_slots[t],
+                                              dh_slots[t]);
     });
     for (std::size_t t = 0; t < count; ++t) {
       const double power = std::norm(h_slots[t]);
@@ -232,11 +252,14 @@ double PowerDeliveryObjective::value(std::span<const double> x) const {
     if (cache_->memo().lookup(key, cached)) return cached;
   }
   thread_local std::vector<em::CVec> coeff_scratch;
+  thread_local std::vector<em::CxPlanes> coeff_planes;
   variables_->coefficients_into(x, coeff_scratch);
-  const auto& coefficients = coeff_scratch;
+  to_planes(coeff_scratch, coeff_planes);
+  const auto& coefficients = coeff_planes;
   std::vector<double> powers(rx_indices_.size());
   util::parallel_for(0, rx_indices_.size(), [&](std::size_t k) {
-    powers[k] = std::norm(channel_->evaluate(rx_indices_[k], coefficients));
+    powers[k] =
+        std::norm(channel_->evaluate_planes(rx_indices_[k], coefficients));
   });
   double sum = 0.0;
   for (const double power : powers) sum += power;
@@ -271,8 +294,10 @@ double PowerDeliveryObjective::value_delta(std::span<const double> base,
 double PowerDeliveryObjective::value_and_gradient(
     std::span<const double> x, std::span<double> gradient) const {
   thread_local std::vector<em::CVec> coeff_scratch;
+  thread_local std::vector<em::CxPlanes> coeff_planes;
   variables_->coefficients_into(x, coeff_scratch);
-  const auto& coefficients = coeff_scratch;
+  to_planes(coeff_scratch, coeff_planes);
+  const auto& coefficients = coeff_planes;
   std::fill(gradient.begin(), gradient.end(), 0.0);
   std::vector<std::vector<double>> elem_grads(variables_->panel_count());
   for (std::size_t p = 0; p < variables_->panel_count(); ++p) {
@@ -283,12 +308,13 @@ double PowerDeliveryObjective::value_and_gradient(
   const std::size_t m = rx_indices_.size();
   const std::size_t block = std::min<std::size_t>(kRxBlock, m);
   std::vector<em::Cx> h_slots(block);
-  std::vector<std::vector<em::CVec>> dh_slots(block);
+  std::vector<std::vector<em::CxPlanes>> dh_slots(block);
   for (std::size_t start = 0; start < m; start += block) {
     const std::size_t count = std::min(block, m - start);
     util::parallel_for(0, count, [&](std::size_t t) {
-      channel_->evaluate_with_partials(rx_indices_[start + t], coefficients,
-                                       h_slots[t], dh_slots[t]);
+      channel_->evaluate_with_partials_planes(rx_indices_[start + t],
+                                              coefficients, h_slots[t],
+                                              dh_slots[t]);
     });
     for (std::size_t t = 0; t < count; ++t) {
       sum += std::norm(h_slots[t]);
@@ -324,9 +350,11 @@ LocalizationObjective::LocalizationObjective(
                                                     channel_->frequency_hz(),
                                                     spectrum_bins);
   targets_.reserve(rx_indices_.size());
+  g_cache_.reserve(rx_indices_.size());
   for (std::size_t j : rx_indices_) {
     const double truth = sense::true_azimuth(panel, channel_->rx_point(j));
     targets_.push_back(model_->target_distribution(truth));
+    g_cache_.push_back(channel_->rx_vector(sensing_panel_, j));
   }
   memo_ = std::make_unique<sim::DigestMemo>();
 }
@@ -350,8 +378,7 @@ double LocalizationObjective::value(std::span<const double> x) const {
   const em::CVec& c = coeff_scratch[sensing_panel_];
   std::vector<double> losses(rx_indices_.size());
   util::parallel_for(0, rx_indices_.size(), [&](std::size_t k) {
-    const em::CVec& g = channel_->rx_vector(sensing_panel_, rx_indices_[k]);
-    losses[k] = model_->loss(c, g, targets_[k]);
+    losses[k] = model_->loss(c, g_cache_[k], targets_[k]);
   });
   double sum = 0.0;
   for (const double loss : losses) sum += loss;
@@ -384,9 +411,8 @@ double LocalizationObjective::value_and_gradient(
   for (std::size_t start = 0; start < m; start += block) {
     const std::size_t count = std::min(block, m - start);
     util::parallel_for(0, count, [&](std::size_t t) {
-      const em::CVec& g =
-          channel_->rx_vector(sensing_panel_, rx_indices_[start + t]);
-      loss_slots[t] = model_->loss(c, g, targets_[start + t], grad_slots[t]);
+      loss_slots[t] = model_->loss(c, g_cache_[start + t],
+                                   targets_[start + t], grad_slots[t]);
     });
     for (std::size_t t = 0; t < count; ++t) {
       sum += loss_slots[t];

@@ -142,6 +142,9 @@ class LocalizationObjective final : public opt::Objective {
   std::vector<std::size_t> rx_indices_;
   std::unique_ptr<sense::AoaSensingModel> model_;
   std::vector<std::vector<double>> targets_;  ///< Per probe location.
+  /// Sensing-panel -> probe-RX vectors, materialized once from the channel's
+  /// SoA planes (rx_vector returns by value since the SoA refactor).
+  std::vector<em::CVec> g_cache_;
   mutable std::unique_ptr<sim::DigestMemo> memo_;
 };
 

@@ -4,8 +4,11 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "em/band.hpp"
 #include "sim/incremental.hpp"
+#include "sim/trace_batch.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace surfos::sim {
@@ -14,16 +17,16 @@ namespace {
 
 const em::IsotropicAntenna kIsotropic;
 
-/// Digest over per-panel complex coefficient vectors (bit patterns of the
+/// Digest over per-panel complex coefficient planes (bit patterns of the
 /// real/imag doubles), the memo key for full power evaluations.
-util::ConfigDigest digest_coefficients(std::span<const em::CVec> coeffs) {
+util::ConfigDigest digest_coefficients(std::span<const em::CxPlanes> coeffs) {
   util::DigestBuilder builder;
   builder.add_size(coeffs.size());
-  for (const em::CVec& c : coeffs) {
+  for (const em::CxPlanes& c : coeffs) {
     builder.add_size(c.size());
-    for (const em::Cx& v : c) {
-      builder.add_double(v.real());
-      builder.add_double(v.imag());
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      builder.add_double(c.re()[i]);
+      builder.add_double(c.im()[i]);
     }
   }
   return builder.digest();
@@ -34,7 +37,7 @@ const em::AntennaPattern& pattern_or_isotropic(const em::AntennaPattern* p) {
 }
 
 /// |cos| between a panel's normal and the direction from an element to a
-/// point.
+/// point (scalar path; the SIMD fills use hop_gain/pair_gain instead).
 double element_cos(const surface::SurfacePanel& panel,
                    const geom::Vec3& element_pos, const geom::Vec3& point) {
   const geom::Vec3 d = point - element_pos;
@@ -42,6 +45,22 @@ double element_cos(const surface::SurfacePanel& panel,
   if (n < 1e-9) return 0.0;
   return std::fabs(d.dot(panel.normal())) / n;
 }
+
+/// Per-panel element positions as zero-padded SoA planes for the kernels.
+struct PosPlanes {
+  util::simd::AlignedVec x, y, z;
+  void fill(const std::vector<geom::Vec3>& positions) {
+    const std::size_t pad = em::padded_len(positions.size());
+    x.assign(pad, 0.0);
+    y.assign(pad, 0.0);
+    z.assign(pad, 0.0);
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      x[i] = positions[i].x;
+      y[i] = positions[i].y;
+      z[i] = positions[i].z;
+    }
+  }
+};
 
 }  // namespace
 
@@ -80,89 +99,122 @@ void SceneChannel::precompute() {
   SURFOS_COUNT_N("sim.channel.precompute_panels", panels_.size());
   const auto& tx_pattern = pattern_or_isotropic(tx_.antenna);
   const auto& rx_pattern = pattern_or_isotropic(rx_antenna_);
-  const RayTracer tracer(environment_, frequency_hz_, options_.tracer);
+  const auto& kn = util::simd::ops();
+  const double wavenum = em::wavenumber(frequency_hz_);
+  const double lambda = em::wavelength(frequency_hz_);
+  const double sqrt4pi = std::sqrt(4.0 * M_PI);
 
-  // Direct (non-surface) component, antenna-weighted per path. Each RX point
-  // writes only its own slot, so the loop parallelizes deterministically.
+  // Direct (non-surface) component, antenna-weighted per path, traced in
+  // SIMD blocks of kWidth receivers.
+  const BatchTracer tracer(environment_, frequency_hz_, options_.tracer);
   h_dir_.assign(rx_points_.size(), em::Cx{});
-  util::parallel_for(0, rx_points_.size(), [&](std::size_t j) {
-    em::Cx sum{};
-    for (const PropPath& path : tracer.trace(tx_.position, rx_points_[j])) {
-      const double gt = tx_pattern.amplitude_gain(path.departure_direction());
-      const double gr = rx_pattern.amplitude_gain(-path.arrival_direction());
-      sum += path.gain * gt * gr;
-    }
-    h_dir_[j] = sum;
-  });
+  tracer.trace_weighted(tx_.position, rx_points_, tx_pattern, rx_pattern,
+                        h_dir_);
 
-  // TX -> panel element vectors.
+  std::vector<PosPlanes> pos(panels_.size());
+  for (std::size_t p = 0; p < panels_.size(); ++p) {
+    pos[p].fill(panels_[p]->element_positions());
+  }
+
+  // TX -> panel element vectors: hop gains + departure directions from the
+  // hop_gain kernel, antenna weights from the batched pattern, and the
+  // panel-center transmission applied as one complex scale.
   f_.resize(panels_.size());
   util::parallel_for(0, panels_.size(), [&](std::size_t p) {
     const auto& panel = *panels_[p];
     const double area = panel.design().effective_area();
     const auto& positions = panel.element_positions();
-    f_[p].assign(positions.size(), em::Cx{});
-    em::Cx center_trans{1.0, 0.0};
-    if (!options_.per_element_blockage) {
-      center_trans = environment_->segment_transmission(
-          tx_.position, panel.center(), frequency_hz_);
+    const std::size_t n = positions.size();
+    f_[p].resize(n);
+    if (options_.per_element_blockage) {
+      // Slow exact path: per-element occlusion, scalar formulas.
+      for (std::size_t i = 0; i < n; ++i) {
+        const geom::Vec3& ep = positions[i];
+        const double d = tx_.position.distance_to(ep);
+        if (d < 1e-6) continue;
+        const double cos_in = element_cos(panel, ep, tx_.position);
+        const em::Cx hop = em::element_hop_gain(frequency_hz_, area, cos_in, d);
+        const geom::Vec3 dep = (ep - tx_.position).normalized();
+        const double gt = tx_pattern.amplitude_gain(dep);
+        const em::Cx trans = environment_->segment_transmission(
+            tx_.position, ep, frequency_hz_);
+        f_[p].set(i, hop * gt * trans);
+      }
+      return;
     }
-    for (std::size_t i = 0; i < positions.size(); ++i) {
-      const geom::Vec3& pos = positions[i];
-      const double d = tx_.position.distance_to(pos);
-      if (d < 1e-6) continue;
-      const double cos_in = element_cos(panel, pos, tx_.position);
-      const em::Cx hop =
-          em::element_hop_gain(frequency_hz_, area, cos_in, d);
-      const geom::Vec3 dep = (pos - tx_.position).normalized();
-      const double gt = tx_pattern.amplitude_gain(dep);
-      const em::Cx trans =
-          options_.per_element_blockage
-              ? environment_->segment_transmission(tx_.position, pos,
-                                                   frequency_hz_)
-              : center_trans;
-      f_[p][i] = hop * gt * trans;
-    }
+    const em::Cx center_trans = environment_->segment_transmission(
+        tx_.position, panel.center(), frequency_hz_);
+    const std::size_t pad = em::padded_len(n);
+    util::simd::AlignedVec ux(pad, 0.0), uy(pad, 0.0), uz(pad, 0.0),
+        w(pad, 0.0);
+    const geom::Vec3 nrm = panel.normal();
+    // hop = sqrt(area cos)/(sqrt(4pi) d) e^{-jkd}; u = element -> TX.
+    kn.hop_gain(pos[p].x.data(), pos[p].y.data(), pos[p].z.data(),
+                tx_.position.x, tx_.position.y, tx_.position.z, nrm.x, nrm.y,
+                nrm.z, wavenum, area, sqrt4pi, f_[p].re(), f_[p].im(),
+                ux.data(), uy.data(), uz.data(), n);
+    // The TX pattern is evaluated on the departure direction TX -> element,
+    // which is -u, hence sign = -1 (an exact flip).
+    tx_pattern.amplitude_gain_batch(ux.data(), uy.data(), uz.data(), -1.0,
+                                    w.data(), n);
+    kn.rscale_mul(f_[p].re(), f_[p].im(), w.data(), pad);
+    kn.cscale(f_[p].re(), f_[p].im(), center_trans.real(), center_trans.imag(),
+              pad);
   });
 
   // Panel elements -> RX vectors, parallel over RX points.
   g_.resize(rx_points_.size());
   util::parallel_for(0, rx_points_.size(), [&](std::size_t j) {
+    const geom::Vec3& rx = rx_points_[j];
     g_[j].resize(panels_.size());
     for (std::size_t p = 0; p < panels_.size(); ++p) {
       const auto& panel = *panels_[p];
       const double area = panel.design().effective_area();
       const auto& positions = panel.element_positions();
-      g_[j][p].assign(positions.size(), em::Cx{});
-      em::Cx center_trans{1.0, 0.0};
-      if (!options_.per_element_blockage) {
-        center_trans = environment_->segment_transmission(
-            panel.center(), rx_points_[j], frequency_hz_);
+      const std::size_t n = positions.size();
+      g_[j][p].resize(n);
+      if (options_.per_element_blockage) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const geom::Vec3& ep = positions[i];
+          const double d = ep.distance_to(rx);
+          if (d < 1e-6) continue;
+          const double cos_out = element_cos(panel, ep, rx);
+          const em::Cx hop =
+              em::element_hop_gain(frequency_hz_, area, cos_out, d);
+          // RX pattern is evaluated toward the incoming wave, i.e. from the
+          // RX point back toward the element.
+          const geom::Vec3 arr = (rx - ep).normalized();
+          const double gr = rx_pattern.amplitude_gain(-arr);
+          const em::Cx trans =
+              environment_->segment_transmission(ep, rx, frequency_hz_);
+          g_[j][p].set(i, hop * gr * trans);
+        }
+        continue;
       }
-      for (std::size_t i = 0; i < positions.size(); ++i) {
-        const geom::Vec3& pos = positions[i];
-        const double d = pos.distance_to(rx_points_[j]);
-        if (d < 1e-6) continue;
-        const double cos_out = element_cos(panel, pos, rx_points_[j]);
-        const em::Cx hop =
-            em::element_hop_gain(frequency_hz_, area, cos_out, d);
-        // RX pattern is evaluated toward the incoming wave, i.e. from the RX
-        // point back toward the element.
-        const geom::Vec3 arr = (rx_points_[j] - pos).normalized();
-        const double gr = rx_pattern.amplitude_gain(-arr);
-        const em::Cx trans =
-            options_.per_element_blockage
-                ? environment_->segment_transmission(pos, rx_points_[j],
-                                                     frequency_hz_)
-                : center_trans;
-        g_[j][p][i] = hop * gr * trans;
-      }
+      const em::Cx center_trans = environment_->segment_transmission(
+          panel.center(), rx, frequency_hz_);
+      const std::size_t pad = em::padded_len(n);
+      util::simd::AlignedVec ux(pad, 0.0), uy(pad, 0.0), uz(pad, 0.0),
+          w(pad, 0.0);
+      const geom::Vec3 nrm = panel.normal();
+      kn.hop_gain(pos[p].x.data(), pos[p].y.data(), pos[p].z.data(), rx.x,
+                  rx.y, rx.z, nrm.x, nrm.y, nrm.z, wavenum, area, sqrt4pi,
+                  g_[j][p].re(), g_[j][p].im(), ux.data(), uy.data(),
+                  uz.data(), n);
+      // u = element -> RX is the arrival direction; the RX pattern looks
+      // back along it, hence sign = -1.
+      rx_pattern.amplitude_gain_batch(ux.data(), uy.data(), uz.data(), -1.0,
+                                      w.data(), n);
+      kn.rscale_mul(g_[j][p].re(), g_[j][p].im(), w.data(), pad);
+      kn.cscale(g_[j][p].re(), g_[j][p].im(), center_trans.real(),
+                center_trans.imag(), pad);
     }
   });
 
   // Panel -> panel cascade matrices, parallel over the flattened (q, p)
   // pair index — each pair owns one O(N^2) matrix, the dominant cost.
-  cascades_.assign(panels_.size(), std::vector<em::CMat>(panels_.size()));
+  cascades_.assign(panels_.size(),
+                   std::vector<em::CxPlaneMat>(panels_.size()));
   if (options_.include_surface_cascades) {
     const std::size_t np = panels_.size();
     util::parallel_for(0, np * np, [&](std::size_t pair) {
@@ -175,23 +227,45 @@ void SceneChannel::precompute() {
       const double area_q = panel_q.design().effective_area();
       const em::Cx center_trans = environment_->segment_transmission(
           panel_p.center(), panel_q.center(), frequency_hz_);
-      if (std::norm(center_trans) < 1e-30) return;
-      em::CMat mat(panel_q.element_count(), panel_p.element_count());
-      const auto& pos_p = panel_p.element_positions();
+      if (std::norm(center_trans) < 1e-30) return;  // rows() == 0: no hop
       const auto& pos_q = panel_q.element_positions();
+      const geom::Vec3 np_n = panel_p.normal();
+      const geom::Vec3 nq_n = panel_q.normal();
+      em::CxPlaneMat mat(pos_q.size(), panel_p.element_count());
       for (std::size_t m = 0; m < pos_q.size(); ++m) {
-        for (std::size_t i = 0; i < pos_p.size(); ++i) {
-          const double d = pos_p[i].distance_to(pos_q[m]);
-          if (d < 1e-6) continue;
-          const double cos_p = element_cos(panel_p, pos_p[i], pos_q[m]);
-          const double cos_q = element_cos(panel_q, pos_q[m], pos_p[i]);
-          mat(m, i) = em::element_to_element_gain(frequency_hz_, area_p,
-                                                  cos_p, area_q, cos_q, d) *
-                      center_trans;
-        }
+        kn.pair_gain(pos[p].x.data(), pos[p].y.data(), pos[p].z.data(),
+                     pos_q[m].x, pos_q[m].y, pos_q[m].z, np_n.x, np_n.y,
+                     np_n.z, nq_n.x, nq_n.y, nq_n.z, wavenum, lambda, area_p,
+                     area_q, mat.row_re(m), mat.row_im(m), mat.cols());
       }
+      // One complex scale over the whole matrix (rows * stride, padding
+      // lanes stay zero under scaling).
+      kn.cscale(mat.row_re(0), mat.row_im(0), center_trans.real(),
+                center_trans.imag(), mat.rows() * mat.stride());
       cascades_[q][p] = std::move(mat);
     });
+  }
+}
+
+em::CMat SceneChannel::cascade(std::size_t q, std::size_t p) const {
+  const em::CxPlaneMat& m = cascades_.at(q).at(p);
+  if (m.rows() == 0) return {};
+  em::CMat out(m.rows(), m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) out(r, c) = m.at(r, c);
+  }
+  return out;
+}
+
+void SceneChannel::check_coefficient_sizes(
+    std::span<const em::CxPlanes> coefficients) const {
+  if (coefficients.size() != panels_.size()) {
+    throw std::invalid_argument("SceneChannel: coefficient count mismatch");
+  }
+  for (std::size_t p = 0; p < panels_.size(); ++p) {
+    if (coefficients[p].size() != panels_[p]->element_count()) {
+      throw std::invalid_argument("SceneChannel: coefficient size mismatch");
+    }
   }
 }
 
@@ -200,34 +274,63 @@ em::Cx SceneChannel::evaluate(std::size_t j,
   if (coefficients.size() != panels_.size()) {
     throw std::invalid_argument("SceneChannel: coefficient count mismatch");
   }
-  const geom::Vec3& rx = rx_points_.at(j);
-  em::Cx h = h_dir_[j];
   for (std::size_t p = 0; p < panels_.size(); ++p) {
     if (coefficients[p].size() != panels_[p]->element_count()) {
       throw std::invalid_argument("SceneChannel: coefficient size mismatch");
     }
+  }
+  thread_local std::vector<em::CxPlanes> planes_tls;
+  std::vector<em::CxPlanes>& planes = planes_tls;
+  planes.resize(coefficients.size());
+  for (std::size_t p = 0; p < coefficients.size(); ++p) {
+    planes[p].assign(coefficients[p]);
+  }
+  return evaluate_planes(j, planes);
+}
+
+em::Cx SceneChannel::evaluate_planes(
+    std::size_t j, std::span<const em::CxPlanes> coefficients) const {
+  check_coefficient_sizes(coefficients);
+  const geom::Vec3& rx = rx_points_.at(j);
+  const auto& kn = util::simd::ops();
+  em::Cx h = h_dir_[j];
+  double acc[2];
+  // Single-bounce terms: sum_i (g_i f_i) c_i, canonical product order
+  // shared with the partials kernel.
+  for (std::size_t p = 0; p < panels_.size(); ++p) {
     if (!panels_[p]->serves(tx_.position, rx)) continue;
-    const em::CVec& f = f_[p];
-    const em::CVec& g = g_[j][p];
-    const em::CVec& c = coefficients[p];
-    for (std::size_t i = 0; i < f.size(); ++i) h += g[i] * c[i] * f[i];
+    const em::CxPlanes& f = f_[p];
+    const em::CxPlanes& g = g_[j][p];
+    const em::CxPlanes& c = coefficients[p];
+    kn.cdot3(g.re(), g.im(), f.re(), f.im(), c.re(), c.im(), f.padded_size(),
+             acc);
+    h += em::Cx{acc[0], acc[1]};
   }
   if (options_.include_surface_cascades) {
+    thread_local em::CxPlanes u_tls, v_tls;
+    em::CxPlanes& u = u_tls;
+    em::CxPlanes& v = v_tls;
     for (std::size_t p = 0; p < panels_.size(); ++p) {
       for (std::size_t q = 0; q < panels_.size(); ++q) {
         if (p == q) continue;
-        const em::CMat& G = cascades_[q][p];
-        if (G.empty()) continue;
+        const em::CxPlaneMat& G = cascades_[q][p];
+        if (G.rows() == 0) continue;
         if (!panels_[p]->serves(tx_.position, panels_[q]->center())) continue;
         if (!panels_[q]->serves(panels_[p]->center(), rx)) continue;
-        const em::CVec& f = f_[p];
-        const em::CVec& g = g_[j][q];
-        const em::CVec& cp = coefficients[p];
-        const em::CVec& cq = coefficients[q];
-        em::CVec u(f.size());
-        for (std::size_t i = 0; i < f.size(); ++i) u[i] = cp[i] * f[i];
-        const em::CVec v = G.mul(u);
-        for (std::size_t m = 0; m < v.size(); ++m) h += g[m] * cq[m] * v[m];
+        const em::CxPlanes& f = f_[p];
+        const em::CxPlanes& g = g_[j][q];
+        const em::CxPlanes& cp = coefficients[p];
+        const em::CxPlanes& cq = coefficients[q];
+        // u = diag(cp) f ; v = G u ; term = sum_m (g_m v_m) cq_m.
+        u.resize(f.size());
+        kn.cmul(cp.re(), cp.im(), f.re(), f.im(), u.re(), u.im(),
+                f.padded_size());
+        v.resize(G.rows());
+        kn.cmatvec(G.re(), G.im(), G.rows(), G.stride(), G.stride(), u.re(),
+                   u.im(), v.re(), v.im());
+        kn.cdot3(g.re(), g.im(), v.re(), v.im(), cq.re(), cq.im(),
+                 v.padded_size(), acc);
+        h += em::Cx{acc[0], acc[1]};
       }
     }
   }
@@ -245,55 +348,91 @@ void SceneChannel::evaluate_with_partials(
       throw std::invalid_argument("SceneChannel: coefficient size mismatch");
     }
   }
+  thread_local std::vector<em::CxPlanes> planes_tls;
+  thread_local std::vector<em::CxPlanes> dh_tls;
+  std::vector<em::CxPlanes>& planes = planes_tls;
+  std::vector<em::CxPlanes>& dh = dh_tls;
+  planes.resize(coefficients.size());
+  for (std::size_t p = 0; p < coefficients.size(); ++p) {
+    planes[p].assign(coefficients[p]);
+  }
+  evaluate_with_partials_planes(j, planes, h_out, dh);
+  dh_dc_out.resize(dh.size());
+  for (std::size_t p = 0; p < dh.size(); ++p) {
+    dh_dc_out[p].resize(dh[p].size());
+    for (std::size_t i = 0; i < dh[p].size(); ++i) {
+      dh_dc_out[p][i] = dh[p].at(i);
+    }
+  }
+}
+
+void SceneChannel::evaluate_with_partials_planes(
+    std::size_t j, std::span<const em::CxPlanes> coefficients, em::Cx& h_out,
+    std::vector<em::CxPlanes>& dh_dc_out) const {
+  check_coefficient_sizes(coefficients);
   const geom::Vec3& rx = rx_points_.at(j);
+  const auto& kn = util::simd::ops();
 
   dh_dc_out.resize(panels_.size());
   for (std::size_t p = 0; p < panels_.size(); ++p) {
-    dh_dc_out[p].assign(panels_[p]->element_count(), em::Cx{});
+    dh_dc_out[p].resize(panels_[p]->element_count());  // zero-fills
   }
 
   em::Cx h = h_dir_[j];
+  double acc[2];
 
-  // Single-bounce terms.
+  // Single-bounce terms: dh_p = g .* f is exactly the product the sum
+  // reduces, so cdot3_partials emits both without recomputation.
   for (std::size_t p = 0; p < panels_.size(); ++p) {
     if (!panels_[p]->serves(tx_.position, rx)) continue;
-    const em::CVec& f = f_[p];
-    const em::CVec& g = g_[j][p];
-    const em::CVec& c = coefficients[p];
-    for (std::size_t i = 0; i < f.size(); ++i) {
-      h += g[i] * c[i] * f[i];
-      dh_dc_out[p][i] += g[i] * f[i];
-    }
+    const em::CxPlanes& f = f_[p];
+    const em::CxPlanes& g = g_[j][p];
+    const em::CxPlanes& c = coefficients[p];
+    kn.cdot3_partials(g.re(), g.im(), f.re(), f.im(), c.re(), c.im(),
+                      dh_dc_out[p].re(), dh_dc_out[p].im(),
+                      /*accumulate_w=*/1, f.padded_size(), acc);
+    h += em::Cx{acc[0], acc[1]};
   }
 
   // Double-bounce terms p -> q.
   if (options_.include_surface_cascades) {
+    thread_local em::CxPlanes u_tls, v_tls, gq_tls, w_tls;
+    em::CxPlanes& u = u_tls;
+    em::CxPlanes& v = v_tls;
+    em::CxPlanes& gq = gq_tls;
+    em::CxPlanes& w = w_tls;
     for (std::size_t p = 0; p < panels_.size(); ++p) {
       for (std::size_t q = 0; q < panels_.size(); ++q) {
         if (p == q) continue;
-        const em::CMat& G = cascades_[q][p];
-        if (G.empty()) continue;
+        const em::CxPlaneMat& G = cascades_[q][p];
+        if (G.rows() == 0) continue;
         if (!panels_[p]->serves(tx_.position, panels_[q]->center())) continue;
         if (!panels_[q]->serves(panels_[p]->center(), rx)) continue;
-        const em::CVec& f = f_[p];
-        const em::CVec& g = g_[j][q];
-        const em::CVec& cp = coefficients[p];
-        const em::CVec& cq = coefficients[q];
-        // u = diag(cp) f ; v = G u ; term = (g .* cq)^T v.
-        em::CVec u(f.size());
-        for (std::size_t i = 0; i < f.size(); ++i) u[i] = cp[i] * f[i];
-        const em::CVec v = G.mul(u);
-        for (std::size_t m = 0; m < v.size(); ++m) {
-          h += g[m] * cq[m] * v[m];
-          dh_dc_out[q][m] += g[m] * v[m];
-        }
+        const em::CxPlanes& f = f_[p];
+        const em::CxPlanes& g = g_[j][q];
+        const em::CxPlanes& cp = coefficients[p];
+        const em::CxPlanes& cq = coefficients[q];
+        // u = diag(cp) f ; v = G u ; term = sum_m (g_m v_m) cq_m and
+        // dh_q += g .* v.
+        u.resize(f.size());
+        kn.cmul(cp.re(), cp.im(), f.re(), f.im(), u.re(), u.im(),
+                f.padded_size());
+        v.resize(G.rows());
+        kn.cmatvec(G.re(), G.im(), G.rows(), G.stride(), G.stride(), u.re(),
+                   u.im(), v.re(), v.im());
+        kn.cdot3_partials(g.re(), g.im(), v.re(), v.im(), cq.re(), cq.im(),
+                          dh_dc_out[q].re(), dh_dc_out[q].im(),
+                          /*accumulate_w=*/1, v.padded_size(), acc);
+        h += em::Cx{acc[0], acc[1]};
         // w = G^T (g .* cq): partials w.r.t. the first surface p.
-        em::CVec gq(g.size());
-        for (std::size_t m = 0; m < g.size(); ++m) gq[m] = g[m] * cq[m];
-        const em::CVec w = G.mul_transpose(gq);
-        for (std::size_t i = 0; i < f.size(); ++i) {
-          dh_dc_out[p][i] += w[i] * f[i];
-        }
+        gq.resize(g.size());
+        kn.cmul(g.re(), g.im(), cq.re(), cq.im(), gq.re(), gq.im(),
+                g.padded_size());
+        w.resize(f.size());
+        kn.cmatvec_t(G.re(), G.im(), G.rows(), G.stride(), G.stride(),
+                     gq.re(), gq.im(), w.re(), w.im());
+        kn.cmul_accum(w.re(), w.im(), f.re(), f.im(), dh_dc_out[p].re(),
+                      dh_dc_out[p].im(), f.padded_size());
       }
     }
   }
@@ -320,6 +459,23 @@ void SceneChannel::coefficients_for(
   }
 }
 
+void SceneChannel::coefficients_planes_for(
+    std::span<const surface::SurfaceConfig> configs,
+    std::vector<em::CxPlanes>& out) const {
+  if (configs.size() != panels_.size()) {
+    throw std::invalid_argument("SceneChannel: config count mismatch");
+  }
+  // Generation stays on the scalar quantization path so coefficient values
+  // are bit-identical to coefficients_for; the copy into planes is exact.
+  thread_local em::CVec scratch_tls;
+  em::CVec& scratch = scratch_tls;
+  out.resize(panels_.size());
+  for (std::size_t p = 0; p < panels_.size(); ++p) {
+    panels_[p]->coefficients_into(configs[p], scratch);
+    out[p].assign(scratch);
+  }
+}
+
 std::vector<double> SceneChannel::power_map(
     std::span<const surface::SurfaceConfig> configs) const {
   SURFOS_TRACE_SPAN("sim.channel.power_map");
@@ -338,11 +494,11 @@ std::vector<double> SceneChannel::powers_at(
       throw std::invalid_argument("SceneChannel: RX index out of range");
     }
   }
-  thread_local std::vector<em::CVec> coeff_scratch_tls;
+  thread_local std::vector<em::CxPlanes> coeff_scratch_tls;
   // Local reference so the parallel lambda below captures *this* thread's
   // scratch (thread_locals are never captured; workers would see their own).
-  std::vector<em::CVec>& coeff_scratch = coeff_scratch_tls;
-  coefficients_for(configs, coeff_scratch);
+  std::vector<em::CxPlanes>& coeff_scratch = coeff_scratch_tls;
+  coefficients_planes_for(configs, coeff_scratch);
 
   const bool memoize =
       incremental_enabled() && power_memo_->capacity() > 0;
@@ -357,7 +513,7 @@ std::vector<double> SceneChannel::powers_at(
   out.resize(rx_indices.size());
   // Each RX index owns one output slot; deterministic under any thread count.
   util::parallel_for(0, rx_indices.size(), [&](std::size_t k) {
-    out[k] = std::norm(evaluate(rx_indices[k], coeff_scratch));
+    out[k] = std::norm(evaluate_planes(rx_indices[k], coeff_scratch));
   });
   if (memoize) power_memo_->store(key, out);
   return out;

@@ -13,6 +13,12 @@
 // optimizer can re-evaluate h (and its gradient w.r.t. element phases) in
 // microseconds per candidate configuration — the property that makes joint
 // multi-task optimization (paper Fig 5) tractable.
+//
+// Storage is structure-of-arrays: f, g and the cascade matrices live as
+// aligned re/im double planes (em::CxPlanes / em::CxPlaneMat) so evaluate /
+// evaluate_with_partials run on the util::simd kernel layer. The *_planes
+// entry points are the native SoA hot path; the CVec-based overloads remain
+// for callers and convert at the boundary (bit-exact copies).
 #pragma once
 
 #include <memory>
@@ -22,6 +28,7 @@
 #include "em/antenna.hpp"
 #include "em/cx.hpp"
 #include "em/propagation.hpp"
+#include "em/soa.hpp"
 #include "geom/vec3.hpp"
 #include "sim/raytracer.hpp"
 #include "surface/panel.hpp"
@@ -64,23 +71,37 @@ class SceneChannel {
   const geom::Vec3& rx_point(std::size_t j) const { return rx_points_.at(j); }
   const TxSpec& tx() const noexcept { return tx_; }
 
-  /// TX -> panel-p element propagation vector.
-  const em::CVec& tx_vector(std::size_t p) const { return f_.at(p); }
+  /// TX -> panel-p element propagation vector (materialized from the SoA
+  /// planes; use tx_planes for the zero-copy view).
+  em::CVec tx_vector(std::size_t p) const { return f_.at(p).to_cvec(); }
   /// Panel-p elements -> RX j propagation vector.
-  const em::CVec& rx_vector(std::size_t p, std::size_t j) const {
-    return g_.at(j).at(p);
+  em::CVec rx_vector(std::size_t p, std::size_t j) const {
+    return g_.at(j).at(p).to_cvec();
   }
   /// Direct (non-surface) channel to RX j.
   em::Cx direct(std::size_t j) const { return h_dir_.at(j); }
   /// Panel p -> panel q cascade matrix (rows: q elements, cols: p elements);
   /// empty when cascades are disabled or geometry forbids the hop.
-  const em::CMat& cascade(std::size_t q, std::size_t p) const {
+  em::CMat cascade(std::size_t q, std::size_t p) const;
+
+  /// Zero-copy SoA views of the precomputed vectors/matrices.
+  const em::CxPlanes& tx_planes(std::size_t p) const { return f_.at(p); }
+  const em::CxPlanes& rx_planes(std::size_t p, std::size_t j) const {
+    return g_.at(j).at(p);
+  }
+  /// Cascade planes; rows() == 0 means "no cascade" (cf. CMat::empty()).
+  const em::CxPlaneMat& cascade_planes(std::size_t q, std::size_t p) const {
     return cascades_.at(q).at(p);
   }
 
   /// End-to-end channel at RX j given per-panel element coefficient vectors
   /// (one CVec per panel, sized to that panel's element count).
   em::Cx evaluate(std::size_t j, std::span<const em::CVec> coefficients) const;
+
+  /// SoA-native evaluate: coefficients as one CxPlanes per panel (padding
+  /// lanes must be zero, which CxPlanes maintains).
+  em::Cx evaluate_planes(std::size_t j,
+                         std::span<const em::CxPlanes> coefficients) const;
 
   /// d h / d c_p[i] at RX j for every panel/element, given the current
   /// coefficients. Output is resized to match. Used for analytic gradients:
@@ -89,6 +110,13 @@ class SceneChannel {
                               std::span<const em::CVec> coefficients,
                               em::Cx& h_out,
                               std::vector<em::CVec>& dh_dc_out) const;
+
+  /// SoA-native partials; dh_dc_out is resized to one CxPlanes per panel.
+  /// The h_out sum is bit-identical to evaluate_planes on the same inputs.
+  void evaluate_with_partials_planes(std::size_t j,
+                                     std::span<const em::CxPlanes> coefficients,
+                                     em::Cx& h_out,
+                                     std::vector<em::CxPlanes>& dh_dc_out) const;
 
   /// Convenience: channel power |h|^2 at every RX for panel configs.
   /// Memoized by config digest under SURFOS_INCREMENTAL (a hit returns the
@@ -112,11 +140,17 @@ class SceneChannel {
   void coefficients_for(std::span<const surface::SurfaceConfig> configs,
                         std::vector<em::CVec>& out) const;
 
+  /// SoA variant: coefficients generated by the same scalar quantization
+  /// path (values bit-identical to coefficients_for), copied into planes.
+  void coefficients_planes_for(std::span<const surface::SurfaceConfig> configs,
+                               std::vector<em::CxPlanes>& out) const;
+
   /// The digest memo behind power_map/powers_at (stats; tests).
   const DigestMemo& power_memo() const noexcept { return *power_memo_; }
 
  private:
   void precompute();
+  void check_coefficient_sizes(std::span<const em::CxPlanes> coefficients) const;
 
   const Environment* environment_;
   double frequency_hz_;
@@ -126,10 +160,10 @@ class SceneChannel {
   const em::AntennaPattern* rx_antenna_;
   ChannelOptions options_;
 
-  std::vector<em::CVec> f_;                     // [panel] tx -> elements
-  std::vector<std::vector<em::CVec>> g_;        // [rx][panel] elements -> rx
-  std::vector<em::Cx> h_dir_;                   // [rx]
-  std::vector<std::vector<em::CMat>> cascades_; // [q][p] p-elements -> q-elements
+  std::vector<em::CxPlanes> f_;                      // [panel] tx -> elements
+  std::vector<std::vector<em::CxPlanes>> g_;         // [rx][panel] elements -> rx
+  std::vector<em::Cx> h_dir_;                        // [rx]
+  std::vector<std::vector<em::CxPlaneMat>> cascades_; // [q][p] p-elems -> q-elems
 
   /// Digest-keyed power results for repeated configs (SURFOS_EVAL_CACHE
   /// entries; thread-safe internally).

@@ -6,6 +6,7 @@
 
 #include "sim/channel.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/env.hpp"
 
 namespace surfos::sim {
 
@@ -24,12 +25,10 @@ std::atomic<bool>& incremental_flag() noexcept {
 }
 
 std::size_t capacity_from_env() noexcept {
-  const char* env = std::getenv("SURFOS_EVAL_CACHE");
-  if (env == nullptr) return 64;
-  char* end = nullptr;
-  const unsigned long parsed = std::strtoul(env, &end, 10);
-  if (end == env || (end != nullptr && *end != '\0')) return 64;
-  return static_cast<std::size_t>(parsed);
+  // 0 is a valid setting and means "memoization disabled"; negatives and
+  // junk fall back to the default instead of wrapping (SURFOS_EVAL_CACHE=-1
+  // used to become ULONG_MAX through strtoul).
+  return util::env_size("SURFOS_EVAL_CACHE", 64, 0);
 }
 
 std::atomic<std::size_t>& capacity_slot() noexcept {
@@ -198,6 +197,10 @@ void ChannelEvalCache::rebase(const util::ConfigDigest& key,
     }
   }
   base_.assign(coefficients.begin(), coefficients.end());
+  base_planes_.resize(base_.size());
+  for (std::size_t p = 0; p < base_.size(); ++p) {
+    base_planes_[p].assign(base_[p]);
+  }
 
   // Reduce each panel's baseline to per-group representatives. A group is
   // homogeneous when every member shares one bit-identical coefficient (the
@@ -245,9 +248,9 @@ const ChannelEvalCache::RxEntry& ChannelEvalCache::ensure_rx(std::size_t j) {
   // SceneChannel::evaluate — same summation order) and every panel's
   // effective weights dh/dc, which the grouping then reduces to per-control
   // sums. Amortized over the 2n probes of one finite-difference gradient.
-  thread_local std::vector<em::CVec> dh_scratch;
+  thread_local std::vector<em::CxPlanes> dh_scratch;
   em::Cx h{};
-  channel_->evaluate_with_partials(j, base_, h, dh_scratch);
+  channel_->evaluate_with_partials_planes(j, base_planes_, h, dh_scratch);
   entry.h = h;
   entry.weight_sum.assign(base_.size(), {});
   entry.base_dot.assign(base_.size(), {});
@@ -262,8 +265,9 @@ const ChannelEvalCache::RxEntry& ChannelEvalCache::ensure_rx(std::size_t j) {
       const std::size_t g = grouping.group_of_element.empty()
                                 ? e
                                 : grouping.group_of_element[e];
-      entry.weight_sum[p][g] += dh_scratch[p][e];
-      entry.base_dot[p][g] += base_[p][e] * dh_scratch[p][e];
+      const em::Cx dh = dh_scratch[p].at(e);
+      entry.weight_sum[p][g] += dh;
+      entry.base_dot[p][g] += base_[p][e] * dh;
     }
   }
   rx_fills_.fetch_add(1, std::memory_order_relaxed);

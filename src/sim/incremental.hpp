@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "em/cx.hpp"
+#include "em/soa.hpp"
 #include "util/digest.hpp"
 
 namespace surfos::sim {
@@ -175,6 +176,9 @@ class ChannelEvalCache {
   bool based_ = false;
   util::ConfigDigest base_key_;
   std::vector<em::CVec> base_;  ///< Per-panel baseline coefficients.
+  /// SoA mirror of base_ (bit-exact copy), fed to the vectorized
+  /// evaluate_with_partials_planes on every RX fill.
+  std::vector<em::CxPlanes> base_planes_;
   /// Per panel, per group: the baseline coefficient when every element in
   /// the group shares one bit-identical value (the optimizer path always
   /// does); heterogeneous groups fall back to the sum form.

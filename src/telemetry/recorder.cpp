@@ -15,20 +15,15 @@
 #include <sstream>
 
 #include "telemetry/export.hpp"
+#include "util/env.hpp"
 
 namespace surfos::telemetry {
 
 namespace {
 
 std::size_t capacity_from_env() noexcept {
-  if (const char* env = std::getenv("SURFOS_TRACE_BUFFER")) {
-    char* end = nullptr;
-    const long long v = std::strtoll(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1) {
-      return static_cast<std::size_t>(v);
-    }
-  }
-  return 65536;
+  // The ring needs at least one slot; invalid values keep the default.
+  return util::env_size("SURFOS_TRACE_BUFFER", 65536, 1);
 }
 
 // --- Async-signal-safe formatting helpers ------------------------------------

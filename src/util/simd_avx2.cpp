@@ -1,0 +1,157 @@
+// AVX2 backend: the 8-double virtual lane is a pair of ymm registers.
+// Compiled with -mavx2 -ffp-contract=off (no FMA — contraction would break
+// bit-exact agreement with the scalar reference).
+#include "util/simd.hpp"
+#include "util/simd_backends.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "util/simd_kernels.hpp"
+
+namespace surfos::util::simd::detail {
+namespace {
+
+struct Avx2Pack {
+  static constexpr std::size_t W = kWidth;
+  struct reg {
+    __m256d lo, hi;
+  };
+  using mask = reg;  // compare results: all-ones / all-zero lanes
+
+  static reg load(const double* p) {
+    return {_mm256_loadu_pd(p), _mm256_loadu_pd(p + 4)};
+  }
+  static void store(double* p, reg a) {
+    _mm256_storeu_pd(p, a.lo);
+    _mm256_storeu_pd(p + 4, a.hi);
+  }
+  static reg set1(double x) {
+    const __m256d v = _mm256_set1_pd(x);
+    return {v, v};
+  }
+  static reg zero() {
+    const __m256d v = _mm256_setzero_pd();
+    return {v, v};
+  }
+
+  static reg add(reg a, reg b) {
+    return {_mm256_add_pd(a.lo, b.lo), _mm256_add_pd(a.hi, b.hi)};
+  }
+  static reg sub(reg a, reg b) {
+    return {_mm256_sub_pd(a.lo, b.lo), _mm256_sub_pd(a.hi, b.hi)};
+  }
+  static reg mul(reg a, reg b) {
+    return {_mm256_mul_pd(a.lo, b.lo), _mm256_mul_pd(a.hi, b.hi)};
+  }
+  static reg div(reg a, reg b) {
+    return {_mm256_div_pd(a.lo, b.lo), _mm256_div_pd(a.hi, b.hi)};
+  }
+  static reg sqrt_(reg a) {
+    return {_mm256_sqrt_pd(a.lo), _mm256_sqrt_pd(a.hi)};
+  }
+  static reg abs_(reg a) {
+    const __m256d m = _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+    return {_mm256_and_pd(a.lo, m), _mm256_and_pd(a.hi, m)};
+  }
+  static reg neg(reg a) {
+    const __m256d s = _mm256_set1_pd(-0.0);
+    return {_mm256_xor_pd(a.lo, s), _mm256_xor_pd(a.hi, s)};
+  }
+  static reg min_(reg a, reg b) {
+    return {_mm256_min_pd(a.lo, b.lo), _mm256_min_pd(a.hi, b.hi)};
+  }
+  static reg max_(reg a, reg b) {
+    return {_mm256_max_pd(a.lo, b.lo), _mm256_max_pd(a.hi, b.hi)};
+  }
+  static reg round_ne(reg a) {
+    constexpr int kMode = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+    return {_mm256_round_pd(a.lo, kMode), _mm256_round_pd(a.hi, kMode)};
+  }
+  static reg floor_(reg a) {
+    return {_mm256_floor_pd(a.lo), _mm256_floor_pd(a.hi)};
+  }
+  static reg exp2i(reg k) {
+    auto half = [](__m256d v) {
+      const __m128i k32 = _mm256_cvtpd_epi32(v);
+      __m256i k64 = _mm256_cvtepi32_epi64(k32);
+      k64 = _mm256_add_epi64(k64, _mm256_set1_epi64x(1023));
+      k64 = _mm256_slli_epi64(k64, 52);
+      return _mm256_castsi256_pd(k64);
+    };
+    return {half(k.lo), half(k.hi)};
+  }
+
+  static reg xor_bits(reg a, reg b) {
+    return {_mm256_xor_pd(a.lo, b.lo), _mm256_xor_pd(a.hi, b.hi)};
+  }
+  static reg and_bits(reg a, reg b) {
+    return {_mm256_and_pd(a.lo, b.lo), _mm256_and_pd(a.hi, b.hi)};
+  }
+  static reg or_bits(reg a, reg b) {
+    return {_mm256_or_pd(a.lo, b.lo), _mm256_or_pd(a.hi, b.hi)};
+  }
+  static reg andnot_bits(reg a, reg b) {
+    return {_mm256_andnot_pd(a.lo, b.lo), _mm256_andnot_pd(a.hi, b.hi)};
+  }
+
+  static mask cmp_lt(reg a, reg b) {
+    return {_mm256_cmp_pd(a.lo, b.lo, _CMP_LT_OQ),
+            _mm256_cmp_pd(a.hi, b.hi, _CMP_LT_OQ)};
+  }
+  static mask cmp_le(reg a, reg b) {
+    return {_mm256_cmp_pd(a.lo, b.lo, _CMP_LE_OQ),
+            _mm256_cmp_pd(a.hi, b.hi, _CMP_LE_OQ)};
+  }
+  static mask cmp_gt(reg a, reg b) {
+    return {_mm256_cmp_pd(a.lo, b.lo, _CMP_GT_OQ),
+            _mm256_cmp_pd(a.hi, b.hi, _CMP_GT_OQ)};
+  }
+  static mask cmp_ge(reg a, reg b) {
+    return {_mm256_cmp_pd(a.lo, b.lo, _CMP_GE_OQ),
+            _mm256_cmp_pd(a.hi, b.hi, _CMP_GE_OQ)};
+  }
+  static mask cmp_eq(reg a, reg b) {
+    return {_mm256_cmp_pd(a.lo, b.lo, _CMP_EQ_OQ),
+            _mm256_cmp_pd(a.hi, b.hi, _CMP_EQ_OQ)};
+  }
+  static mask mand(mask a, mask b) { return and_bits(a, b); }
+  static mask mor(mask a, mask b) { return or_bits(a, b); }
+  static reg blend(mask m, reg a, reg b) {
+    return {_mm256_blendv_pd(b.lo, a.lo, m.lo),
+            _mm256_blendv_pd(b.hi, a.hi, m.hi)};
+  }
+  static bool any(mask m) {
+    return (_mm256_movemask_pd(m.lo) | _mm256_movemask_pd(m.hi)) != 0;
+  }
+  static void store_mask(double* p, mask m) { store(p, m); }
+  static mask load_mask(const double* p) {
+    // Lanes with any bit set are true; compare the integer view to zero.
+    const reg v = load(p);
+    auto half = [](__m256d h) {
+      const __m256i iz = _mm256_cmpeq_epi64(_mm256_castpd_si256(h),
+                                            _mm256_setzero_si256());
+      // true where NOT equal to zero
+      return _mm256_castsi256_pd(
+          _mm256_xor_si256(iz, _mm256_set1_epi64x(-1)));
+    };
+    return {half(v.lo), half(v.hi)};
+  }
+};
+
+const Ops kTable = make_ops<Avx2Pack>("avx2", Backend::kAvx2);
+
+}  // namespace
+
+const Ops* avx2_ops() { return &kTable; }
+
+}  // namespace surfos::util::simd::detail
+
+#else  // non-x86 target: backend cannot exist
+
+namespace surfos::util::simd::detail {
+const Ops* avx2_ops() { return nullptr; }
+}  // namespace surfos::util::simd::detail
+
+#endif

@@ -1,0 +1,101 @@
+// AVX-512 backend: the 8-double virtual lane is exactly one zmm register.
+// Compiled with -mavx512f -mavx512dq -ffp-contract=off (DQ supplies the
+// pd<->epi64 conversions and andnot_pd; no FMA contraction so results stay
+// bit-identical to the scalar reference).
+#include "util/simd.hpp"
+#include "util/simd_backends.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "util/simd_kernels.hpp"
+
+namespace surfos::util::simd::detail {
+namespace {
+
+struct Avx512Pack {
+  static constexpr std::size_t W = kWidth;
+  using reg = __m512d;
+  using mask = __mmask8;
+
+  static reg load(const double* p) { return _mm512_loadu_pd(p); }
+  static void store(double* p, reg a) { _mm512_storeu_pd(p, a); }
+  static reg set1(double x) { return _mm512_set1_pd(x); }
+  static reg zero() { return _mm512_setzero_pd(); }
+
+  static reg add(reg a, reg b) { return _mm512_add_pd(a, b); }
+  static reg sub(reg a, reg b) { return _mm512_sub_pd(a, b); }
+  static reg mul(reg a, reg b) { return _mm512_mul_pd(a, b); }
+  static reg div(reg a, reg b) { return _mm512_div_pd(a, b); }
+  static reg sqrt_(reg a) { return _mm512_sqrt_pd(a); }
+  static reg abs_(reg a) { return _mm512_abs_pd(a); }
+  static reg neg(reg a) { return _mm512_xor_pd(a, _mm512_set1_pd(-0.0)); }
+  static reg min_(reg a, reg b) { return _mm512_min_pd(a, b); }
+  static reg max_(reg a, reg b) { return _mm512_max_pd(a, b); }
+  static reg round_ne(reg a) {
+    return _mm512_roundscale_pd(a, _MM_FROUND_TO_NEAREST_INT |
+                                       _MM_FROUND_NO_EXC);
+  }
+  static reg floor_(reg a) {
+    return _mm512_roundscale_pd(a, _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC);
+  }
+  static reg exp2i(reg k) {
+    __m512i k64 = _mm512_cvtpd_epi64(k);
+    k64 = _mm512_add_epi64(k64, _mm512_set1_epi64(1023));
+    k64 = _mm512_slli_epi64(k64, 52);
+    return _mm512_castsi512_pd(k64);
+  }
+
+  static reg xor_bits(reg a, reg b) { return _mm512_xor_pd(a, b); }
+  static reg and_bits(reg a, reg b) { return _mm512_and_pd(a, b); }
+  static reg or_bits(reg a, reg b) { return _mm512_or_pd(a, b); }
+  static reg andnot_bits(reg a, reg b) { return _mm512_andnot_pd(a, b); }
+
+  static mask cmp_lt(reg a, reg b) {
+    return _mm512_cmp_pd_mask(a, b, _CMP_LT_OQ);
+  }
+  static mask cmp_le(reg a, reg b) {
+    return _mm512_cmp_pd_mask(a, b, _CMP_LE_OQ);
+  }
+  static mask cmp_gt(reg a, reg b) {
+    return _mm512_cmp_pd_mask(a, b, _CMP_GT_OQ);
+  }
+  static mask cmp_ge(reg a, reg b) {
+    return _mm512_cmp_pd_mask(a, b, _CMP_GE_OQ);
+  }
+  static mask cmp_eq(reg a, reg b) {
+    return _mm512_cmp_pd_mask(a, b, _CMP_EQ_OQ);
+  }
+  static mask mand(mask a, mask b) { return a & b; }
+  static mask mor(mask a, mask b) { return a | b; }
+  static reg blend(mask m, reg a, reg b) {
+    // _mm512_mask_blend_pd selects its THIRD operand where the mask is set.
+    return _mm512_mask_blend_pd(m, b, a);
+  }
+  static bool any(mask m) { return m != 0; }
+  static void store_mask(double* p, mask m) {
+    const reg ones = _mm512_castsi512_pd(_mm512_set1_epi64(-1));
+    _mm512_storeu_pd(p, _mm512_maskz_mov_pd(m, ones));
+  }
+  static mask load_mask(const double* p) {
+    const __m512i v = _mm512_castpd_si512(_mm512_loadu_pd(p));
+    return _mm512_test_epi64_mask(v, v);
+  }
+};
+
+const Ops kTable = make_ops<Avx512Pack>("avx512", Backend::kAvx512);
+
+}  // namespace
+
+const Ops* avx512_ops() { return &kTable; }
+
+}  // namespace surfos::util::simd::detail
+
+#else  // non-x86 target: backend cannot exist
+
+namespace surfos::util::simd::detail {
+const Ops* avx512_ops() { return nullptr; }
+}  // namespace surfos::util::simd::detail
+
+#endif

@@ -1,0 +1,14 @@
+// Internal: per-backend Ops providers. Each function returns nullptr when
+// the backend cannot exist on the compilation target (e.g. NEON on x86);
+// availability on the *running* CPU is checked by the dispatcher.
+#pragma once
+
+namespace surfos::util::simd {
+struct Ops;
+namespace detail {
+const Ops* scalar_ops();
+const Ops* avx2_ops();
+const Ops* avx512_ops();
+const Ops* neon_ops();
+}  // namespace detail
+}  // namespace surfos::util::simd

@@ -1,0 +1,154 @@
+// NEON backend (aarch64): the 8-double virtual lane is four 128-bit
+// registers. Compiled with -ffp-contract=off like every other backend.
+#include "util/simd.hpp"
+#include "util/simd_backends.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "util/simd_kernels.hpp"
+
+namespace surfos::util::simd::detail {
+namespace {
+
+struct NeonPack {
+  static constexpr std::size_t W = kWidth;
+  struct reg {
+    float64x2_t v[4];
+  };
+  struct mask {
+    uint64x2_t v[4];
+  };
+
+  static reg load(const double* p) {
+    return {{vld1q_f64(p), vld1q_f64(p + 2), vld1q_f64(p + 4),
+             vld1q_f64(p + 6)}};
+  }
+  static void store(double* p, reg a) {
+    vst1q_f64(p, a.v[0]);
+    vst1q_f64(p + 2, a.v[1]);
+    vst1q_f64(p + 4, a.v[2]);
+    vst1q_f64(p + 6, a.v[3]);
+  }
+  static reg set1(double x) {
+    const float64x2_t v = vdupq_n_f64(x);
+    return {{v, v, v, v}};
+  }
+  static reg zero() { return set1(0.0); }
+
+#define SURFOS_NEON_MAP2(name, op)                         \
+  static reg name(reg a, reg b) {                          \
+    return {{op(a.v[0], b.v[0]), op(a.v[1], b.v[1]),       \
+             op(a.v[2], b.v[2]), op(a.v[3], b.v[3])}};     \
+  }
+#define SURFOS_NEON_MAP1(name, op)                                  \
+  static reg name(reg a) {                                          \
+    return {{op(a.v[0]), op(a.v[1]), op(a.v[2]), op(a.v[3])}};      \
+  }
+  SURFOS_NEON_MAP2(add, vaddq_f64)
+  SURFOS_NEON_MAP2(sub, vsubq_f64)
+  SURFOS_NEON_MAP2(mul, vmulq_f64)
+  SURFOS_NEON_MAP2(div, vdivq_f64)
+  SURFOS_NEON_MAP2(min_, vminq_f64)
+  SURFOS_NEON_MAP2(max_, vmaxq_f64)
+  SURFOS_NEON_MAP1(sqrt_, vsqrtq_f64)
+  SURFOS_NEON_MAP1(abs_, vabsq_f64)
+  SURFOS_NEON_MAP1(neg, vnegq_f64)
+  SURFOS_NEON_MAP1(round_ne, vrndnq_f64)
+  SURFOS_NEON_MAP1(floor_, vrndmq_f64)
+#undef SURFOS_NEON_MAP2
+#undef SURFOS_NEON_MAP1
+
+  static reg exp2i(reg k) {
+    auto half = [](float64x2_t v) {
+      int64x2_t k64 = vcvtnq_s64_f64(v);
+      k64 = vaddq_s64(k64, vdupq_n_s64(1023));
+      k64 = vshlq_n_s64(k64, 52);
+      return vreinterpretq_f64_s64(k64);
+    };
+    return {{half(k.v[0]), half(k.v[1]), half(k.v[2]), half(k.v[3])}};
+  }
+
+#define SURFOS_NEON_BITS2(name, op)                                          \
+  static reg name(reg a, reg b) {                                            \
+    reg r;                                                                   \
+    for (int i = 0; i < 4; ++i)                                              \
+      r.v[i] = vreinterpretq_f64_u64(                                        \
+          op(vreinterpretq_u64_f64(a.v[i]), vreinterpretq_u64_f64(b.v[i]))); \
+    return r;                                                                \
+  }
+  SURFOS_NEON_BITS2(xor_bits, veorq_u64)
+  SURFOS_NEON_BITS2(and_bits, vandq_u64)
+  SURFOS_NEON_BITS2(or_bits, vorrq_u64)
+#undef SURFOS_NEON_BITS2
+  static reg andnot_bits(reg a, reg b) {  // ~a & b
+    reg r;
+    for (int i = 0; i < 4; ++i)
+      r.v[i] = vreinterpretq_f64_u64(vbicq_u64(vreinterpretq_u64_f64(b.v[i]),
+                                               vreinterpretq_u64_f64(a.v[i])));
+    return r;
+  }
+
+#define SURFOS_NEON_CMP(name, op)                      \
+  static mask name(reg a, reg b) {                     \
+    return {{op(a.v[0], b.v[0]), op(a.v[1], b.v[1]),   \
+             op(a.v[2], b.v[2]), op(a.v[3], b.v[3])}}; \
+  }
+  SURFOS_NEON_CMP(cmp_lt, vcltq_f64)
+  SURFOS_NEON_CMP(cmp_le, vcleq_f64)
+  SURFOS_NEON_CMP(cmp_gt, vcgtq_f64)
+  SURFOS_NEON_CMP(cmp_ge, vcgeq_f64)
+  SURFOS_NEON_CMP(cmp_eq, vceqq_f64)
+#undef SURFOS_NEON_CMP
+
+  static mask mand(mask a, mask b) {
+    return {{vandq_u64(a.v[0], b.v[0]), vandq_u64(a.v[1], b.v[1]),
+             vandq_u64(a.v[2], b.v[2]), vandq_u64(a.v[3], b.v[3])}};
+  }
+  static mask mor(mask a, mask b) {
+    return {{vorrq_u64(a.v[0], b.v[0]), vorrq_u64(a.v[1], b.v[1]),
+             vorrq_u64(a.v[2], b.v[2]), vorrq_u64(a.v[3], b.v[3])}};
+  }
+  static reg blend(mask m, reg a, reg b) {
+    reg r;
+    for (int i = 0; i < 4; ++i) r.v[i] = vbslq_f64(m.v[i], a.v[i], b.v[i]);
+    return r;
+  }
+  static bool any(mask m) {
+    uint64x2_t o = vorrq_u64(vorrq_u64(m.v[0], m.v[1]),
+                             vorrq_u64(m.v[2], m.v[3]));
+    return (vgetq_lane_u64(o, 0) | vgetq_lane_u64(o, 1)) != 0;
+  }
+  static void store_mask(double* p, mask m) {
+    for (int i = 0; i < 4; ++i)
+      vst1q_f64(p + 2 * i, vreinterpretq_f64_u64(m.v[i]));
+  }
+  static mask load_mask(const double* p) {
+    mask m;
+    const uint64x2_t z = vdupq_n_u64(0);
+    for (int i = 0; i < 4; ++i) {
+      const uint64x2_t v = vreinterpretq_u64_f64(vld1q_f64(p + 2 * i));
+      // true where any bit is set
+      m.v[i] = vreinterpretq_u64_u32(
+          vmvnq_u32(vreinterpretq_u32_u64(vceqq_u64(v, z))));
+    }
+    return m;
+  }
+};
+
+const Ops kTable = make_ops<NeonPack>("neon", Backend::kNeon);
+
+}  // namespace
+
+const Ops* neon_ops() { return &kTable; }
+
+}  // namespace surfos::util::simd::detail
+
+#else  // non-aarch64 target: backend cannot exist
+
+namespace surfos::util::simd::detail {
+const Ops* neon_ops() { return nullptr; }
+}  // namespace surfos::util::simd::detail
+
+#endif

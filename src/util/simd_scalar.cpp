@@ -1,0 +1,208 @@
+// Scalar reference backend. This TU is compiled with -fno-tree-vectorize
+// -fno-tree-slp-vectorize -ffp-contract=off so the "scalar" baseline in
+// BENCH_simd.json is genuinely scalar code, and so its arithmetic is the
+// exact IEEE double sequence the vector backends must reproduce.
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "util/simd.hpp"
+#include "util/simd_backends.hpp"
+#include "util/simd_kernels.hpp"
+
+namespace surfos::util::simd::detail {
+namespace {
+
+struct ScalarPack {
+  static constexpr std::size_t W = kWidth;
+  struct reg {
+    double v[W];
+  };
+  struct mask {
+    bool v[W];
+  };
+
+  static reg load(const double* p) {
+    reg r;
+    for (std::size_t l = 0; l < W; ++l) r.v[l] = p[l];
+    return r;
+  }
+  static void store(double* p, reg a) {
+    for (std::size_t l = 0; l < W; ++l) p[l] = a.v[l];
+  }
+  static reg set1(double x) {
+    reg r;
+    for (std::size_t l = 0; l < W; ++l) r.v[l] = x;
+    return r;
+  }
+  static reg zero() { return set1(0.0); }
+
+  static reg add(reg a, reg b) {
+    reg r;
+    for (std::size_t l = 0; l < W; ++l) r.v[l] = a.v[l] + b.v[l];
+    return r;
+  }
+  static reg sub(reg a, reg b) {
+    reg r;
+    for (std::size_t l = 0; l < W; ++l) r.v[l] = a.v[l] - b.v[l];
+    return r;
+  }
+  static reg mul(reg a, reg b) {
+    reg r;
+    for (std::size_t l = 0; l < W; ++l) r.v[l] = a.v[l] * b.v[l];
+    return r;
+  }
+  static reg div(reg a, reg b) {
+    reg r;
+    for (std::size_t l = 0; l < W; ++l) r.v[l] = a.v[l] / b.v[l];
+    return r;
+  }
+  static reg sqrt_(reg a) {
+    reg r;
+    for (std::size_t l = 0; l < W; ++l) r.v[l] = std::sqrt(a.v[l]);
+    return r;
+  }
+  static reg abs_(reg a) {
+    reg r;
+    for (std::size_t l = 0; l < W; ++l) r.v[l] = std::fabs(a.v[l]);
+    return r;
+  }
+  static reg neg(reg a) {
+    reg r;
+    for (std::size_t l = 0; l < W; ++l) r.v[l] = -a.v[l];
+    return r;
+  }
+  static reg min_(reg a, reg b) {
+    reg r;
+    // Vector-min semantics (second operand on NaN), matches _mm_min_pd.
+    for (std::size_t l = 0; l < W; ++l)
+      r.v[l] = a.v[l] < b.v[l] ? a.v[l] : b.v[l];
+    return r;
+  }
+  static reg max_(reg a, reg b) {
+    reg r;
+    for (std::size_t l = 0; l < W; ++l)
+      r.v[l] = a.v[l] > b.v[l] ? a.v[l] : b.v[l];
+    return r;
+  }
+  static reg round_ne(reg a) {
+    reg r;
+    // Default FP environment: rint == round-to-nearest-even.
+    for (std::size_t l = 0; l < W; ++l) r.v[l] = std::rint(a.v[l]);
+    return r;
+  }
+  static reg floor_(reg a) {
+    reg r;
+    for (std::size_t l = 0; l < W; ++l) r.v[l] = std::floor(a.v[l]);
+    return r;
+  }
+  static reg exp2i(reg k) {
+    reg r;
+    for (std::size_t l = 0; l < W; ++l) {
+      const auto ki = static_cast<std::int64_t>(k.v[l]);
+      const std::uint64_t bits = static_cast<std::uint64_t>(ki + 1023) << 52;
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      r.v[l] = d;
+    }
+    return r;
+  }
+
+  static std::uint64_t bits_of(double x) {
+    std::uint64_t b;
+    std::memcpy(&b, &x, sizeof(b));
+    return b;
+  }
+  static double double_of(std::uint64_t b) {
+    double d;
+    std::memcpy(&d, &b, sizeof(d));
+    return d;
+  }
+  static reg xor_bits(reg a, reg b) {
+    reg r;
+    for (std::size_t l = 0; l < W; ++l)
+      r.v[l] = double_of(bits_of(a.v[l]) ^ bits_of(b.v[l]));
+    return r;
+  }
+  static reg and_bits(reg a, reg b) {
+    reg r;
+    for (std::size_t l = 0; l < W; ++l)
+      r.v[l] = double_of(bits_of(a.v[l]) & bits_of(b.v[l]));
+    return r;
+  }
+  static reg or_bits(reg a, reg b) {
+    reg r;
+    for (std::size_t l = 0; l < W; ++l)
+      r.v[l] = double_of(bits_of(a.v[l]) | bits_of(b.v[l]));
+    return r;
+  }
+  static reg andnot_bits(reg a, reg b) {
+    reg r;
+    for (std::size_t l = 0; l < W; ++l)
+      r.v[l] = double_of(~bits_of(a.v[l]) & bits_of(b.v[l]));
+    return r;
+  }
+
+  static mask cmp_lt(reg a, reg b) {
+    mask m;
+    for (std::size_t l = 0; l < W; ++l) m.v[l] = a.v[l] < b.v[l];
+    return m;
+  }
+  static mask cmp_le(reg a, reg b) {
+    mask m;
+    for (std::size_t l = 0; l < W; ++l) m.v[l] = a.v[l] <= b.v[l];
+    return m;
+  }
+  static mask cmp_gt(reg a, reg b) {
+    mask m;
+    for (std::size_t l = 0; l < W; ++l) m.v[l] = a.v[l] > b.v[l];
+    return m;
+  }
+  static mask cmp_ge(reg a, reg b) {
+    mask m;
+    for (std::size_t l = 0; l < W; ++l) m.v[l] = a.v[l] >= b.v[l];
+    return m;
+  }
+  static mask cmp_eq(reg a, reg b) {
+    mask m;
+    for (std::size_t l = 0; l < W; ++l) m.v[l] = a.v[l] == b.v[l];
+    return m;
+  }
+  static mask mand(mask a, mask b) {
+    mask m;
+    for (std::size_t l = 0; l < W; ++l) m.v[l] = a.v[l] && b.v[l];
+    return m;
+  }
+  static mask mor(mask a, mask b) {
+    mask m;
+    for (std::size_t l = 0; l < W; ++l) m.v[l] = a.v[l] || b.v[l];
+    return m;
+  }
+  static reg blend(mask m, reg a, reg b) {
+    reg r;
+    for (std::size_t l = 0; l < W; ++l) r.v[l] = m.v[l] ? a.v[l] : b.v[l];
+    return r;
+  }
+  static bool any(mask m) {
+    bool r = false;
+    for (std::size_t l = 0; l < W; ++l) r = r || m.v[l];
+    return r;
+  }
+  static void store_mask(double* p, mask m) {
+    for (std::size_t l = 0; l < W; ++l)
+      p[l] = m.v[l] ? double_of(~std::uint64_t{0}) : 0.0;
+  }
+  static mask load_mask(const double* p) {
+    mask m;
+    for (std::size_t l = 0; l < W; ++l) m.v[l] = bits_of(p[l]) != 0;
+    return m;
+  }
+};
+
+const Ops kTable = make_ops<ScalarPack>("scalar", Backend::kScalar);
+
+}  // namespace
+
+const Ops* scalar_ops() { return &kTable; }
+
+}  // namespace surfos::util::simd::detail

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include "telemetry/telemetry.hpp"
+#include "util/env.hpp"
 
 #include <atomic>
 #include <condition_variable>
@@ -20,15 +21,10 @@ namespace {
 thread_local bool t_in_worker = false;
 
 std::size_t auto_degree() {
-  if (const char* env = std::getenv("SURFOS_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1) {
-      return static_cast<std::size_t>(v);
-    }
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
+  // SURFOS_THREADS needs at least 1 worker; invalid values fall back to
+  // the detected core count.
+  return env_size("SURFOS_THREADS", hw > 0 ? hw : 1, 1);
 }
 
 /// One parallel_for in flight: a chunk cursor plus completion accounting.
