@@ -3,13 +3,15 @@
 #
 #   1. tier-1: configure + build + full ctest in ./build
 #   2. focused re-runs of the observability suites (ctest -L telemetry,
-#      ctest -L trace) and the incremental-evaluation equivalence suite
-#      (ctest -L incremental) so a regression there is named, not buried
+#      ctest -L trace), the incremental-evaluation equivalence suite
+#      (ctest -L incremental), and the fleet control-plane suite
+#      (ctest -L fleet) so a regression there is named, not buried
 #   3. forced-scalar re-run of the full suite (SURFOS_SIMD=scalar): the
 #      scalar SIMD backend is the bit-exact reference, so every test must
 #      pass with vectorization disabled
-#   4. TSan build of the thread-pool/tracing/incremental tests (ctest -L
-#      tsan in ./build-tsan); any sanitizer report fails the run
+#   4. TSan build of the thread-pool/tracing/incremental/fleet tests
+#      (ctest -L "tsan|trace|incremental|fleet" in ./build-tsan); any
+#      sanitizer report fails the run
 #   5. UBSan build of the SIMD/geometry/channel tests (ctest -L simd plus
 #      the dense-path suites in ./build-ubsan); undefined behavior in the
 #      lane kernels fails the run
@@ -26,10 +28,11 @@ cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
 echo
-echo "== focused: telemetry + trace + incremental labels"
+echo "== focused: telemetry + trace + incremental + fleet labels"
 ctest --test-dir build --output-on-failure -L telemetry
 ctest --test-dir build --output-on-failure -L trace
 ctest --test-dir build --output-on-failure -L incremental
+ctest --test-dir build --output-on-failure -L fleet
 
 echo
 echo "== forced scalar: full suite with SURFOS_SIMD=scalar (vector dispatch off)"
@@ -39,13 +42,15 @@ echo
 echo "== tsan: thread-pool / tracing / incremental tests under ThreadSanitizer (build-tsan/)"
 cmake -B build-tsan -S . -DSURFOS_SANITIZE=thread
 cmake --build build-tsan -j"$JOBS" --target \
-  test_thread_pool test_parallel_determinism test_trace test_incremental
+  test_thread_pool test_parallel_determinism test_trace test_incremental \
+  test_fleet test_admission
 # TSan findings abort the test process (halt_on_error) so a data race can
 # never hide behind a green assertion run. -L is a regex: the trace suite
-# hammers the recorder from pool workers and the incremental cache fills
-# per-RX entries from FD-probe workers, so both run under TSan too.
+# hammers the recorder from pool workers, the incremental cache fills
+# per-RX entries from FD-probe workers, and the fleet suite steps sharded
+# sites concurrently on the pool, so all three run under TSan too.
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
-  ctest --test-dir build-tsan --output-on-failure -L "tsan|trace|incremental"
+  ctest --test-dir build-tsan --output-on-failure -L "tsan|trace|incremental|fleet"
 
 echo
 echo "== ubsan: SIMD kernels + dense channel path under UBSan (build-ubsan/)"

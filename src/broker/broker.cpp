@@ -35,11 +35,20 @@ const geom::SampleGrid& ServiceBroker::region_for(
   return it == regions_.end() ? default_region_ : it->second;
 }
 
-void ServiceBroker::start_app(std::string app_id, AppDemand demand) {
+telemetry::TraceId ServiceBroker::start_app(std::string app_id,
+                                            AppDemand demand) {
   if (const auto it = sessions_.find(app_id);
       it != sessions_.end() && it->second.running) {
+    // Name the colliding tasks: the caller learns exactly which running
+    // work holds the id, not just that something does.
+    std::string tasks;
+    for (const orch::TaskId id : it->second.tasks) {
+      if (!tasks.empty()) tasks += ", ";
+      tasks += std::to_string(id);
+    }
     throw std::invalid_argument("ServiceBroker: app already running: " +
-                                app_id);
+                                app_id + " (holds task(s) " +
+                                (tasks.empty() ? "none" : tasks) + ")");
   }
   AppSession session;
   session.app_id = app_id;
@@ -82,16 +91,47 @@ void ServiceBroker::start_app(std::string app_id, AppDemand demand) {
     session.tasks.push_back(
         std::visit(Dispatch{*orchestrator_, request.priority}, request.goal));
   }
+  session.trace_id = intent_trace.trace_id;
   SURFOS_INFO(kLog) << "app " << app_id << " started with "
                     << session.tasks.size() << " task(s)";
   SURFOS_COUNT("broker.apps.started");
   SURFOS_COUNT_N("broker.demand.translations", requests.size());
   sessions_.insert_or_assign(std::move(app_id), std::move(session));
+  return intent_trace.trace_id;
+}
+
+bool ServiceBroker::submit_demand(std::string app_id, AppDemand demand,
+                                  std::optional<orch::Priority> priority) {
+  AdmissionRequest request;
+  request.priority = priority.value_or(demand_priority(demand));
+  request.app_id = std::move(app_id);
+  request.demand = std::move(demand);
+  return admission_.submit(std::move(request));
+}
+
+std::size_t ServiceBroker::pump_admissions(std::size_t max_admissions) {
+  std::size_t started = 0;
+  admission_.pump(max_admissions, [&](const AdmissionRequest& request) {
+    if (const auto it = sessions_.find(request.app_id);
+        it != sessions_.end() && it->second.running) {
+      // A duplicate mid-drain is demand that resolved itself while queued;
+      // dropping it must not abort the rest of the epoch's admissions.
+      SURFOS_COUNT("broker.admission.duplicates");
+      SURFOS_WARN(kLog) << "dropping queued demand for already-running app "
+                        << request.app_id;
+      return;
+    }
+    start_app(request.app_id, request.demand);
+    ++started;
+  });
+  return started;
 }
 
 void ServiceBroker::stop_app(const std::string& app_id) {
   const auto it = sessions_.find(app_id);
-  if (it == sessions_.end()) return;
+  if (it == sessions_.end()) {
+    throw std::invalid_argument("ServiceBroker: unknown app: " + app_id);
+  }
   for (const orch::TaskId id : it->second.tasks) {
     if (const auto* task = orchestrator_->find_task(id); task && task->active()) {
       orchestrator_->set_task_idle(id, true);

@@ -5,15 +5,19 @@
 // app stops, and monitors satisfaction so unsatisfied apps can be escalated.
 #pragma once
 
+#include <limits>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "broker/admission.hpp"
 #include "broker/demand.hpp"
 #include "broker/intent.hpp"
 #include "broker/monitor.hpp"
 #include "broker/translate.hpp"
 #include "orch/orchestrator.hpp"
+#include "telemetry/trace.hpp"
 
 namespace surfos::broker {
 
@@ -22,6 +26,9 @@ struct AppSession {
   AppDemand demand;
   std::vector<orch::TaskId> tasks;
   bool running = false;
+  /// The intent's deterministic trace id (every task the demand fanned out
+  /// into carries it; join key into the flight recorder).
+  telemetry::TraceId trace_id = 0;
 };
 
 struct AppStatus {
@@ -45,14 +52,34 @@ class ServiceBroker {
   /// real probe grids.
   void add_region(std::string region_id, geom::SampleGrid region);
 
-  /// Starts an application session: translates the demand and creates the
-  /// orchestrator tasks. Throws if the app id is already running.
-  void start_app(std::string app_id, AppDemand demand);
+  /// Starts an application session synchronously: translates the demand and
+  /// creates the orchestrator tasks. Returns the intent's deterministic
+  /// trace id. Throws std::invalid_argument — naming the colliding session's
+  /// task ids — if the app id is already running.
+  telemetry::TraceId start_app(std::string app_id, AppDemand demand);
 
-  /// Stops an app: its tasks go idle and release resources.
+  /// Queues a demand for admission instead of starting it synchronously
+  /// (the fleet-scale path; see broker/admission.hpp for the fairness and
+  /// shedding discipline). `priority` defaults to demand_priority(demand).
+  /// Returns false when the demand was shed on submission.
+  bool submit_demand(std::string app_id, AppDemand demand,
+                     std::optional<orch::Priority> priority = std::nullopt);
+
+  /// Drains up to `max_admissions` queued demands into running sessions
+  /// under the admission queue's weighted-fair / token-budget discipline.
+  /// Demands whose app id is already running are dropped with a
+  /// broker.admission.duplicates count (never a throw mid-drain). Returns
+  /// the number of sessions started.
+  std::size_t pump_admissions(
+      std::size_t max_admissions = std::numeric_limits<std::size_t>::max());
+
+  /// Stops an app: its tasks go idle and release resources. Throws
+  /// std::invalid_argument on an unknown app id (same contract as
+  /// resume_app).
   void stop_app(const std::string& app_id);
 
-  /// Resumes a previously stopped app.
+  /// Resumes a previously stopped app. Throws std::invalid_argument on an
+  /// unknown app id.
   void resume_app(const std::string& app_id);
 
   AppStatus status(const std::string& app_id) const;
@@ -78,6 +105,8 @@ class ServiceBroker {
     return sessions_;
   }
   orch::Orchestrator& orchestrator() noexcept { return *orchestrator_; }
+  AdmissionQueue& admission() noexcept { return admission_; }
+  const AdmissionQueue& admission() const noexcept { return admission_; }
 
  private:
   const geom::SampleGrid& region_for(const std::string& region_id) const;
@@ -88,6 +117,7 @@ class ServiceBroker {
   IntentEngine intent_;
   std::map<std::string, geom::SampleGrid> regions_;
   std::map<std::string, AppSession> sessions_;
+  AdmissionQueue admission_;
   std::size_t utterance_counter_ = 0;
   /// Monotone per-intent sequence — the `seq` of each admitted intent's
   /// deterministic trace id (see telemetry/trace.hpp).

@@ -1,8 +1,11 @@
 #include "core/fleet.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "telemetry/telemetry.hpp"
+#include "util/env.hpp"
+#include "util/thread_pool.hpp"
 
 namespace surfos {
 
@@ -46,14 +49,54 @@ broker::IntentResult Fleet::handle_utterance(const std::string& site_id,
   return site(site_id).broker().handle_utterance(text);
 }
 
+std::size_t Fleet::shard_count(std::size_t site_count) {
+  if (site_count == 0) return 0;
+  // SURFOS_FLEET_SHARDS: 0 (the default) means auto — one shard per pool
+  // thread, so the shard count tracks SURFOS_THREADS. Explicit values cap
+  // the stepping concurrency without touching the shared pool.
+  std::size_t shards = util::env_size("SURFOS_FLEET_SHARDS", 0, 0);
+  if (shards == 0) shards = util::global_pool().thread_count();
+  return std::clamp<std::size_t>(shards, 1, site_count);
+}
+
 FleetReport Fleet::step_all() {
   FleetReport report;
-  telemetry::TraceSpan span("core.fleet.step_all");
+  telemetry::TraceSpan span("core.fleet.step_all", sites_.size());
   SURFOS_COUNT("core.fleet.step_alls");
-  for (auto& [id, os] : sites_) {
-    SiteReport site_report;
-    site_report.site_id = id;
-    site_report.step = os->step();
+
+  // Snapshot the sites in map (site-id) order: index i is site i for every
+  // thread count, which the determinism contract below leans on.
+  std::vector<std::pair<const std::string*, SurfOS*>> sites;
+  sites.reserve(sites_.size());
+  for (auto& [id, os] : sites_) sites.emplace_back(&id, os.get());
+
+  // Sharded step: each shard owns a contiguous site range and steps it
+  // serially; shards run concurrently on the process-wide pool. Every site
+  // writes into its own pre-sized slot and all aggregation happens *after*
+  // the parallel region, serially and in site-index order — so a
+  // FleetReport is bit-identical for any SURFOS_THREADS / shard count
+  // (sites share no mutable state: each SurfOS owns its clock, registry,
+  // orchestrator, and broker).
+  std::vector<SiteReport> slots(sites.size());
+  const std::size_t shards = shard_count(sites.size());
+  util::global_pool().parallel_for(0, shards, [&](std::size_t shard) {
+    const std::size_t begin = shard * sites.size() / shards;
+    const std::size_t end = (shard + 1) * sites.size() / shards;
+    for (std::size_t i = begin; i < end; ++i) {
+      // Per-site deterministic trace context (site-index-derived, never
+      // wall-clock) so each site's step spans land in the flight recorder
+      // joined to one id; the span arg carries the 1-based site index.
+      telemetry::TraceScope scope(telemetry::TraceContext{
+          telemetry::make_trace_id(telemetry::trace_domain("core.fleet.site"),
+                                   i + 1),
+          0});
+      telemetry::TraceSpan site_span("core.fleet.site.step", i + 1);
+      slots[i].site_id = *sites[i].first;
+      slots[i].step = sites[i].second->step();
+    }
+  });
+
+  for (SiteReport& site_report : slots) {
     report.total_assignments += site_report.step.assignment_count;
     report.total_optimizations += site_report.step.optimizations_run;
     report.total_starved += site_report.step.starved.size();
@@ -67,9 +110,16 @@ FleetReport Fleet::step_all() {
     report.trace.plans_reused += trace.plans_reused;
     report.trace.objective_evaluations += trace.objective_evaluations;
     report.trace.config_writes += trace.config_writes;
+    report.trace.element_updates += trace.element_updates;
+    report.trace.writes_staged += trace.writes_staged;
+    report.trace.writes_coalesced += trace.writes_coalesced;
+    report.trace.writes_elided += trace.writes_elided;
     report.trace.trace_ids.insert(report.trace.trace_ids.end(),
                                   trace.trace_ids.begin(),
                                   trace.trace_ids.end());
+    report.trace.task_trace_ids.insert(report.trace.task_trace_ids.end(),
+                                       trace.task_trace_ids.begin(),
+                                       trace.task_trace_ids.end());
     report.sites.push_back(std::move(site_report));
   }
   return report;

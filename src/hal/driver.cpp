@@ -1,6 +1,9 @@
 #include "hal/driver.hpp"
 
 #include <stdexcept>
+#include <vector>
+
+#include "hal/batch.hpp"
 
 #include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
@@ -85,6 +88,28 @@ DriverStatus ProgrammableSurfaceDriver::write_config(
   return DriverStatus::kOk;
 }
 
+DriverStatus ProgrammableSurfaceDriver::write_elements(
+    std::uint16_t slot, std::span<const ElementUpdate> updates) {
+  if (slot >= slot_count()) return DriverStatus::kBadSlot;
+  for (const ElementUpdate& u : updates) {
+    if (u.index >= panel().element_count()) return DriverStatus::kBadConfig;
+  }
+  SURFOS_TRACE_SPAN("hal.driver.write_elements");
+  // A sparse patch is still one config-write transaction on the control
+  // link; it shares the transaction counter with full-frame writes so the
+  // StepTrace / telemetry view of "control transactions" is mode-agnostic.
+  SURFOS_COUNT("hal.driver.config_writes");
+  SURFOS_COUNT("hal.driver.element_writes");
+  SURFOS_COUNT_N("hal.driver.element_updates", updates.size());
+  Frame frame;
+  frame.type = MessageType::kWriteElements;
+  frame.sequence = next_sequence_++;
+  frame.slot = slot;
+  frame.payload = encode_element_updates(updates);
+  link_.send(encode_frame(frame));
+  return DriverStatus::kOk;
+}
+
 DriverStatus ProgrammableSurfaceDriver::select_config(std::uint16_t slot) {
   if (slot >= slot_count()) return DriverStatus::kBadSlot;
   SURFOS_COUNT("hal.driver.config_selects");
@@ -116,6 +141,37 @@ void ProgrammableSurfaceDriver::poll() {
         try {
           commit_slot(frame.slot,
                       surface::SurfaceConfig::deserialize(frame.payload));
+          ++frames_applied_;
+        } catch (const std::invalid_argument&) {
+          ++frames_rejected_;
+        }
+        break;
+      }
+      case MessageType::kWriteElements: {
+        if (frame.slot >= slot_count()) {
+          ++frames_rejected_;
+          break;
+        }
+        try {
+          const std::vector<ElementUpdate> updates =
+              decode_element_updates(frame.payload);
+          surface::SurfaceConfig patched = stored_config(frame.slot);
+          bool in_range = true;
+          for (const ElementUpdate& u : updates) {
+            if (u.index >= patched.size()) {
+              in_range = false;
+              break;
+            }
+          }
+          if (!in_range) {
+            ++frames_rejected_;
+            break;
+          }
+          for (const ElementUpdate& u : updates) {
+            patched.set_phase(u.index, u.phase);
+            patched.set_amplitude(u.index, u.amplitude);
+          }
+          commit_slot(frame.slot, patched);
           ++frames_applied_;
         } catch (const std::invalid_argument&) {
           ++frames_rejected_;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,14 @@ constexpr const char* to_string(DriverStatus s) noexcept {
   return "?";
 }
 
+/// One element's new state inside a kWriteElements payload (see hal/batch.hpp
+/// for the codec and the write-combining transaction builder).
+struct ElementUpdate {
+  std::uint32_t index = 0;
+  double phase = 0.0;      ///< Radians, wrapped to [0, 2*pi).
+  double amplitude = 1.0;  ///< [0, 1].
+};
+
 class SurfaceDriver {
  public:
   SurfaceDriver(std::string device_id, const surface::SurfacePanel* panel,
@@ -56,6 +65,18 @@ class SurfaceDriver {
   /// kOk means accepted for delivery.
   virtual DriverStatus write_config(std::uint16_t slot,
                                     const surface::SurfaceConfig& config) = 0;
+
+  /// Writes a sparse element patch into a storage slot as one control
+  /// transaction. Only meaningful for element-granular hardware (group
+  /// projections are not element-wise); drivers that cannot honor the
+  /// sparse path return kUnsupported and callers fall back to a full
+  /// write_config. May apply asynchronously; kOk means accepted.
+  virtual DriverStatus write_elements(std::uint16_t slot,
+                                      std::span<const ElementUpdate> updates) {
+    (void)slot;
+    (void)updates;
+    return DriverStatus::kUnsupported;
+  }
 
   /// Activates a stored slot.
   virtual DriverStatus select_config(std::uint16_t slot) = 0;
@@ -108,6 +129,8 @@ class ProgrammableSurfaceDriver final : public SurfaceDriver {
 
   DriverStatus write_config(std::uint16_t slot,
                             const surface::SurfaceConfig& config) override;
+  DriverStatus write_elements(std::uint16_t slot,
+                              std::span<const ElementUpdate> updates) override;
   DriverStatus select_config(std::uint16_t slot) override;
   void poll() override;
 

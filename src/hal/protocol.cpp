@@ -25,7 +25,7 @@ std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
 
 bool valid_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(MessageType::kWriteConfig) &&
-         t <= static_cast<std::uint8_t>(MessageType::kNack);
+         t <= static_cast<std::uint8_t>(MessageType::kWriteElements);
 }
 }  // namespace
 

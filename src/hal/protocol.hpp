@@ -30,6 +30,8 @@ enum class MessageType : std::uint8_t {
   kQueryStatus = 3,   ///< Ask for an ACK with the active slot.
   kAck = 4,           ///< Payload: 2-byte active slot.
   kNack = 5,          ///< Payload: 1-byte error code.
+  kWriteElements = 6, ///< Payload: sparse element updates for a slot (one
+                      ///< write-combined control transaction; see hal/batch.hpp).
 };
 
 struct Frame {

@@ -435,30 +435,14 @@ std::size_t Orchestrator::optimize_plan(const Assignment& assignment,
   return evaluations;
 }
 
-std::size_t Orchestrator::actuate(const Assignment& assignment,
-                                  const Plan& plan) {
-  if (plan.x.empty()) return 0;
+void Orchestrator::stage_actuate(const Assignment& assignment, const Plan& plan,
+                                 hal::WriteCombiner& combiner) {
+  if (plan.x.empty()) return;
   const auto realized = plan.variables->realize(plan.x);
-  hal::Micros worst_delay = 0;
-  std::size_t writes = 0;
   for (std::size_t i = 0; i < assignment.devices.size(); ++i) {
     auto* driver = registry_->find_surface(assignment.devices[i]);
-    const auto status = driver->write_config(assignment.slot, realized[i]);
-    ++writes;
-    if (status == hal::DriverStatus::kOk) {
-      driver->select_config(assignment.slot);
-      if (!driver->spec().is_passive()) {
-        worst_delay = std::max(worst_delay, driver->spec().control_delay_us);
-      }
-    } else if (status != hal::DriverStatus::kAlreadyFixed) {
-      SURFOS_WARN(kLog) << "write_config on " << driver->device_id()
-                        << " failed: " << hal::to_string(status);
-    }
+    combiner.stage(*driver, assignment.slot, realized[i], /*activate=*/true);
   }
-  // Wait out the slowest control path, then drain the links.
-  clock_->advance(worst_delay + 1);
-  registry_->poll_all();
-  return writes;
 }
 
 std::vector<surface::SurfaceConfig> Orchestrator::hardware_configs(
@@ -562,6 +546,23 @@ StepReport Orchestrator::step() {
     SURFOS_WARN(kLog) << "task " << id << " starved: no capable surface";
   }
 
+  // The step is one control epoch: every assignment stages its writes into
+  // the epoch's write-combining buffer, the buffer flushes once (at most one
+  // control transaction per dirty (device, slot)), the clock rides out the
+  // slowest control path once, and only then do the measure passes read the
+  // realized hardware state. Measuring after the single flush keeps the
+  // measured state identical to the old write-then-measure-per-assignment
+  // loop whenever assignments touch disjoint devices (the scheduler's normal
+  // regime: one assignment per band over that band's surfaces).
+  hal::WriteCombiner combiner;
+  struct Staged {
+    const Assignment* assignment = nullptr;
+    Plan* plan = nullptr;
+    telemetry::TraceContext trace;
+  };
+  std::vector<Staged> staged;
+  staged.reserve(schedule.assignments.size());
+
   for (const Assignment& assignment : schedule.assignments) {
     // The assignment runs under its primary task's trace (the first task the
     // orchestrator still knows about), so every span and driver write below
@@ -575,6 +576,11 @@ StepReport Orchestrator::step() {
     }
     telemetry::TraceScope trace_scope(assignment_trace);
     report.trace.trace_ids.push_back(assignment_trace.trace_id);
+    for (const TaskId id : assignment.tasks) {
+      if (const Task* task = find_task(id)) {
+        report.trace.task_trace_ids.push_back(task->trace.trace_id);
+      }
+    }
     SURFOS_TRACE_INSTANT("orch.schedule.assign");
 
     bool fresh = false;
@@ -595,16 +601,35 @@ StepReport Orchestrator::step() {
       }
       {
         telemetry::TraceSpan span("orch.step.actuate");
-        report.trace.config_writes += actuate(assignment, plan);
+        stage_actuate(assignment, plan, combiner);
         report.trace.actuate_us += span.elapsed_us();
       }
       ++report.optimizations_run;
     }
-    {
-      telemetry::TraceSpan span("orch.step.measure");
-      measure(assignment, plan, report);
-      report.trace.measure_us += span.elapsed_us();
+    staged.push_back({&assignment, &plan, assignment_trace});
+  }
+
+  if (!combiner.empty()) {
+    telemetry::TraceSpan span("orch.step.flush", combiner.staged());
+    const hal::FlushStats stats = combiner.flush(options_.hal_write_mode);
+    report.trace.config_writes += stats.transactions;
+    report.trace.element_updates += stats.element_updates;
+    report.trace.writes_staged += stats.writes_staged;
+    report.trace.writes_coalesced += stats.writes_coalesced;
+    report.trace.writes_elided += stats.writes_elided;
+    if (stats.transactions + stats.selects > 0) {
+      // Wait out the slowest control path once per epoch, then drain links.
+      clock_->advance(stats.worst_delay_us + 1);
+      registry_->poll_all();
     }
+    report.trace.actuate_us += span.elapsed_us();
+  }
+
+  for (const Staged& entry : staged) {
+    telemetry::TraceScope trace_scope(entry.trace);
+    telemetry::TraceSpan span("orch.step.measure");
+    measure(*entry.assignment, *entry.plan, report);
+    report.trace.measure_us += span.elapsed_us();
   }
   report.trace.total_us = step_span.elapsed_us();
   return report;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "em/propagation.hpp"
+#include "hal/batch.hpp"
 #include "hal/registry.hpp"
 #include "opt/optimizer.hpp"
 #include "orch/objectives.hpp"
@@ -43,6 +44,11 @@ struct OrchestratorOptions {
   /// Re-run optimization every step even when nothing changed (for ablations;
   /// normally plans are reused until tasks or the environment change).
   bool always_reoptimize = false;
+  /// HAL write path for the actuate stage: kBatched coalesces every staged
+  /// per-device write into one control transaction per (device, slot) per
+  /// step (control epoch); kPerElement is the naive one-transaction-per-
+  /// changed-element baseline. Defaults from SURFOS_HAL_BATCH (on).
+  hal::HalWriteMode hal_write_mode = hal::hal_write_mode_from_env();
 };
 
 struct TaskReport {
@@ -66,11 +72,20 @@ struct StepTrace {
   std::size_t plans_fresh = 0;      ///< Plans (re)built this step.
   std::size_t plans_reused = 0;     ///< Cache hits: channel/optimum reused.
   std::size_t objective_evaluations = 0;  ///< Optimizer loss evaluations.
-  std::size_t config_writes = 0;    ///< Driver write_config calls issued.
+  std::size_t config_writes = 0;    ///< Config-write transactions issued.
+  std::size_t element_updates = 0;  ///< Elements re-coded across those writes.
+  std::size_t writes_staged = 0;    ///< Per-device writes staged this epoch.
+  std::size_t writes_coalesced = 0;  ///< Staged writes absorbed by later ones.
+  std::size_t writes_elided = 0;    ///< Dirty slots already at target state.
   /// Trace id of each assignment processed this step (the primary task's),
   /// in schedule order — the join key between a StepReport and the flight
   /// recorder. Deterministic and identical whether SURFOS_TRACE is on or off.
   std::vector<telemetry::TraceId> trace_ids;
+  /// Trace id of *every* scheduled task this step, in schedule order (a
+  /// superset of trace_ids, which keeps only each assignment's primary). A
+  /// task's id first appears here on the step whose epoch flush applied its
+  /// configurations — the admit-to-applied join key the fleet bench uses.
+  std::vector<telemetry::TraceId> task_trace_ids;
 };
 
 struct StepReport {
@@ -198,8 +213,10 @@ class Orchestrator {
   std::string signature_of(const Assignment& assignment) const;
   /// Returns the number of objective evaluations the optimizer spent.
   std::size_t optimize_plan(const Assignment& assignment, Plan& plan);
-  /// Returns the number of write_config calls issued to drivers.
-  std::size_t actuate(const Assignment& assignment, const Plan& plan);
+  /// Stages the plan's realized configs into the epoch's write-combining
+  /// buffer (flushed once per step; see step()).
+  void stage_actuate(const Assignment& assignment, const Plan& plan,
+                     hal::WriteCombiner& combiner);
   void measure(const Assignment& assignment, Plan& plan, StepReport& report);
   /// Candidate starting points for a fresh plan: the relay-chain focus and
   /// the direct per-panel focus (multi-panel scenes can favor either

@@ -226,7 +226,12 @@ void Recorder::dump_unlocked(int fd) const noexcept {
       write_hex64(fd, e.span_id);
       write_str(fd, "\",\"parent\":\"");
       write_hex64(fd, e.parent_span_id);
-      write_str(fd, "\"}}");
+      write_str(fd, "\"");
+      if (e.arg != 0) {
+        write_str(fd, ",\"arg\":");
+        write_u64(fd, e.arg);
+      }
+      write_str(fd, "}}");
     }
   }
   write_str(fd, "\n],\"displayTimeUnit\":\"ms\"}\n");
@@ -309,7 +314,9 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
     }
     oss << ",\"args\":{\"trace\":\"" << hex_id(e.trace_id) << "\",\"span\":\""
         << hex_id(e.span_id) << "\",\"parent\":\"" << hex_id(e.parent_span_id)
-        << "\"}}";
+        << "\"";
+    if (e.arg != 0) oss << ",\"arg\":" << e.arg;
+    oss << "}}";
   }
   oss << "\n],\"displayTimeUnit\":\"ms\"}\n";
   return oss.str();

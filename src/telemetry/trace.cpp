@@ -76,7 +76,10 @@ TraceScope::~TraceScope() { t_ambient = previous_; }
 
 // --- TraceSpan ---------------------------------------------------------------
 
-TraceSpan::TraceSpan(const char* name) noexcept : span_(name), name_(name) {
+TraceSpan::TraceSpan(const char* name) noexcept : TraceSpan(name, 0) {}
+
+TraceSpan::TraceSpan(const char* name, std::uint64_t arg) noexcept
+    : span_(name), name_(name), arg_(arg) {
   if (!trace_enabled()) return;
   previous_ = t_ambient;
   context_.trace_id = previous_.trace_id;
@@ -95,13 +98,16 @@ TraceSpan::~TraceSpan() {
   event.name = name_;
   event.ts_ns = start_ns_;
   event.dur_ns = Recorder::now_ns() - start_ns_;
+  event.arg = arg_;
   event.thread_index = Recorder::thread_index();
   event.kind = TraceEvent::Kind::kSpan;
   Recorder::instance().record(event);
   t_ambient = previous_;
 }
 
-void record_instant(const char* name) noexcept {
+void record_instant(const char* name) noexcept { record_instant(name, 0); }
+
+void record_instant(const char* name, std::uint64_t arg) noexcept {
   if (!trace_enabled()) return;
   TraceEvent event;
   event.trace_id = t_ambient.trace_id;
@@ -110,6 +116,7 @@ void record_instant(const char* name) noexcept {
   event.name = name;
   event.ts_ns = Recorder::now_ns();
   event.dur_ns = 0;
+  event.arg = arg;
   event.thread_index = Recorder::thread_index();
   event.kind = TraceEvent::Kind::kInstant;
   Recorder::instance().record(event);

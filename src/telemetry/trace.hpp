@@ -99,6 +99,9 @@ class TraceScope {
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) noexcept;
+  /// As above, plus a numeric payload (site index, queue depth) exported as
+  /// the event's `arg`. 0 means "no payload".
+  TraceSpan(const char* name, std::uint64_t arg) noexcept;
   ~TraceSpan();
 
   TraceSpan(const TraceSpan&) = delete;
@@ -116,6 +119,7 @@ class TraceSpan {
   TraceContext context_{};   // this span (trace id + own span id)
   TraceContext previous_{};  // ambient to restore
   std::uint64_t start_ns_ = 0;
+  std::uint64_t arg_ = 0;
   bool recording_ = false;
 };
 
@@ -123,5 +127,7 @@ class TraceSpan {
 /// tracing is enabled; a single predicted branch otherwise. Used for
 /// point-in-time causal markers (scheduler assignment, ARQ send/retransmit).
 void record_instant(const char* name) noexcept;
+/// As above with a numeric `arg` payload (0 = none).
+void record_instant(const char* name, std::uint64_t arg) noexcept;
 
 }  // namespace surfos::telemetry

@@ -1,16 +1,23 @@
 // Fleet service API: site lookup (const and mutable), the unknown-site
-// error contract, and step_all()'s control-cycle trace aggregation.
+// error contract, step_all()'s control-cycle trace aggregation, byte-level
+// determinism of FleetReports across thread/shard counts, and the batched
+// vs per-element HAL write paths.
 #include <gtest/gtest.h>
 
+#include <ios>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/fleet.hpp"
 #include "core/surfos.hpp"
+#include "hal/batch.hpp"
 #include "sim/floorplan.hpp"
 #include "surface/catalog.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/thread_pool.hpp"
 
 namespace surfos {
 namespace {
@@ -103,6 +110,159 @@ TEST_F(FleetTest, StepAllAggregatesStepTraces) {
   EXPECT_EQ(second.trace.plans_fresh, 0u);
   EXPECT_EQ(second.trace.plans_reused, 2u);  // cache hit on both sites
   EXPECT_EQ(second.trace.config_writes, 0u);
+}
+
+TEST_F(FleetTest, StepTraceRecordsEpochBatchingAndTaskTraceIds) {
+  fleet_.site("home").orchestrator().enhance_link({"laptop", 10.0, 50.0});
+  fleet_.site("office").orchestrator().enhance_link({"phone", 10.0, 50.0});
+
+  const FleetReport first = fleet_.step_all();
+  // One staged write per site's surface; nothing to coalesce or elide on the
+  // first epoch, and each staged write became exactly one transaction.
+  EXPECT_EQ(first.trace.writes_staged, 2u);
+  EXPECT_EQ(first.trace.writes_coalesced, 0u);
+  EXPECT_EQ(first.trace.writes_elided, 0u);
+  EXPECT_EQ(first.trace.config_writes, 2u);
+  // Every scheduled task's trace id is recorded (admit-to-applied join key)
+  // and it is a superset of the per-assignment primary ids.
+  ASSERT_EQ(first.trace.task_trace_ids.size(), 2u);
+  EXPECT_EQ(first.trace.trace_ids, first.trace.task_trace_ids);
+  for (const telemetry::TraceId id : first.trace.task_trace_ids) {
+    EXPECT_NE(id, 0u);
+  }
+
+  // Reused plans stage nothing: the epoch flush is a no-op.
+  const FleetReport second = fleet_.step_all();
+  EXPECT_EQ(second.trace.writes_staged, 0u);
+  EXPECT_EQ(second.trace.config_writes, 0u);
+  // Scheduled tasks still report their ids even on reuse steps.
+  EXPECT_EQ(second.trace.task_trace_ids.size(), 2u);
+}
+
+/// Serializes every deterministic field of a FleetReport (hexfloat for
+/// metrics; the wall-clock *_us timings are intentionally excluded — they
+/// are the only run-to-run-varying state).
+std::string fingerprint(const FleetReport& report) {
+  std::ostringstream oss;
+  oss << std::hexfloat;
+  oss << "assign=" << report.total_assignments
+      << " opt=" << report.total_optimizations
+      << " starved=" << report.total_starved << "\n";
+  const auto trace = [&](const orch::StepTrace& t) {
+    oss << "fresh=" << t.plans_fresh << " reused=" << t.plans_reused
+        << " evals=" << t.objective_evaluations << " writes=" << t.config_writes
+        << " elems=" << t.element_updates << " staged=" << t.writes_staged
+        << " coalesced=" << t.writes_coalesced << " elided=" << t.writes_elided
+        << " ids=[";
+    for (const telemetry::TraceId id : t.trace_ids) oss << id << ",";
+    oss << "] task_ids=[";
+    for (const telemetry::TraceId id : t.task_trace_ids) oss << id << ",";
+    oss << "]\n";
+  };
+  trace(report.trace);
+  for (const auto& site : report.sites) {
+    oss << "site " << site.site_id << ": assign="
+        << site.step.assignment_count << " opt=" << site.step.optimizations_run
+        << " starved=[";
+    for (const orch::TaskId id : site.step.starved) oss << id << ",";
+    oss << "] tasks=[";
+    for (const auto& task : site.step.tasks) {
+      oss << task.id << ":" << static_cast<int>(task.type) << ":"
+          << static_cast<int>(task.state) << ":"
+          << (task.achieved ? *task.achieved : -1.0) << ":" << task.goal_met
+          << ",";
+    }
+    oss << "]\n";
+    trace(site.step.trace);
+  }
+  return oss.str();
+}
+
+/// A fresh four-site fleet with one connectivity task per site, stepped
+/// twice; returns the concatenated report fingerprints. Built from scratch
+/// per call so runs under different pool sizes share no state.
+std::string run_mini_fleet() {
+  const surface::Catalog catalog = surface::Catalog::standard();
+  std::vector<sim::CoverageRoomScenario> scenarios;
+  scenarios.reserve(4);
+  Fleet fleet;
+  for (int i = 0; i < 4; ++i) {
+    scenarios.push_back(sim::make_coverage_room(/*grid_n=*/4));
+    auto& scenario = scenarios.back();
+    auto os = std::make_unique<SurfOS>(scenario.environment.get(),
+                                       scenario.ap(), scenario.band,
+                                       scenario.budget);
+    os->install_programmable(*catalog.find("NR-Surface"),
+                             scenario.surface_pose, 8, 8, "wall");
+    os->register_endpoint("phone", hal::EndpointKind::kClient,
+                          {1.0 + 0.3 * i, 2.0, 1.0});
+    os->orchestrator().enhance_link({"phone", 10.0, 50.0});
+    fleet.add_site("site" + std::to_string(i), std::move(os));
+  }
+  std::string out;
+  for (int step = 0; step < 2; ++step) {
+    out += fingerprint(fleet.step_all());
+    out += "--\n";
+  }
+  return out;
+}
+
+TEST(FleetDeterminism, ReportsByteIdenticalAcrossThreadCounts) {
+  // SURFOS_FLEET_SHARDS defaults to the pool's thread count, so resizing the
+  // pool exercises 1-shard serial vs 4-shard concurrent stepping. The
+  // reports — achieved metrics included, compared as hexfloat — must match
+  // byte for byte (serial index-order reduction, per-site RNG streams).
+  util::reset_global_pool(1);
+  const std::string serial = run_mini_fleet();
+  util::reset_global_pool(4);
+  const std::string sharded = run_mini_fleet();
+  util::reset_global_pool(0);
+  EXPECT_EQ(serial, sharded);
+}
+
+/// One site with one link task; steps once to land the initial config, then
+/// moves the endpoint and invalidates plans so the second step re-optimizes
+/// and rewrites the (now differing) slot through the chosen HAL write mode.
+struct RewriteRun {
+  std::size_t rewrite_transactions = 0;
+  std::string achieved_hex;  ///< hexfloat metric after the rewrite step
+};
+
+RewriteRun run_rewrite(hal::HalWriteMode mode) {
+  const surface::Catalog catalog = surface::Catalog::standard();
+  sim::CoverageRoomScenario scenario = sim::make_coverage_room(/*grid_n=*/4);
+  orch::OrchestratorOptions options;
+  options.hal_write_mode = mode;
+  SurfOS os(scenario.environment.get(), scenario.ap(), scenario.band,
+            scenario.budget, options);
+  os.install_programmable(*catalog.find("NR-Surface"), scenario.surface_pose,
+                          10, 10, "wall");
+  os.register_endpoint("phone", hal::EndpointKind::kClient, {1.0, 2.0, 1.0});
+  const auto task = os.orchestrator().enhance_link({"phone", 10.0, 50.0});
+  os.step();  // initial write: slot unsized, full transaction in both modes
+
+  os.registry().find_endpoint("phone")->position = {3.2, 1.2, 1.1};
+  os.orchestrator().notify_environment_changed();
+  const orch::StepReport report = os.step();
+
+  RewriteRun run;
+  run.rewrite_transactions = report.trace.config_writes;
+  std::ostringstream oss;
+  oss << std::hexfloat << task.last_metric().value_or(-1.0);
+  run.achieved_hex = oss.str();
+  return run;
+}
+
+TEST(FleetHalModes, BatchedRewritePaysAtLeastFourTimesFewerTransactions) {
+  const RewriteRun batched = run_rewrite(hal::HalWriteMode::kBatched);
+  const RewriteRun naive = run_rewrite(hal::HalWriteMode::kPerElement);
+  // Batched: one transaction per dirty (device, slot) per epoch. Naive: one
+  // per changed element — a 10x10 panel whose optimum moved re-codes far
+  // more than four elements.
+  EXPECT_EQ(batched.rewrite_transactions, 1u);
+  EXPECT_GE(naive.rewrite_transactions, 4 * batched.rewrite_transactions);
+  // The write path is an encoding detail: achieved physics is bit-identical.
+  EXPECT_EQ(batched.achieved_hex, naive.achieved_hex);
 }
 
 }  // namespace

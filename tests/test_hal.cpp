@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "em/propagation.hpp"
+#include "hal/batch.hpp"
 #include "hal/crc32.hpp"
 #include "hal/driver.hpp"
 #include "hal/codebook.hpp"
@@ -488,6 +489,130 @@ TEST(Feedback, NullProbeRejected) {
   CodebookSelector selector;
   EXPECT_THROW(selector.sweep_and_select(driver, nullptr),
                std::invalid_argument);
+}
+
+// --- write-combining / sparse element writes -------------------------------------
+
+TEST(Batch, ElementUpdateCodecRoundTrips) {
+  std::vector<ElementUpdate> updates;
+  for (std::uint32_t i = 0; i < 9; ++i) {
+    updates.push_back({i * 3, 0.37 * static_cast<double>(i), 1.0 - 0.1 * i});
+  }
+  const auto payload = encode_element_updates(updates);
+  const auto decoded = decode_element_updates(payload);
+  ASSERT_EQ(decoded.size(), updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    EXPECT_EQ(decoded[i].index, updates[i].index);
+    // Decoded values are the wire codes' fixed points.
+    EXPECT_EQ(phase_code(decoded[i].phase), phase_code(updates[i].phase));
+    EXPECT_EQ(amplitude_code(decoded[i].amplitude),
+              amplitude_code(updates[i].amplitude));
+  }
+  EXPECT_THROW(decode_element_updates(std::vector<std::uint8_t>(3)),
+               std::invalid_argument);
+  auto truncated = payload;
+  truncated.pop_back();
+  EXPECT_THROW(decode_element_updates(truncated), std::invalid_argument);
+}
+
+TEST(Batch, WriteElementsMatchesFullWriteBitForBit) {
+  SimClock clock;
+  const auto panel = test_panel();  // element-granular, 4x4
+  ProgrammableSurfaceDriver full("a", &panel, test_spec(10), &clock);
+  ProgrammableSurfaceDriver sparse("b", &panel, test_spec(10), &clock);
+
+  surface::SurfaceConfig target(panel.element_count());
+  std::vector<ElementUpdate> updates;
+  for (std::size_t i = 0; i < 5; ++i) {
+    target.set_phase(i * 2, 0.31 * static_cast<double>(i + 1));
+    updates.push_back({static_cast<std::uint32_t>(i * 2),
+                       target.phase(i * 2), target.amplitude(i * 2)});
+  }
+  ASSERT_EQ(full.write_config(1, target), DriverStatus::kOk);
+  ASSERT_EQ(sparse.write_elements(1, updates), DriverStatus::kOk);
+  clock.advance(11);
+  full.poll();
+  sparse.poll();
+  EXPECT_EQ(full.frames_applied(), 1u);
+  EXPECT_EQ(sparse.frames_applied(), 1u);
+  for (std::size_t i = 0; i < panel.element_count(); ++i) {
+    EXPECT_EQ(full.stored_config(1).phase(i), sparse.stored_config(1).phase(i))
+        << "element " << i;
+    EXPECT_EQ(full.stored_config(1).amplitude(i),
+              sparse.stored_config(1).amplitude(i));
+  }
+}
+
+TEST(Batch, WriteElementsRejectsBadSlotAndIndex) {
+  SimClock clock;
+  const auto panel = test_panel();
+  ProgrammableSurfaceDriver driver("s0", &panel, test_spec(10, 2), &clock);
+  const std::vector<ElementUpdate> ok = {{0, 1.0, 1.0}};
+  EXPECT_EQ(driver.write_elements(7, ok), DriverStatus::kBadSlot);
+  const std::vector<ElementUpdate> out = {{999, 1.0, 1.0}};
+  EXPECT_EQ(driver.write_elements(0, out), DriverStatus::kBadConfig);
+}
+
+TEST(Batch, CombinerCoalescesDedupesAndElides) {
+  SimClock clock;
+  const auto panel = test_panel();
+  ProgrammableSurfaceDriver driver("s0", &panel, test_spec(10), &clock);
+
+  surface::SurfaceConfig first(panel.element_count());
+  first.set_phase(0, 1.0);
+  surface::SurfaceConfig last(panel.element_count());
+  last.set_phase(3, 2.0);
+  last.set_phase(4, 2.5);
+
+  WriteCombiner combiner;
+  combiner.stage(driver, 0, first, /*activate=*/true);
+  combiner.stage(driver, 0, last, /*activate=*/true);  // same key: combined
+  const FlushStats stats = combiner.flush(HalWriteMode::kBatched);
+  EXPECT_EQ(stats.writes_staged, 2u);
+  EXPECT_EQ(stats.writes_coalesced, 1u);
+  EXPECT_EQ(stats.transactions, 1u);  // one transaction for the epoch
+  EXPECT_EQ(stats.element_updates, 2u);
+  EXPECT_EQ(stats.selects, 1u);
+  EXPECT_EQ(stats.worst_delay_us, 10u);
+  clock.advance(stats.worst_delay_us + 1);
+  driver.poll();
+  // The combined write is the *final* staged config, not the first.
+  EXPECT_EQ(driver.stored_config(0).phase(0), 0.0);
+  EXPECT_GT(driver.stored_config(0).phase(3), 0.0);
+
+  // Restaging the applied state is a no-op epoch: diff empty, zero frames.
+  combiner.stage(driver, 0, driver.stored_config(0), /*activate=*/false);
+  const FlushStats again = combiner.flush(HalWriteMode::kBatched);
+  EXPECT_EQ(again.transactions, 0u);
+  EXPECT_EQ(again.writes_elided, 1u);
+}
+
+TEST(Batch, PerElementModePaysOneTransactionPerChangedElement) {
+  SimClock clock;
+  const auto panel = test_panel();
+  ProgrammableSurfaceDriver batched("a", &panel, test_spec(10), &clock);
+  ProgrammableSurfaceDriver naive("b", &panel, test_spec(10), &clock);
+
+  surface::SurfaceConfig target(panel.element_count());
+  for (std::size_t i = 0; i < 6; ++i) {
+    target.set_phase(i, 0.5 + 0.1 * static_cast<double>(i));
+  }
+
+  WriteCombiner combiner;
+  combiner.stage(batched, 0, target, true);
+  const FlushStats one = combiner.flush(HalWriteMode::kBatched);
+  combiner.stage(naive, 0, target, true);
+  const FlushStats many = combiner.flush(HalWriteMode::kPerElement);
+  EXPECT_EQ(one.transactions, 1u);
+  EXPECT_EQ(many.transactions, 6u);
+
+  // Both modes leave identical hardware state.
+  clock.advance(11);
+  batched.poll();
+  naive.poll();
+  for (std::size_t i = 0; i < panel.element_count(); ++i) {
+    EXPECT_EQ(batched.stored_config(0).phase(i), naive.stored_config(0).phase(i));
+  }
 }
 
 }  // namespace
