@@ -211,8 +211,10 @@ LoadResult run_sustained_load(Fleet& fleet,
       SurfOS& site = fleet.site(site_ids[arrival.site]);
       ++result.submitted;
       submit_time[next_arrival] = std::chrono::steady_clock::now();
-      if (site.broker().submit_demand(
-              app_id, broker::demand_profile(arrival.app_class, "phone"))) {
+      if (site.broker()
+              .submit_demand(app_id,
+                             broker::demand_profile(arrival.app_class, "phone"))
+              .ok()) {
         queued[arrival.site].push_back(app_id);
       }
       ++next_arrival;
@@ -257,7 +259,7 @@ LoadResult run_sustained_load(Fleet& fleet,
         ++result.applied;
         // Served: idle the app's tasks so fleet-scale active work stays
         // bounded by the admission rate, not the request count.
-        site.broker().stop_app("req-" + std::to_string(it->second));
+        (void)site.broker().stop_app("req-" + std::to_string(it->second));
         awaiting[s].erase(it);
       }
     }

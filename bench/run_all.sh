@@ -12,7 +12,7 @@ BUILD="${1:-build-release}"
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j"$(nproc)" --target \
   bench_parallel_scaling bench_telemetry_overhead bench_trace_overhead \
-  bench_incremental bench_fleet
+  bench_incremental bench_fleet bench_daemon
 
 # Each bench writes its BENCH_*.json into the current directory (repo root).
 "$BUILD/bench/bench_parallel_scaling"
@@ -20,6 +20,7 @@ cmake --build "$BUILD" -j"$(nproc)" --target \
 "$BUILD/bench/bench_trace_overhead"
 "$BUILD/bench/bench_incremental"
 "$BUILD/bench/bench_fleet"
+"$BUILD/bench/bench_daemon"
 
 echo
 echo "regenerated:"

@@ -4,17 +4,21 @@
 #   1. tier-1: configure + build + full ctest in ./build
 #   2. focused re-runs of the observability suites (ctest -L telemetry,
 #      ctest -L trace), the incremental-evaluation equivalence suite
-#      (ctest -L incremental), and the fleet control-plane suite
-#      (ctest -L fleet) so a regression there is named, not buried
+#      (ctest -L incremental), the fleet control-plane suite (ctest -L
+#      fleet), and the daemon/wire-protocol suite (ctest -L daemon) so a
+#      regression there is named, not buried
 #   3. forced-scalar re-run of the full suite (SURFOS_SIMD=scalar): the
 #      scalar SIMD backend is the bit-exact reference, so every test must
 #      pass with vectorization disabled
-#   4. TSan build of the thread-pool/tracing/incremental/fleet tests
-#      (ctest -L "tsan|trace|incremental|fleet" in ./build-tsan); any
+#   4. TSan build of the thread-pool/tracing/incremental/fleet/daemon tests
+#      (ctest -L "tsan|trace|incremental|fleet|daemon" in ./build-tsan); any
 #      sanitizer report fails the run
 #   5. UBSan build of the SIMD/geometry/channel tests (ctest -L simd plus
 #      the dense-path suites in ./build-ubsan); undefined behavior in the
 #      lane kernels fails the run
+#   6. daemon smoke: spawn the real surfosd binary on a temp socket, drive
+#      50 surfos-ctl requests through it, SIGTERM it, and check for a clean
+#      exit, a written snapshot, and zero leaked fds while serving
 #
 #   $ ci/check.sh
 set -euo pipefail
@@ -28,29 +32,32 @@ cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
 echo
-echo "== focused: telemetry + trace + incremental + fleet labels"
+echo "== focused: telemetry + trace + incremental + fleet + daemon labels"
 ctest --test-dir build --output-on-failure -L telemetry
 ctest --test-dir build --output-on-failure -L trace
 ctest --test-dir build --output-on-failure -L incremental
 ctest --test-dir build --output-on-failure -L fleet
+ctest --test-dir build --output-on-failure -L daemon
 
 echo
 echo "== forced scalar: full suite with SURFOS_SIMD=scalar (vector dispatch off)"
 SURFOS_SIMD=scalar ctest --test-dir build --output-on-failure -j"$JOBS"
 
 echo
-echo "== tsan: thread-pool / tracing / incremental tests under ThreadSanitizer (build-tsan/)"
+echo "== tsan: thread-pool / tracing / incremental / daemon tests under ThreadSanitizer (build-tsan/)"
 cmake -B build-tsan -S . -DSURFOS_SANITIZE=thread
 cmake --build build-tsan -j"$JOBS" --target \
   test_thread_pool test_parallel_determinism test_trace test_incremental \
-  test_fleet test_admission
+  test_fleet test_admission test_proto test_daemon
 # TSan findings abort the test process (halt_on_error) so a data race can
 # never hide behind a green assertion run. -L is a regex: the trace suite
 # hammers the recorder from pool workers, the incremental cache fills
-# per-RX entries from FD-probe workers, and the fleet suite steps sharded
-# sites concurrently on the pool, so all three run under TSan too.
+# per-RX entries from FD-probe workers, the fleet suite steps sharded
+# sites concurrently on the pool, and the daemon suite runs the ticker and
+# poll() server threads against client connections, so all of them run
+# under TSan too.
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
-  ctest --test-dir build-tsan --output-on-failure -L "tsan|trace|incremental|fleet"
+  ctest --test-dir build-tsan --output-on-failure -L "tsan|trace|incremental|fleet|daemon"
 
 echo
 echo "== ubsan: SIMD kernels + dense channel path under UBSan (build-ubsan/)"
@@ -61,6 +68,59 @@ cmake --build build-ubsan -j"$JOBS" --target test_simd test_geom test_em test_si
 # reference, so lane-kernel UB (misaligned loads, bad masks) surfaces here.
 UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
   ctest --test-dir build-ubsan --output-on-failure -R "Simd|Geom|Em|Channel"
+
+echo
+echo "== daemon smoke: live surfosd + 50 surfos-ctl requests + SIGTERM snapshot"
+cmake --build build -j"$JOBS" --target surfosd surfos-ctl surfos-status
+SMOKE_SOCK="$(mktemp -u /tmp/surfosd_ci_XXXXXX.sock)"
+SMOKE_SNAP="$(mktemp -u /tmp/surfosd_ci_XXXXXX.snap)"
+./build/tools/surfosd --socket "$SMOKE_SOCK" --snapshot "$SMOKE_SNAP" --epoch-ms 5 &
+SMOKE_PID=$!
+trap 'kill -9 $SMOKE_PID 2>/dev/null || true; rm -f "$SMOKE_SOCK" "$SMOKE_SNAP"' EXIT
+for _ in $(seq 1 50); do
+  [ -S "$SMOKE_SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SMOKE_SOCK" ] || { echo "surfosd never bound its socket"; exit 1; }
+CTL=(./build/tools/surfos-ctl --socket "$SMOKE_SOCK")
+"${CTL[@]}" ping
+sleep 0.3  # let the server reap the ping connection before sampling fds
+FDS_BEFORE=$(ls /proc/$SMOKE_PID/fd | wc -l)
+"${CTL[@]}" submit vr --class vr-gaming --endpoint headset --throughput 40
+"${CTL[@]}" submit cam --class smart-home --endpoint cam0
+for i in $(seq 1 20); do "${CTL[@]}" status > /dev/null; done
+for i in $(seq 1 20); do "${CTL[@]}" metrics > /dev/null; done
+"${CTL[@]}" set-knob SURFOS_PUMP_MAX 4
+"${CTL[@]}" knobs > /dev/null
+"${CTL[@]}" stop cam
+"${CTL[@]}" resume cam
+"${CTL[@]}" snapshot
+"${CTL[@]}" traces > /dev/null
+./build/tools/surfos-status --socket "$SMOKE_SOCK"
+# Every connection above has been closed: the serving daemon must be back
+# to its baseline fd table (no leaked client fds).
+sleep 0.3
+FDS_AFTER=$(ls /proc/$SMOKE_PID/fd | wc -l)
+if [ "$FDS_AFTER" -ne "$FDS_BEFORE" ]; then
+  echo "fd leak: $FDS_BEFORE fds before, $FDS_AFTER after"; exit 1
+fi
+kill -TERM $SMOKE_PID
+wait $SMOKE_PID
+trap - EXIT
+[ -s "$SMOKE_SNAP" ] || { echo "SIGTERM did not write a snapshot"; exit 1; }
+# Restart from the snapshot: the resumed daemon must serve the same session.
+./build/tools/surfosd --socket "$SMOKE_SOCK" --snapshot "$SMOKE_SNAP" --restore &
+SMOKE_PID=$!
+trap 'kill -9 $SMOKE_PID 2>/dev/null || true; rm -f "$SMOKE_SOCK" "$SMOKE_SNAP"' EXIT
+for _ in $(seq 1 50); do
+  [ -S "$SMOKE_SOCK" ] && break
+  sleep 0.1
+done
+"${CTL[@]}" status | grep -q "^vr " || { echo "restore lost the vr session"; exit 1; }
+"${CTL[@]}" shutdown
+wait $SMOKE_PID
+trap - EXIT
+rm -f "$SMOKE_SOCK" "$SMOKE_SNAP"
 
 echo
 echo "ci/check.sh: all green"

@@ -50,7 +50,7 @@ int main() {
                                               scene.bedroom_mount.origin(),
                                               freq));
   }
-  os.install_from_datasheet(
+  (void)os.install_from_datasheet(
       "model: SteerPatch-28\n"
       "frequency: 28 GHz\n"
       "mode: reflective\n"

@@ -18,7 +18,7 @@ int main() {
 
   // Element-wise hardware gives the joint optimizer full freedom; install a
   // 20x20 surface synthesized from a datasheet (the Section 3.4 workflow).
-  os.install_from_datasheet(
+  (void)os.install_from_datasheet(
       "model: RoomSurface-28\n"
       "frequency: 28 GHz\n"
       "mode: reflective\n"

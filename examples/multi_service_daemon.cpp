@@ -40,20 +40,22 @@ int main() {
                          geom::SampleGrid(0.8, 2.8, 0.5, 2.5, 1.0, 4, 4));
 
   // Morning: a video call and background phone charging.
-  os.broker().start_app("morning-call",
-                        broker::demand_profile(
-                            broker::AppClass::kVideoConference, "laptop"));
-  os.broker().start_app("charge-phone",
-                        broker::demand_profile(
-                            broker::AppClass::kWirelessCharging, "phone"));
+  (void)os.broker().start_app("morning-call",
+                              broker::demand_profile(
+                                  broker::AppClass::kVideoConference,
+                                  "laptop"));
+  (void)os.broker().start_app("charge-phone",
+                              broker::demand_profile(
+                                  broker::AppClass::kWirelessCharging,
+                                  "phone"));
   os.step();
   report(os, "morning");
 
   // Midday: the call ends; a VR session starts and wants much more SNR.
-  os.broker().stop_app("morning-call");
-  os.broker().start_app("vr-session",
-                        broker::demand_profile(broker::AppClass::kVrGaming,
-                                               "VR_headset"));
+  (void)os.broker().stop_app("morning-call");
+  (void)os.broker().start_app(
+      "vr-session",
+      broker::demand_profile(broker::AppClass::kVrGaming, "VR_headset"));
   os.clock().advance(2 * hal::kMicrosPerSecond);
   os.step();
   report(os, "midday: VR starts");
@@ -72,8 +74,8 @@ int main() {
   report(os, "after re-planning");
 
   // Evening: everything winds down; resources are released.
-  os.broker().stop_app("vr-session");
-  os.broker().stop_app("charge-phone");
+  (void)os.broker().stop_app("vr-session");
+  (void)os.broker().stop_app("charge-phone");
   const orch::StepReport idle = os.step();
   std::printf("--- evening: %zu active slice(s) remain ---\n",
               idle.assignment_count);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/config.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
@@ -40,11 +41,32 @@ std::size_t AdmissionQueue::weight(orch::Priority priority) noexcept {
   return static_cast<std::size_t>(tier) + 1;
 }
 
+std::size_t AdmissionQueue::effective_capacity() const {
+  // Hot-reload hook: under a daemon (config snapshot installed) a set-knob
+  // SURFOS_ADMIT_QUEUE override wins over the construction-time capacity on
+  // the very next submit; in library mode the constructed capacity is final.
+  if (const auto snapshot = core::config_snapshot()) {
+    if (const auto value = snapshot->lookup("SURFOS_ADMIT_QUEUE")) {
+      return std::max<std::size_t>(*value, 1);
+    }
+  }
+  return options_.capacity;
+}
+
+std::vector<AdmissionRequest> AdmissionQueue::pending() const {
+  std::vector<AdmissionRequest> out;
+  out.reserve(depth_);
+  for (const auto& [priority, queue] : classes_) {
+    out.insert(out.end(), queue.begin(), queue.end());
+  }
+  return out;
+}
+
 bool AdmissionQueue::submit(AdmissionRequest request) {
   ++stats_.submitted;
   SURFOS_COUNT("broker.admission.submitted");
   request.seq = next_seq_++;
-  if (depth_ >= options_.capacity) {
+  if (depth_ >= effective_capacity()) {
     // Overload: only the lowest-priority work may be lost. The lowest
     // present class gives up its *newest* entry (oldest entries are closest
     // to admission and have waited longest); an incoming demand at or below

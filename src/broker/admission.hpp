@@ -36,6 +36,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "broker/demand.hpp"
 #include "orch/task.hpp"
@@ -89,6 +90,11 @@ class AdmissionQueue {
       std::size_t max_admissions,
       const std::function<void(const AdmissionRequest&)>& admit);
 
+  /// The queued-but-not-yet-admitted demands in drain order (highest class
+  /// first, FIFO within a class) — what a surfosd snapshot persists so a
+  /// restart re-submits exactly the in-flight work.
+  std::vector<AdmissionRequest> pending() const;
+
   std::size_t depth() const noexcept { return depth_; }
   bool empty() const noexcept { return depth_ == 0; }
   const AdmissionOptions& options() const noexcept { return options_; }
@@ -97,6 +103,9 @@ class AdmissionQueue {
  private:
   /// DRR weight of a priority class (>= 1).
   static std::size_t weight(orch::Priority priority) noexcept;
+  /// Construction-time capacity, unless a daemon config snapshot overrides
+  /// SURFOS_ADMIT_QUEUE (hot-reload between epochs; see core/config.hpp).
+  std::size_t effective_capacity() const;
 
   AdmissionOptions options_;
   AdmissionStats stats_;

@@ -35,8 +35,8 @@ const geom::SampleGrid& ServiceBroker::region_for(
   return it == regions_.end() ? default_region_ : it->second;
 }
 
-telemetry::TraceId ServiceBroker::start_app(std::string app_id,
-                                            AppDemand demand) {
+Result<telemetry::TraceId> ServiceBroker::start_session(
+    std::string app_id, AppDemand demand, telemetry::TraceId trace_id) {
   if (const auto it = sessions_.find(app_id);
       it != sessions_.end() && it->second.running) {
     // Name the colliding tasks: the caller learns exactly which running
@@ -46,9 +46,10 @@ telemetry::TraceId ServiceBroker::start_app(std::string app_id,
       if (!tasks.empty()) tasks += ", ";
       tasks += std::to_string(id);
     }
-    throw std::invalid_argument("ServiceBroker: app already running: " +
-                                app_id + " (holds task(s) " +
-                                (tasks.empty() ? "none" : tasks) + ")");
+    return make_error(ErrorCode::kAlreadyExists,
+                      "ServiceBroker: app already running: " + app_id +
+                          " (holds task(s) " +
+                          (tasks.empty() ? "none" : tasks) + ")");
   }
   AppSession session;
   session.app_id = app_id;
@@ -58,10 +59,7 @@ telemetry::TraceId ServiceBroker::start_app(std::string app_id,
   // One causal trace per admitted intent: every task this demand fans out
   // into — and later every span those tasks cause down through the
   // optimizer and HAL — carries this deterministic id.
-  const telemetry::TraceContext intent_trace{
-      telemetry::make_trace_id(telemetry::trace_domain("broker.intent"),
-                               ++trace_seq_),
-      0};
+  const telemetry::TraceContext intent_trace{trace_id, 0};
   telemetry::TraceScope trace_scope(intent_trace);
   SURFOS_TRACE_SPAN("broker.translate");
 
@@ -100,13 +98,42 @@ telemetry::TraceId ServiceBroker::start_app(std::string app_id,
   return intent_trace.trace_id;
 }
 
-bool ServiceBroker::submit_demand(std::string app_id, AppDemand demand,
-                                  std::optional<orch::Priority> priority) {
+Result<telemetry::TraceId> ServiceBroker::start_app(std::string app_id,
+                                                    AppDemand demand) {
+  return start_session(
+      std::move(app_id), std::move(demand),
+      telemetry::make_trace_id(telemetry::trace_domain("broker.intent"),
+                               ++trace_seq_));
+}
+
+Result<telemetry::TraceId> ServiceBroker::restore_session(
+    std::string app_id, AppDemand demand, bool running,
+    telemetry::TraceId trace_id) {
+  auto started = start_session(app_id, std::move(demand), trace_id);
+  if (!started.ok()) return started;
+  if (!running) {
+    // Restore-then-idle reuses the stop path so task bookkeeping matches a
+    // session that was stopped the normal way before the snapshot.
+    if (auto stopped = stop_app(app_id); !stopped.ok()) {
+      return stopped.error();
+    }
+  }
+  return started;
+}
+
+Result<void> ServiceBroker::submit_demand(
+    std::string app_id, AppDemand demand,
+    std::optional<orch::Priority> priority) {
   AdmissionRequest request;
   request.priority = priority.value_or(demand_priority(demand));
   request.app_id = std::move(app_id);
   request.demand = std::move(demand);
-  return admission_.submit(std::move(request));
+  const std::string id = request.app_id;
+  if (!admission_.submit(std::move(request))) {
+    return make_error(ErrorCode::kAdmissionShed,
+                      "ServiceBroker: demand shed at admission: " + id);
+  }
+  return ok_result();
 }
 
 std::size_t ServiceBroker::pump_admissions(std::size_t max_admissions) {
@@ -121,39 +148,51 @@ std::size_t ServiceBroker::pump_admissions(std::size_t max_admissions) {
                         << request.app_id;
       return;
     }
-    start_app(request.app_id, request.demand);
+    if (const auto result = start_app(request.app_id, request.demand);
+        !result.ok()) {
+      // Admission raced a concurrent start; shedding one queued demand must
+      // not abort the rest of the epoch's drain.
+      SURFOS_COUNT("broker.admission.start_failures");
+      SURFOS_WARN(kLog) << "queued demand for " << request.app_id
+                        << " failed to start: " << result.error().message;
+      return;
+    }
     ++started;
   });
   return started;
 }
 
-void ServiceBroker::stop_app(const std::string& app_id) {
+Result<void> ServiceBroker::stop_app(const std::string& app_id) {
   const auto it = sessions_.find(app_id);
   if (it == sessions_.end()) {
-    throw std::invalid_argument("ServiceBroker: unknown app: " + app_id);
+    return make_error(ErrorCode::kNotFound,
+                      "ServiceBroker: unknown app: " + app_id);
   }
   for (const orch::TaskId id : it->second.tasks) {
     if (const auto* task = orchestrator_->find_task(id); task && task->active()) {
-      orchestrator_->set_task_idle(id, true);
+      (void)orchestrator_->set_task_idle(id, true);
     }
   }
   it->second.running = false;
   SURFOS_COUNT("broker.apps.stopped");
   SURFOS_INFO(kLog) << "app " << app_id << " stopped; tasks idled";
+  return ok_result();
 }
 
-void ServiceBroker::resume_app(const std::string& app_id) {
+Result<void> ServiceBroker::resume_app(const std::string& app_id) {
   const auto it = sessions_.find(app_id);
   if (it == sessions_.end()) {
-    throw std::invalid_argument("ServiceBroker: unknown app: " + app_id);
+    return make_error(ErrorCode::kNotFound,
+                      "ServiceBroker: unknown app: " + app_id);
   }
   for (const orch::TaskId id : it->second.tasks) {
     if (const auto* task = orchestrator_->find_task(id);
         task && task->state == orch::TaskState::kIdle) {
-      orchestrator_->set_task_idle(id, false);
+      (void)orchestrator_->set_task_idle(id, false);
     }
   }
   it->second.running = true;
+  return ok_result();
 }
 
 AppStatus ServiceBroker::status(const std::string& app_id) const {
@@ -231,7 +270,7 @@ std::size_t ServiceBroker::apply_traffic_suggestions(
                  s.classification.app_class == session.demand.app_class;
         });
     if (!still_suggested) {
-      stop_app(app_id);
+      (void)stop_app(app_id);
       SURFOS_INFO(kLog) << "auto session " << app_id
                         << " stopped: traffic gone";
     }
@@ -244,7 +283,7 @@ std::size_t ServiceBroker::apply_traffic_suggestions(
                      to_string(suggestion.classification.app_class));
     const auto it = sessions_.find(app_id);
     if (it != sessions_.end()) {
-      if (!it->second.running) resume_app(app_id);
+      if (!it->second.running) (void)resume_app(app_id);
       continue;
     }
     AppDemand demand = demand_profile(suggestion.classification.app_class,
@@ -256,7 +295,7 @@ std::size_t ServiceBroker::apply_traffic_suggestions(
           std::max(*demand.throughput_mbps,
                    suggestion.features.total_mbps() * 1.2);
     }
-    start_app(app_id, std::move(demand));
+    if (!start_app(app_id, std::move(demand)).ok()) continue;
     ++started;
     SURFOS_COUNT("broker.traffic.auto_sessions");
   }
@@ -273,7 +312,7 @@ IntentResult ServiceBroker::handle_utterance(const std::string& text) {
     AppDemand demand = demand_profile(app_class, result.device, result.room);
     const std::string app_id =
         util::format("%s-%zu", to_string(app_class), ++utterance_counter_);
-    start_app(app_id, std::move(demand));
+    (void)start_app(app_id, std::move(demand));
   }
   return result;
 }

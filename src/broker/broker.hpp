@@ -16,6 +16,7 @@
 #include "broker/intent.hpp"
 #include "broker/monitor.hpp"
 #include "broker/translate.hpp"
+#include "core/status.hpp"
 #include "orch/orchestrator.hpp"
 #include "telemetry/trace.hpp"
 
@@ -52,35 +53,68 @@ class ServiceBroker {
   /// real probe grids.
   void add_region(std::string region_id, geom::SampleGrid region);
 
+  // --- Result-based service surface (the PR 8 API redesign) ---------------
+  // Failures come back as surfos::Result errors with wire-stable ErrorCodes
+  // (core/status.hpp) instead of exceptions, so the same contract holds
+  // in-process and across the surfosd socket. The old throwing entry points
+  // survive one release as [[deprecated]] shims below.
+
   /// Starts an application session synchronously: translates the demand and
   /// creates the orchestrator tasks. Returns the intent's deterministic
-  /// trace id. Throws std::invalid_argument — naming the colliding session's
-  /// task ids — if the app id is already running.
-  telemetry::TraceId start_app(std::string app_id, AppDemand demand);
+  /// trace id, or kAlreadyExists — naming the colliding session's task ids
+  /// in the message — if the app id is already running.
+  Result<telemetry::TraceId> start_app(std::string app_id, AppDemand demand);
 
   /// Queues a demand for admission instead of starting it synchronously
   /// (the fleet-scale path; see broker/admission.hpp for the fairness and
   /// shedding discipline). `priority` defaults to demand_priority(demand).
-  /// Returns false when the demand was shed on submission.
-  bool submit_demand(std::string app_id, AppDemand demand,
-                     std::optional<orch::Priority> priority = std::nullopt);
+  /// kAdmissionShed when the demand itself was refused by the full queue.
+  Result<void> submit_demand(
+      std::string app_id, AppDemand demand,
+      std::optional<orch::Priority> priority = std::nullopt);
 
   /// Drains up to `max_admissions` queued demands into running sessions
   /// under the admission queue's weighted-fair / token-budget discipline.
   /// Demands whose app id is already running are dropped with a
-  /// broker.admission.duplicates count (never a throw mid-drain). Returns
+  /// broker.admission.duplicates count (never an error mid-drain). Returns
   /// the number of sessions started.
   std::size_t pump_admissions(
       std::size_t max_admissions = std::numeric_limits<std::size_t>::max());
 
-  /// Stops an app: its tasks go idle and release resources. Throws
-  /// std::invalid_argument on an unknown app id (same contract as
-  /// resume_app).
-  void stop_app(const std::string& app_id);
+  /// Stops an app: its tasks go idle and release resources. kNotFound on an
+  /// unknown app id (same contract as resume_app).
+  Result<void> stop_app(const std::string& app_id);
 
-  /// Resumes a previously stopped app. Throws std::invalid_argument on an
-  /// unknown app id.
-  void resume_app(const std::string& app_id);
+  /// Resumes a previously stopped app. kNotFound on an unknown app id.
+  Result<void> resume_app(const std::string& app_id);
+
+  /// Re-creates a session from a surfosd snapshot under its *original*
+  /// deterministic trace id (the snapshot stored it), so a restarted daemon
+  /// mints byte-identical ids for the same intents. Stopped sessions are
+  /// restored idle. kAlreadyExists if the app id is already running.
+  Result<telemetry::TraceId> restore_session(std::string app_id,
+                                             AppDemand demand, bool running,
+                                             telemetry::TraceId trace_id);
+
+  /// The per-intent trace sequence counter — snapshotted by surfosd so a
+  /// restart continues the id stream instead of reusing ids.
+  std::uint64_t trace_seq() const noexcept { return trace_seq_; }
+  void set_trace_seq(std::uint64_t seq) noexcept { trace_seq_ = seq; }
+
+  // --- Deprecated throwing shims (one release; see DESIGN.md) --------------
+
+  [[deprecated("use the Result-returning start_app")]] telemetry::TraceId
+  start_app_or_throw(std::string app_id, AppDemand demand) {
+    return unwrap_or_throw(start_app(std::move(app_id), std::move(demand)));
+  }
+  [[deprecated("use the Result-returning stop_app")]] void stop_app_or_throw(
+      const std::string& app_id) {
+    unwrap_or_throw(stop_app(app_id));
+  }
+  [[deprecated("use the Result-returning resume_app")]] void
+  resume_app_or_throw(const std::string& app_id) {
+    unwrap_or_throw(resume_app(app_id));
+  }
 
   AppStatus status(const std::string& app_id) const;
 
@@ -110,6 +144,12 @@ class ServiceBroker {
 
  private:
   const geom::SampleGrid& region_for(const std::string& region_id) const;
+
+  /// Shared body of start_app/restore_session: translate + dispatch under an
+  /// explicit trace id.
+  Result<telemetry::TraceId> start_session(std::string app_id,
+                                           AppDemand demand,
+                                           telemetry::TraceId trace_id);
 
   orch::Orchestrator* orchestrator_;
   geom::SampleGrid default_region_;

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/config.hpp"
 #include "telemetry/telemetry.hpp"
-#include "util/env.hpp"
 #include "util/thread_pool.hpp"
 
 namespace surfos {
@@ -53,8 +53,10 @@ std::size_t Fleet::shard_count(std::size_t site_count) {
   if (site_count == 0) return 0;
   // SURFOS_FLEET_SHARDS: 0 (the default) means auto — one shard per pool
   // thread, so the shard count tracks SURFOS_THREADS. Explicit values cap
-  // the stepping concurrency without touching the shared pool.
-  std::size_t shards = util::env_size("SURFOS_FLEET_SHARDS", 0, 0);
+  // the stepping concurrency without touching the shared pool. Read through
+  // the config snapshot per step_all, so `surfos-ctl set-knob` retunes the
+  // stepping concurrency between epochs without a restart.
+  std::size_t shards = core::knob("SURFOS_FLEET_SHARDS", 0, 0);
   if (shards == 0) shards = util::global_pool().thread_count();
   return std::clamp<std::size_t>(shards, 1, site_count);
 }

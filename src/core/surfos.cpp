@@ -62,12 +62,13 @@ const std::string& SurfOS::install_passive(
   return registry_.add_surface(std::move(driver));
 }
 
-InstallReport SurfOS::install_from_datasheet(const std::string& datasheet_text,
-                                             const geom::Frame& pose,
-                                             std::string device_id) {
+Result<InstallReport> SurfOS::install_from_datasheet(
+    const std::string& datasheet_text, const geom::Frame& pose,
+    std::string device_id) {
   auto parsed = broker::parse_datasheet(datasheet_text);
   if (!parsed.blueprint) {
-    throw std::invalid_argument("install_from_datasheet: unusable datasheet");
+    return make_error(ErrorCode::kParseError,
+                      "install_from_datasheet: unusable datasheet");
   }
   panels_.push_back(std::make_unique<surface::SurfacePanel>(
       broker::build_panel(*parsed.blueprint, pose)));

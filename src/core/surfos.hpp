@@ -20,6 +20,7 @@
 
 #include "broker/broker.hpp"
 #include "broker/specgen.hpp"
+#include "core/status.hpp"
 #include "hal/registry.hpp"
 #include "orch/orchestrator.hpp"
 #include "sim/environment.hpp"
@@ -57,11 +58,21 @@ class SurfOS {
       const surface::SurfaceConfig& fabricated_config = {});
 
   /// Parses a datasheet and installs the described surface (driver
-  /// generation workflow). Throws std::invalid_argument on fatal parse
-  /// failure; non-fatal parse warnings come back in the report.
-  InstallReport install_from_datasheet(const std::string& datasheet_text,
-                                       const geom::Frame& pose,
-                                       std::string device_id);
+  /// generation workflow). kParseError on a fatally unusable datasheet;
+  /// non-fatal parse warnings come back in the report.
+  Result<InstallReport> install_from_datasheet(
+      const std::string& datasheet_text, const geom::Frame& pose,
+      std::string device_id);
+
+  /// Deprecated throwing shim for the pre-Result API (one release; see
+  /// DESIGN.md "Daemon & wire protocol").
+  [[deprecated("use the Result-returning install_from_datasheet")]]
+  InstallReport install_from_datasheet_or_throw(
+      const std::string& datasheet_text, const geom::Frame& pose,
+      std::string device_id) {
+    return unwrap_or_throw(
+        install_from_datasheet(datasheet_text, pose, std::move(device_id)));
+  }
 
   /// Registers a client/sensor endpoint the orchestrator can target.
   void register_endpoint(std::string id, hal::EndpointKind kind,

@@ -1,0 +1,108 @@
+#include "daemon/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "telemetry/trace.hpp"
+
+namespace surfos::daemon {
+
+Result<Client> Client::connect(const std::string& socket_path) {
+  if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "socket path too long: " + socket_path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return make_error(ErrorCode::kIoError,
+                      std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd);
+    return make_error(ErrorCode::kIoError,
+                      "connect " + socket_path + ": " + what);
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), seq_(other.seq_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    seq_ = other.seq_;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<proto::WireFrame> Client::call(proto::MsgType type,
+                                      std::span<const std::uint8_t> payload,
+                                      std::uint64_t trace_id) {
+  if (fd_ < 0) return make_error(ErrorCode::kUnavailable, "not connected");
+  proto::WireFrame request;
+  request.type = type;
+  request.trace_id =
+      trace_id != 0
+          ? trace_id
+          : telemetry::make_trace_id(telemetry::trace_domain("surfos.client"),
+                                     ++seq_);
+  request.payload.assign(payload.begin(), payload.end());
+  const auto encoded = proto::encode_frame(request);
+  if (!encoded.ok()) return encoded.error();
+
+  std::size_t at = 0;
+  while (at < encoded.value().size()) {
+    const ssize_t n =
+        ::write(fd_, encoded.value().data() + at, encoded.value().size() - at);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return make_error(ErrorCode::kIoError,
+                        std::string("write: ") + std::strerror(errno));
+    }
+    at += static_cast<std::size_t>(n);
+  }
+
+  std::vector<std::uint8_t> buffer;
+  while (true) {
+    const proto::FrameDecode decode = proto::try_decode_frame(buffer);
+    if (decode.frame) {
+      if (decode.frame->trace_id != request.trace_id) {
+        return make_error(ErrorCode::kInternal,
+                          "reply trace id does not match request");
+      }
+      return *decode.frame;
+    }
+    if (decode.error) return *decode.error;
+    std::uint8_t chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return make_error(ErrorCode::kIoError,
+                        std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return make_error(ErrorCode::kIoError,
+                        "daemon closed the connection mid-reply");
+    }
+    buffer.insert(buffer.end(), chunk, chunk + n);
+  }
+}
+
+}  // namespace surfos::daemon

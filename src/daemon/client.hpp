@@ -1,0 +1,47 @@
+// Client side of the surfosd wire protocol: a blocking request/reply
+// connection over the daemon's Unix-domain socket.
+//
+// Used by the CLI tools (surfos-ctl, surfos-status) and the daemon tests.
+// One call() writes one frame and reads bytes until exactly one reply frame
+// decodes; the daemon's reply always echoes the request's trace id, which
+// call() verifies. Clients that do not mint their own trace ids get
+// deterministic ones (domain "surfos.client", per-connection sequence).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/status.hpp"
+#include "proto/wire.hpp"
+
+namespace surfos::daemon {
+
+class Client {
+ public:
+  /// Connects to a surfosd socket. kIoError (with errno text) on failure.
+  static Result<Client> connect(const std::string& socket_path);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// One request/reply round trip. `trace_id` 0 mints a deterministic
+  /// client-side id; the returned frame is the daemon's reply (possibly a
+  /// kError frame — protocol errors are data, not I/O failures).
+  Result<proto::WireFrame> call(proto::MsgType type,
+                                std::span<const std::uint8_t> payload,
+                                std::uint64_t trace_id = 0);
+
+  bool connected() const noexcept { return fd_ >= 0; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace surfos::daemon

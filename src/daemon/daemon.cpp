@@ -1,0 +1,772 @@
+#include "daemon/daemon.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+
+#include "broker/admission.hpp"
+#include "core/config.hpp"
+#include "daemon/snapshot.hpp"
+#include "daemon/tags.hpp"
+#include "em/material.hpp"
+#include "proto/serialize.hpp"
+#include "surface/catalog.hpp"
+#include "telemetry/recorder.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
+#include "util/log.hpp"
+
+namespace surfos::daemon {
+
+namespace {
+
+constexpr const char* kLog = "surfosd";
+
+/// Stable string hash (FNV-1a) for deterministic endpoint placement — the
+/// same endpoint name lands at the same spot on every run and after every
+/// restart (std::hash makes no such promise).
+std::uint64_t stable_hash(const std::string& s) noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+proto::WireFrame reply_frame(proto::MsgType type, std::uint64_t trace_id) {
+  proto::WireFrame frame;
+  frame.type = type;
+  frame.trace_id = trace_id;
+  return frame;
+}
+
+proto::WireFrame error_reply(std::uint64_t trace_id, const Error& error) {
+  proto::WireFrame frame = reply_frame(proto::MsgType::kError, trace_id);
+  proto::TlvWriter w(frame.payload);
+  w.put_u32(tag::kErrorCode, static_cast<std::uint32_t>(error.code));
+  w.put_string(tag::kErrorMessage, error.message);
+  return frame;
+}
+
+proto::WireFrame error_reply(std::uint64_t trace_id, ErrorCode code,
+                             const std::string& message) {
+  return error_reply(trace_id, Error{code, message});
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t at = 0;
+  while (at < size) {
+    const ssize_t n = ::write(fd, data + at, size - at);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    at += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
+  if (options_.sites == 0) options_.sites = 1;
+  if (options_.grid_n < 2) options_.grid_n = 2;
+  build_world();
+}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::build_world() {
+  // One 4 m room per site with a surface on the east wall, the AP high in
+  // the west, and a person walking a diagonal track — the dynamic world the
+  // ticker advances every epoch.
+  budget_ = em::LinkBudget{10.0, em::band_bandwidth(em::Band::k28GHz), 7.0};
+  const surface::Catalog catalog = surface::Catalog::standard();
+  const surface::CatalogEntry* design = catalog.find("NR-Surface");
+
+  sites_.resize(options_.sites);
+  for (std::size_t i = 0; i < options_.sites; ++i) {
+    Site& site = sites_[i];
+    site.id = "site" + std::to_string(i);
+
+    em::MaterialDb materials = em::MaterialDb::standard();
+    const int body = sim::add_body_material(materials);
+    site.world = std::make_unique<sim::DynamicEnvironment>(
+        std::move(materials), [](sim::Environment& env) {
+          constexpr double kH = 3.0;
+          env.add_vertical_wall(0.0, 4.0, 4.0, 4.0, 0.0, kH, em::kMatConcrete);
+          env.add_vertical_wall(0.0, 0.0, 0.0, 4.0, 0.0, kH, em::kMatConcrete);
+          env.add_vertical_wall(4.0, 0.0, 4.0, 4.0, 0.0, kH, em::kMatConcrete);
+          env.add_vertical_wall(0.0, 0.0, 4.0, 0.0, 0.0, kH, em::kMatConcrete);
+          env.add_horizontal_slab(0.0, 4.0, 0.0, 4.0, 0.0, em::kMatFloor);
+        });
+    sim::MovingBlocker person;
+    person.id = "walker";
+    person.waypoints = {{0.8, 0.8, 0.0}, {3.2, 3.2, 0.0}};
+    person.speed_mps = 0.8;
+    person.material_id = body;
+    site.world->add_blocker(std::move(person));
+
+    const geom::Frame surface_pose({3.92, 2.0, 1.8}, {-1.0, 0.0, 0.0});
+    const geom::Vec3 ap_position{0.4, 2.0, 2.2};
+    const geom::Vec3 boresight =
+        (surface_pose.origin() - ap_position).normalized();
+    site.antenna = std::make_unique<em::SectorAntenna>(boresight, 35.0);
+
+    auto os = std::make_unique<SurfOS>(&site.world->environment(),
+                                       sim::TxSpec{ap_position,
+                                                   site.antenna.get()},
+                                       em::Band::k28GHz, budget_);
+    os->install_programmable(*design, surface_pose, 8, 8,
+                             site.id + "-wall");
+    os->broker().add_region(
+        "room", geom::SampleGrid(0.5, 3.5, 0.5, 3.5, 1.0, options_.grid_n,
+                                 options_.grid_n));
+    site.os = &fleet_.add_site(site.id, std::move(os));
+  }
+}
+
+Daemon::Site* Daemon::find_site_entry(const std::string& site_id) {
+  if (site_id.empty()) return sites_.empty() ? nullptr : &sites_.front();
+  for (Site& site : sites_) {
+    if (site.id == site_id) return &site;
+  }
+  return nullptr;
+}
+
+void Daemon::ensure_endpoint(Site& site, const std::string& endpoint_id) {
+  if (endpoint_id.empty()) return;
+  if (site.os->registry().find_endpoint(endpoint_id) != nullptr) return;
+  const std::uint64_t h = stable_hash(endpoint_id);
+  const double x = 0.6 + static_cast<double>(h % 1024) / 1023.0 * 2.8;
+  const double y = 0.6 + static_cast<double>((h >> 10) % 1024) / 1023.0 * 2.8;
+  site.os->register_endpoint(endpoint_id, hal::EndpointKind::kClient,
+                             {x, y, 1.1});
+  site.auto_endpoints.insert(endpoint_id);
+  SURFOS_INFO(kLog) << "endpoint " << endpoint_id << " arrived at "
+                    << site.id;
+}
+
+void Daemon::gc_endpoints(Site& site) {
+  for (auto it = site.auto_endpoints.begin();
+       it != site.auto_endpoints.end();) {
+    bool referenced = false;
+    for (const auto& [app_id, session] : site.os->broker().sessions()) {
+      if (session.demand.endpoint_id == *it) {
+        referenced = true;
+        break;
+      }
+    }
+    // Also keep endpoints queued demands still name.
+    if (!referenced) {
+      for (const auto& queued : site.os->broker().admission().pending()) {
+        if (queued.demand.endpoint_id == *it) {
+          referenced = true;
+          break;
+        }
+      }
+    }
+    if (referenced) {
+      ++it;
+    } else {
+      SURFOS_INFO(kLog) << "endpoint " << *it << " departed from " << site.id;
+      site.os->registry().remove_endpoint(*it);
+      it = site.auto_endpoints.erase(it);
+    }
+  }
+}
+
+void Daemon::run_epoch() {
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t epoch_ms =
+      options_.epoch_ms != 0 ? options_.epoch_ms
+                             : core::knob("SURFOS_EPOCH_MS", 20, 1);
+  const std::uint64_t pump_max = core::knob("SURFOS_PUMP_MAX", 8, 1);
+  sim_now_us_ += epoch_ms * 1000;
+
+  for (Site& site : sites_) {
+    site.os->clock().advance_to(sim_now_us_);
+    if (site.world->advance_to(sim_now_us_)) {
+      // The rebuild replaced the Environment object; repoint the control
+      // plane and drop its cached channels.
+      site.os->orchestrator().set_environment(&site.world->environment());
+      ++stats_.env_rebuilds;
+    }
+    site.os->broker().pump_admissions(pump_max);
+  }
+
+  const FleetReport report = fleet_.step_all();
+
+  for (Site& site : sites_) {
+    site.os->broker().escalate_unsatisfied();
+    gc_endpoints(site);
+  }
+
+  last_report_wire_ = proto::to_wire(report);
+  ++stats_.epochs;
+  stats_.last_epoch_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+}
+
+// --- Request dispatch --------------------------------------------------------
+
+proto::WireFrame Daemon::handle_request(const proto::WireFrame& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.requests;
+  // Resolve the request's causal trace: client-minted id, or daemon-minted
+  // for trace-less clients. Everything the handler does — broker calls,
+  // flight-recorder spans — runs under this id, and the reply echoes it.
+  proto::WireFrame traced = request;
+  if (traced.trace_id == 0) {
+    traced.trace_id = telemetry::make_trace_id(
+        telemetry::trace_domain("surfosd.request"), stats_.requests);
+  }
+  const telemetry::TraceScope scope({traced.trace_id, 0});
+  SURFOS_TRACE_SPAN("surfosd.request");
+
+  switch (traced.type) {
+    case proto::MsgType::kHello: return handle_hello(traced);
+    case proto::MsgType::kSubmitDemand: return handle_submit(traced);
+    case proto::MsgType::kStopApp: return handle_stop_resume(traced, false);
+    case proto::MsgType::kResumeApp: return handle_stop_resume(traced, true);
+    case proto::MsgType::kGetStatus: return handle_status(traced);
+    case proto::MsgType::kGetMetrics: return handle_metrics(traced);
+    case proto::MsgType::kStreamTraces: return handle_traces(traced);
+    case proto::MsgType::kSnapshot: return handle_snapshot(traced);
+    case proto::MsgType::kRestore: return handle_restore(traced);
+    case proto::MsgType::kSetKnob: return handle_set_knob(traced);
+    case proto::MsgType::kGetKnobs: return handle_get_knobs(traced);
+    case proto::MsgType::kShutdown: {
+      SURFOS_INFO(kLog) << "shutdown requested over the wire";
+      running_.store(false);
+      stop_cv_.notify_all();
+      if (wake_pipe_[1] >= 0) {
+        const char byte = 's';
+        (void)!::write(wake_pipe_[1], &byte, 1);
+      }
+      return reply_frame(proto::MsgType::kOk, traced.trace_id);
+    }
+    default:
+      return error_reply(traced.trace_id, ErrorCode::kUnknownCommand,
+                         "not a request message type");
+  }
+}
+
+proto::WireFrame Daemon::handle_hello(const proto::WireFrame& request) {
+  std::uint16_t client_max = proto::kProtoVersion;
+  proto::TlvReader r(request.payload);
+  while (const auto tlv = r.next()) {
+    if (tlv->tag == tag::kMaxVersion) {
+      client_max = proto::tlv_u16(*tlv).value_or(proto::kProtoVersion);
+    }
+  }
+  proto::WireFrame reply =
+      reply_frame(proto::MsgType::kHelloAck, request.trace_id);
+  proto::TlvWriter w(reply.payload);
+  w.put_u16(tag::kChosenVersion,
+            std::min<std::uint16_t>(client_max, proto::kProtoVersion));
+  w.put_string(tag::kServerName, "surfosd");
+  return reply;
+}
+
+proto::WireFrame Daemon::handle_submit(const proto::WireFrame& request) {
+  std::string app_id;
+  std::string site_id;
+  broker::AppDemand demand;
+  bool have_demand = false;
+  std::optional<orch::Priority> priority;
+  proto::TlvReader r(request.payload);
+  while (const auto tlv = r.next()) {
+    switch (tlv->tag) {
+      case tag::kAppId: app_id = proto::tlv_string(*tlv); break;
+      case tag::kSiteId: site_id = proto::tlv_string(*tlv); break;
+      case tag::kDemand: {
+        if (auto parsed = proto::from_wire(tlv->value, demand);
+            !parsed.ok()) {
+          return error_reply(request.trace_id, parsed.error());
+        }
+        have_demand = true;
+        break;
+      }
+      case tag::kPriority: {
+        if (const auto v = proto::tlv_u64(*tlv)) {
+          priority = static_cast<orch::Priority>(*v);
+        }
+        break;
+      }
+      default: break;
+    }
+  }
+  if (r.truncated() || app_id.empty() || !have_demand) {
+    return error_reply(request.trace_id, ErrorCode::kMalformedFrame,
+                       "submit_demand needs app id and demand");
+  }
+  Site* site = find_site_entry(site_id);
+  if (site == nullptr) {
+    return error_reply(request.trace_id, ErrorCode::kNotFound,
+                       "unknown site: " + site_id);
+  }
+  ensure_endpoint(*site, demand.endpoint_id);
+  if (auto submitted =
+          site->os->broker().submit_demand(app_id, std::move(demand),
+                                           priority);
+      !submitted.ok()) {
+    return error_reply(request.trace_id, submitted.error());
+  }
+  proto::WireFrame reply = reply_frame(proto::MsgType::kOk, request.trace_id);
+  proto::TlvWriter w(reply.payload);
+  w.put_u64(tag::kQueueDepth, site->os->broker().admission().depth());
+  return reply;
+}
+
+proto::WireFrame Daemon::handle_stop_resume(const proto::WireFrame& request,
+                                            bool resume) {
+  std::string app_id;
+  std::string site_id;
+  proto::TlvReader r(request.payload);
+  while (const auto tlv = r.next()) {
+    if (tlv->tag == tag::kAppId) app_id = proto::tlv_string(*tlv);
+    if (tlv->tag == tag::kSiteId) site_id = proto::tlv_string(*tlv);
+  }
+  if (r.truncated() || app_id.empty()) {
+    return error_reply(request.trace_id, ErrorCode::kMalformedFrame,
+                       "stop/resume needs an app id");
+  }
+  Site* site = find_site_entry(site_id);
+  if (site == nullptr) {
+    return error_reply(request.trace_id, ErrorCode::kNotFound,
+                       "unknown site: " + site_id);
+  }
+  const Result<void> result = resume ? site->os->broker().resume_app(app_id)
+                                     : site->os->broker().stop_app(app_id);
+  if (!result.ok()) return error_reply(request.trace_id, result.error());
+  return reply_frame(proto::MsgType::kOk, request.trace_id);
+}
+
+proto::WireFrame Daemon::handle_status(const proto::WireFrame& request) {
+  std::string app_filter;
+  std::string site_filter;
+  proto::TlvReader r(request.payload);
+  while (const auto tlv = r.next()) {
+    if (tlv->tag == tag::kAppId) app_filter = proto::tlv_string(*tlv);
+    if (tlv->tag == tag::kSiteId) site_filter = proto::tlv_string(*tlv);
+  }
+  proto::WireFrame reply =
+      reply_frame(proto::MsgType::kStatusReply, request.trace_id);
+  proto::TlvWriter w(reply.payload);
+  std::uint64_t queue_depth = 0;
+  for (Site& site : sites_) {
+    if (!site_filter.empty() && site.id != site_filter) continue;
+    queue_depth += site.os->broker().admission().depth();
+    for (const auto& [app_id, session] : site.os->broker().sessions()) {
+      if (!app_filter.empty() && app_id != app_filter) continue;
+      const broker::AppStatus status = site.os->broker().status(app_id);
+      std::vector<std::uint8_t> nested;
+      proto::TlvWriter n(nested);
+      n.put_u16(1, proto::kStructVersion);
+      n.put_string(tag::kSessionApp, app_id);
+      n.put_string(tag::kSessionSite, site.id);
+      n.put_u8(tag::kSessionRunning, session.running ? 1 : 0);
+      n.put_u64(tag::kSessionTrace, session.trace_id);
+      n.put_u8(tag::kSessionSatisfied, status.satisfied ? 1 : 0);
+      n.put_u64(tag::kSessionTasksTotal, status.tasks_total);
+      n.put_u64(tag::kSessionTasksMet, status.tasks_met);
+      w.put_bytes(tag::kSession, nested);
+    }
+  }
+  w.put_u64(tag::kQueueDepth, queue_depth);
+  w.put_u64(tag::kStatusEpochs, stats_.epochs);
+  return reply;
+}
+
+proto::WireFrame Daemon::handle_metrics(const proto::WireFrame& request) {
+  proto::WireFrame reply =
+      reply_frame(proto::MsgType::kMetricsReply, request.trace_id);
+  proto::TlvWriter w(reply.payload);
+  w.put_bytes(tag::kReport, last_report_wire_);
+  w.put_u64(tag::kEpochs, stats_.epochs);
+  w.put_u64(tag::kRebuilds, stats_.env_rebuilds);
+  w.put_f64(tag::kLastEpochMs, stats_.last_epoch_ms);
+  w.put_u64(tag::kRequests, stats_.requests);
+  return reply;
+}
+
+proto::WireFrame Daemon::handle_traces(const proto::WireFrame& request) {
+  const auto events = telemetry::Recorder::instance().events();
+  proto::WireFrame reply =
+      reply_frame(proto::MsgType::kTraceChunk, request.trace_id);
+  proto::TlvWriter w(reply.payload);
+  w.put_string(tag::kTraceJson, telemetry::chrome_trace_json(events));
+  w.put_u64(tag::kEventCount, events.size());
+  return reply;
+}
+
+proto::WireFrame Daemon::handle_snapshot(const proto::WireFrame& request) {
+  if (options_.snapshot_path.empty()) {
+    return error_reply(request.trace_id, ErrorCode::kUnavailable,
+                       "daemon started without a snapshot path");
+  }
+  DaemonSnapshot snapshot;
+  snapshot.sim_now_us = sim_now_us_;
+  snapshot.epochs = stats_.epochs;
+  snapshot.last_report_wire = last_report_wire_;
+  for (Site& site : sites_) {
+    for (const auto& [app_id, session] : site.os->broker().sessions()) {
+      SessionRecord record;
+      record.site_id = site.id;
+      record.app_id = app_id;
+      record.running = session.running;
+      record.trace_id = session.trace_id;
+      record.demand = session.demand;
+      snapshot.sessions.push_back(std::move(record));
+    }
+    for (const auto& queued : site.os->broker().admission().pending()) {
+      QueuedRecord record;
+      record.site_id = site.id;
+      record.app_id = queued.app_id;
+      record.priority = static_cast<std::uint64_t>(queued.priority);
+      record.demand = queued.demand;
+      snapshot.queued.push_back(std::move(record));
+    }
+    snapshot.trace_seqs.push_back(
+        SeqRecord{site.id, site.os->broker().trace_seq()});
+    for (const std::string& endpoint_id : site.auto_endpoints) {
+      const auto* endpoint =
+          site.os->registry().find_endpoint(endpoint_id);
+      if (endpoint == nullptr) continue;
+      EndpointRecord record;
+      record.site_id = site.id;
+      record.endpoint_id = endpoint_id;
+      record.kind = static_cast<std::uint8_t>(endpoint->kind);
+      record.x = endpoint->position.x;
+      record.y = endpoint->position.y;
+      record.z = endpoint->position.z;
+      snapshot.endpoints.push_back(std::move(record));
+    }
+  }
+  if (auto saved = save_snapshot_file(snapshot, options_.snapshot_path);
+      !saved.ok()) {
+    return error_reply(request.trace_id, saved.error());
+  }
+  SURFOS_INFO(kLog) << "snapshot written to " << options_.snapshot_path
+                    << " (" << snapshot.sessions.size() << " session(s), "
+                    << snapshot.queued.size() << " queued)";
+  proto::WireFrame reply = reply_frame(proto::MsgType::kOk, request.trace_id);
+  proto::TlvWriter w(reply.payload);
+  w.put_string(tag::kPath, options_.snapshot_path);
+  w.put_u64(tag::kBytes, to_wire(snapshot).size());
+  return reply;
+}
+
+proto::WireFrame Daemon::handle_restore(const proto::WireFrame& request) {
+  for (Site& site : sites_) {
+    if (!site.os->broker().sessions().empty()) {
+      return error_reply(request.trace_id, ErrorCode::kUnavailable,
+                         "restore requires a fresh daemon (sessions exist)");
+    }
+  }
+  auto loaded = load_snapshot_file(options_.snapshot_path);
+  if (!loaded.ok()) return error_reply(request.trace_id, loaded.error());
+  if (auto applied = apply_snapshot(loaded.value()); !applied.ok()) {
+    return error_reply(request.trace_id, applied.error());
+  }
+  return reply_frame(proto::MsgType::kOk, request.trace_id);
+}
+
+proto::WireFrame Daemon::handle_set_knob(const proto::WireFrame& request) {
+  std::string name;
+  std::optional<std::uint64_t> value;
+  proto::TlvReader r(request.payload);
+  while (const auto tlv = r.next()) {
+    if (tlv->tag == tag::kKnobName) name = proto::tlv_string(*tlv);
+    if (tlv->tag == tag::kKnobValue) value = proto::tlv_u64(*tlv);
+  }
+  if (r.truncated() || name.empty() || !value) {
+    return error_reply(request.trace_id, ErrorCode::kMalformedFrame,
+                       "set-knob needs a name and a value");
+  }
+  if (auto set = core::set_config_knob(name, *value); !set.ok()) {
+    return error_reply(request.trace_id, set.error());
+  }
+  SURFOS_INFO(kLog) << "knob " << name << " set to " << *value;
+  return reply_frame(proto::MsgType::kOk, request.trace_id);
+}
+
+proto::WireFrame Daemon::handle_get_knobs(const proto::WireFrame& request) {
+  proto::WireFrame reply =
+      reply_frame(proto::MsgType::kKnobsReply, request.trace_id);
+  proto::TlvWriter w(reply.payload);
+  const auto snapshot = core::config_snapshot();
+  for (const core::KnobSpec& spec : core::kKnobRegistry) {
+    std::vector<std::uint8_t> nested;
+    proto::TlvWriter n(nested);
+    n.put_u16(1, proto::kStructVersion);
+    n.put_string(tag::kKnobName, spec.name);
+    const auto value = snapshot ? snapshot->lookup(spec.name) : std::nullopt;
+    n.put_u8(tag::kKnobHasValue, value ? 1 : 0);
+    if (value) n.put_u64(tag::kKnobValue, *value);
+    n.put_string(tag::kKnobDoc, spec.doc);
+    w.put_bytes(tag::kKnob, nested);
+  }
+  return reply;
+}
+
+// --- Snapshot / restore ------------------------------------------------------
+
+Result<void> Daemon::save_snapshot() {
+  // Reuse the wire handler so the SIGTERM path and `surfos-ctl snapshot`
+  // are byte-identical. A synthetic trace-less request keeps the flight
+  // recorder's causal story honest ("snapshot requested").
+  proto::WireFrame request;
+  request.type = proto::MsgType::kSnapshot;
+  const proto::WireFrame reply = handle_request(request);
+  if (reply.type == proto::MsgType::kError) {
+    ErrorCode code = ErrorCode::kInternal;
+    std::string message = "snapshot failed";
+    proto::TlvReader r(reply.payload);
+    while (const auto tlv = r.next()) {
+      if (tlv->tag == tag::kErrorCode) {
+        if (const auto v = proto::tlv_u32(*tlv)) {
+          code = static_cast<ErrorCode>(*v);
+        }
+      }
+      if (tlv->tag == tag::kErrorMessage) message = proto::tlv_string(*tlv);
+    }
+    return make_error(code, message);
+  }
+  return ok_result();
+}
+
+Result<void> Daemon::load_snapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto loaded = load_snapshot_file(options_.snapshot_path);
+  if (!loaded.ok()) return loaded.error();
+  return apply_snapshot(loaded.value());
+}
+
+Result<void> Daemon::apply_snapshot(const DaemonSnapshot& snapshot) {
+  sim_now_us_ = snapshot.sim_now_us;
+  stats_.epochs = snapshot.epochs;
+  last_report_wire_ = snapshot.last_report_wire;
+  for (Site& site : sites_) {
+    site.os->clock().advance_to(sim_now_us_);
+    if (site.world->advance_to(sim_now_us_)) {
+      site.os->orchestrator().set_environment(&site.world->environment());
+    }
+  }
+  // Endpoints before sessions: a restored demand must find the endpoint it
+  // names, at its original (snapshotted) position.
+  for (const EndpointRecord& record : snapshot.endpoints) {
+    Site* site = find_site_entry(record.site_id);
+    if (site == nullptr) continue;
+    if (site->os->registry().find_endpoint(record.endpoint_id) == nullptr) {
+      site->os->register_endpoint(
+          record.endpoint_id, static_cast<hal::EndpointKind>(record.kind),
+          {record.x, record.y, record.z});
+    }
+    site->auto_endpoints.insert(record.endpoint_id);
+  }
+  for (const SessionRecord& record : snapshot.sessions) {
+    Site* site = find_site_entry(record.site_id);
+    if (site == nullptr) {
+      return make_error(ErrorCode::kNotFound,
+                        "snapshot names unknown site: " + record.site_id);
+    }
+    if (auto restored = site->os->broker().restore_session(
+            record.app_id, record.demand, record.running, record.trace_id);
+        !restored.ok()) {
+      return restored.error();
+    }
+  }
+  // In-flight demands go back through the weighted-fair admission queue —
+  // restore never skips admission control.
+  for (const QueuedRecord& record : snapshot.queued) {
+    Site* site = find_site_entry(record.site_id);
+    if (site == nullptr) continue;
+    (void)site->os->broker().submit_demand(
+        record.app_id, record.demand,
+        static_cast<orch::Priority>(record.priority));
+  }
+  for (const SeqRecord& record : snapshot.trace_seqs) {
+    if (Site* site = find_site_entry(record.site_id)) {
+      site->os->broker().set_trace_seq(record.trace_seq);
+    }
+  }
+  SURFOS_INFO(kLog) << "restored " << snapshot.sessions.size()
+                    << " session(s), " << snapshot.queued.size()
+                    << " queued demand(s) at epoch " << snapshot.epochs;
+  return ok_result();
+}
+
+// --- Threads / socket --------------------------------------------------------
+
+Result<void> Daemon::start() {
+  if (running_.load()) return ok_result();
+  if (options_.socket_path.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "empty socket path");
+  }
+  if (options_.socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "socket path too long: " + options_.socket_path);
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return make_error(ErrorCode::kIoError,
+                      std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(options_.socket_path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return make_error(ErrorCode::kIoError,
+                      "bind/listen " + options_.socket_path + ": " + what);
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return make_error(ErrorCode::kIoError,
+                      std::string("pipe: ") + std::strerror(errno));
+  }
+  running_.store(true);
+  server_ = std::thread([this] { server_main(); });
+  if (options_.ticker) {
+    ticker_ = std::thread([this] { ticker_main(); });
+  }
+  SURFOS_INFO(kLog) << "serving on " << options_.socket_path << " ("
+                    << sites_.size() << " site(s))";
+  return ok_result();
+}
+
+void Daemon::stop() {
+  running_.store(false);
+  stop_cv_.notify_all();
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'q';
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+  if (ticker_.joinable()) ticker_.join();
+  if (server_.joinable()) server_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+void Daemon::wait() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  stop_cv_.wait(lock, [this] { return !running_.load(); });
+}
+
+void Daemon::ticker_main() {
+  while (running_.load()) {
+    run_epoch();
+    const std::uint64_t epoch_ms =
+        options_.epoch_ms != 0 ? options_.epoch_ms
+                               : core::knob("SURFOS_EPOCH_MS", 20, 1);
+    std::unique_lock<std::mutex> lock(stop_mu_);
+    stop_cv_.wait_for(lock, std::chrono::milliseconds(epoch_ms),
+                      [this] { return !running_.load(); });
+  }
+}
+
+bool Daemon::service_connection(int fd, std::vector<std::uint8_t>& buffer) {
+  std::uint8_t chunk[4096];
+  const ssize_t n = ::read(fd, chunk, sizeof chunk);
+  if (n <= 0) return false;  // closed or errored peer
+  buffer.insert(buffer.end(), chunk, chunk + n);
+  while (true) {
+    const proto::FrameDecode decode = proto::try_decode_frame(buffer);
+    if (decode.consumed == 0 && !decode.error) return true;  // need more
+    if (decode.error) {
+      // Malformed / oversized / wrong-version frame: answer with a proper
+      // error reply, then close — the stream offset is no longer trusted.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.malformed;
+      }
+      const proto::WireFrame reply = error_reply(0, *decode.error);
+      if (const auto encoded = proto::encode_frame(reply); encoded.ok()) {
+        (void)write_all(fd, encoded.value().data(), encoded.value().size());
+      }
+      return false;
+    }
+    buffer.erase(buffer.begin(),
+                 buffer.begin() + static_cast<std::ptrdiff_t>(decode.consumed));
+    const proto::WireFrame reply = handle_request(*decode.frame);
+    const auto encoded = proto::encode_frame(reply);
+    if (!encoded.ok()) return false;
+    if (!write_all(fd, encoded.value().data(), encoded.value().size())) {
+      return false;
+    }
+    if (buffer.empty()) return true;
+  }
+}
+
+void Daemon::server_main() {
+  std::map<int, std::vector<std::uint8_t>> connections;
+  while (running_.load()) {
+    std::vector<pollfd> fds;
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, buffer] : connections) {
+      fds.push_back({fd, POLLIN, 0});
+    }
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[0].revents & POLLIN) {
+      char drain[16];
+      (void)!::read(wake_pipe_[0], drain, sizeof drain);
+      continue;  // running_ re-checked at the top
+    }
+    if (fds[1].revents & POLLIN) {
+      const int client = ::accept(listen_fd_, nullptr, nullptr);
+      if (client >= 0) connections.emplace(client, std::vector<std::uint8_t>());
+    }
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      if (!(fds[i].revents & (POLLIN | POLLERR | POLLHUP))) continue;
+      const int fd = fds[i].fd;
+      if (!service_connection(fd, connections[fd])) {
+        ::close(fd);
+        connections.erase(fd);
+      }
+    }
+  }
+  for (const auto& [fd, buffer] : connections) ::close(fd);
+}
+
+DaemonStats Daemon::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<std::uint8_t> Daemon::last_report_wire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_report_wire_;
+}
+
+}  // namespace surfos::daemon

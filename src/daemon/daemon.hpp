@@ -1,0 +1,159 @@
+// surfosd: the long-running SurfOS control daemon (ROADMAP item 1).
+//
+// Owns a Fleet (one SurfOS per site, each over a DynamicEnvironment with a
+// moving human blocker), a ServiceBroker per site, and two threads:
+//
+//   - the TICKER runs continuous control epochs: advance the simulated
+//     clock, move the blockers (rebuild + re-plan on motion), drain the
+//     PR 7 admission queue, step every site, escalate unsatisfied apps, and
+//     serialize the FleetReport for get_metrics;
+//   - the SERVER poll()s a Unix-domain socket and speaks the versioned TLV
+//     protocol (proto/wire.hpp). Every request is handled under a
+//     TraceScope of the request frame's trace id, and every reply echoes
+//     it — the admit->applied trace join extends across the process
+//     boundary.
+//
+// Both threads share state under one mutex; epochs are short (tens of ms at
+// daemon scale) so request latency stays bounded.
+//
+// Crash/restart drill: SIGTERM (tools/surfosd.cpp) calls save_snapshot();
+// a restarted daemon load_snapshot()s, re-creates sessions under their
+// original trace ids, re-submits queued demands through admission, and
+// serves the pre-restart FleetReport bytes verbatim until its first epoch.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fleet.hpp"
+#include "core/status.hpp"
+#include "em/antenna.hpp"
+#include "proto/wire.hpp"
+#include "sim/dynamics.hpp"
+
+namespace surfos::daemon {
+
+struct DaemonOptions {
+  std::string socket_path;    ///< Unix-domain socket to serve on.
+  std::string snapshot_path;  ///< Where save_snapshot() writes.
+  std::size_t sites = 1;      ///< Fleet size ("site0", "site1", ...).
+  std::size_t grid_n = 3;     ///< Coverage-grid resolution per site.
+  /// Control-epoch period in wall milliseconds; 0 = SURFOS_EPOCH_MS knob
+  /// (default 20). The simulated clock advances by the same amount.
+  std::uint64_t epoch_ms = 0;
+  /// Run epochs on the background ticker thread. Tests turn this off and
+  /// drive run_epoch() by hand for determinism.
+  bool ticker = true;
+};
+
+struct DaemonStats {
+  std::uint64_t epochs = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t malformed = 0;      ///< Rejected frames (all close-worthy causes).
+  std::uint64_t env_rebuilds = 0;   ///< Blocker motion forced a re-plan.
+  double last_epoch_ms = 0.0;       ///< Wall time of the last epoch.
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds the socket and starts the server (and, unless options.ticker is
+  /// false, the ticker). kIoError when the socket cannot be bound.
+  Result<void> start();
+  /// Stops threads and closes the socket. Idempotent.
+  void stop();
+  bool running() const noexcept { return running_.load(); }
+  /// Blocks until stop() (a shutdown request or signal handler).
+  void wait();
+
+  /// One control epoch (see file comment). The ticker calls this; tests
+  /// call it directly with options.ticker = false.
+  void run_epoch();
+
+  Result<void> save_snapshot();
+  /// Restores sessions/queue/endpoints/trace state from snapshot_path.
+  /// Call before start(), on a freshly built daemon.
+  Result<void> load_snapshot();
+
+  /// Full request dispatch: one request frame in, one reply frame out (the
+  /// reply always echoes the request's trace id). Public so tests and the
+  /// loopback bench can exercise the protocol without a socket.
+  proto::WireFrame handle_request(const proto::WireFrame& request);
+
+  DaemonStats stats() const;
+  const DaemonOptions& options() const noexcept { return options_; }
+  /// The serialized last FleetReport (what get_metrics serves).
+  std::vector<std::uint8_t> last_report_wire() const;
+
+ private:
+  struct Site {
+    std::string id;
+    std::unique_ptr<em::AntennaPattern> antenna;
+    std::unique_ptr<sim::DynamicEnvironment> world;
+    SurfOS* os = nullptr;  ///< Owned by fleet_.
+    std::set<std::string> auto_endpoints;  ///< Registered on demand.
+  };
+
+  void build_world();
+  Site* find_site_entry(const std::string& site_id);
+  /// Registers an unknown endpoint at a deterministic in-room position
+  /// derived from its name (the "arriving endpoints" path).
+  void ensure_endpoint(Site& site, const std::string& endpoint_id);
+  /// Deregisters auto-registered endpoints no session references anymore
+  /// (the "departing endpoints" path; runs at the end of every epoch).
+  void gc_endpoints(Site& site);
+
+  // Per-command handlers; all run under mu_ with the request TraceScope.
+  proto::WireFrame handle_hello(const proto::WireFrame& request);
+  proto::WireFrame handle_submit(const proto::WireFrame& request);
+  proto::WireFrame handle_stop_resume(const proto::WireFrame& request,
+                                      bool resume);
+  proto::WireFrame handle_status(const proto::WireFrame& request);
+  proto::WireFrame handle_metrics(const proto::WireFrame& request);
+  proto::WireFrame handle_traces(const proto::WireFrame& request);
+  proto::WireFrame handle_snapshot(const proto::WireFrame& request);
+  proto::WireFrame handle_restore(const proto::WireFrame& request);
+  proto::WireFrame handle_set_knob(const proto::WireFrame& request);
+  proto::WireFrame handle_get_knobs(const proto::WireFrame& request);
+
+  /// Applies a parsed snapshot under mu_ (shared by load_snapshot and the
+  /// wire-level kRestore).
+  Result<void> apply_snapshot(const struct DaemonSnapshot& snapshot);
+
+  void ticker_main();
+  void server_main();
+  /// Drains complete frames from a connection buffer; returns false when
+  /// the connection must close (fatal frame error).
+  bool service_connection(int fd, std::vector<std::uint8_t>& buffer);
+
+  DaemonOptions options_;
+  em::LinkBudget budget_;
+
+  mutable std::mutex mu_;
+  Fleet fleet_;
+  std::vector<Site> sites_;
+  std::vector<std::uint8_t> last_report_wire_;
+  DaemonStats stats_;
+  std::uint64_t sim_now_us_ = 0;
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::thread ticker_;
+  std::thread server_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+};
+
+}  // namespace surfos::daemon

@@ -1,0 +1,368 @@
+#include "daemon/snapshot.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "proto/serialize.hpp"
+#include "proto/wire.hpp"
+
+namespace surfos::daemon {
+
+namespace {
+
+namespace tag {
+constexpr std::uint16_t kVersion = 1;
+
+// DaemonSnapshot
+constexpr std::uint16_t kSimNowUs = 2;
+constexpr std::uint16_t kEpochs = 3;
+constexpr std::uint16_t kSession = 4;   // repeated, nested SessionRecord
+constexpr std::uint16_t kQueued = 5;    // repeated, nested QueuedRecord
+constexpr std::uint16_t kSeq = 6;       // repeated, nested SeqRecord
+constexpr std::uint16_t kEndpoint = 7;  // repeated, nested EndpointRecord
+constexpr std::uint16_t kLastReport = 8;
+
+// SessionRecord / QueuedRecord / SeqRecord / EndpointRecord
+constexpr std::uint16_t kSiteId = 2;
+constexpr std::uint16_t kAppId = 3;
+constexpr std::uint16_t kRunning = 4;
+constexpr std::uint16_t kTraceId = 5;
+constexpr std::uint16_t kDemand = 6;  // nested AppDemand
+constexpr std::uint16_t kPriority = 7;
+constexpr std::uint16_t kTraceSeq = 3;
+constexpr std::uint16_t kEndpointId = 3;
+constexpr std::uint16_t kKind = 4;
+constexpr std::uint16_t kPosX = 5;
+constexpr std::uint16_t kPosY = 6;
+constexpr std::uint16_t kPosZ = 7;
+}  // namespace tag
+
+Error malformed(const char* what) {
+  return make_error(ErrorCode::kMalformedFrame, what);
+}
+
+std::uint16_t take_version(const proto::Tlv& tlv) {
+  if (tlv.tag != tag::kVersion) return 0;
+  return proto::tlv_u16(tlv).value_or(0);
+}
+
+void session_to_wire(const SessionRecord& record,
+                     std::vector<std::uint8_t>& out) {
+  proto::TlvWriter w(out);
+  w.put_u16(tag::kVersion, proto::kStructVersion);
+  w.put_string(tag::kSiteId, record.site_id);
+  w.put_string(tag::kAppId, record.app_id);
+  w.put_u8(tag::kRunning, record.running ? 1 : 0);
+  w.put_u64(tag::kTraceId, record.trace_id);
+  w.put_bytes(tag::kDemand, proto::to_wire(record.demand));
+}
+
+Result<void> session_from_wire(std::span<const std::uint8_t> bytes,
+                               SessionRecord& out) {
+  proto::TlvReader r(bytes);
+  auto first = r.next();
+  if (!first || take_version(*first) == 0) {
+    return malformed("SessionRecord: missing version");
+  }
+  while (const auto tlv = r.next()) {
+    switch (tlv->tag) {
+      case tag::kSiteId: out.site_id = proto::tlv_string(*tlv); break;
+      case tag::kAppId: out.app_id = proto::tlv_string(*tlv); break;
+      case tag::kRunning: {
+        const auto v = proto::tlv_u8(*tlv);
+        if (!v) return malformed("SessionRecord: running");
+        out.running = *v != 0;
+        break;
+      }
+      case tag::kTraceId: {
+        const auto v = proto::tlv_u64(*tlv);
+        if (!v) return malformed("SessionRecord: trace id");
+        out.trace_id = *v;
+        break;
+      }
+      case tag::kDemand: {
+        if (auto parsed = proto::from_wire(tlv->value, out.demand);
+            !parsed.ok()) {
+          return parsed;
+        }
+        break;
+      }
+      default: break;  // unknown tag: skip
+    }
+  }
+  if (r.truncated()) return malformed("SessionRecord: truncated");
+  return ok_result();
+}
+
+void queued_to_wire(const QueuedRecord& record,
+                    std::vector<std::uint8_t>& out) {
+  proto::TlvWriter w(out);
+  w.put_u16(tag::kVersion, proto::kStructVersion);
+  w.put_string(tag::kSiteId, record.site_id);
+  w.put_string(tag::kAppId, record.app_id);
+  w.put_u64(tag::kPriority, record.priority);
+  w.put_bytes(tag::kDemand, proto::to_wire(record.demand));
+}
+
+Result<void> queued_from_wire(std::span<const std::uint8_t> bytes,
+                              QueuedRecord& out) {
+  proto::TlvReader r(bytes);
+  auto first = r.next();
+  if (!first || take_version(*first) == 0) {
+    return malformed("QueuedRecord: missing version");
+  }
+  while (const auto tlv = r.next()) {
+    switch (tlv->tag) {
+      case tag::kSiteId: out.site_id = proto::tlv_string(*tlv); break;
+      case tag::kAppId: out.app_id = proto::tlv_string(*tlv); break;
+      case tag::kPriority: {
+        const auto v = proto::tlv_u64(*tlv);
+        if (!v) return malformed("QueuedRecord: priority");
+        out.priority = *v;
+        break;
+      }
+      case tag::kDemand: {
+        if (auto parsed = proto::from_wire(tlv->value, out.demand);
+            !parsed.ok()) {
+          return parsed;
+        }
+        break;
+      }
+      default: break;
+    }
+  }
+  if (r.truncated()) return malformed("QueuedRecord: truncated");
+  return ok_result();
+}
+
+void seq_to_wire(const SeqRecord& record, std::vector<std::uint8_t>& out) {
+  proto::TlvWriter w(out);
+  w.put_u16(tag::kVersion, proto::kStructVersion);
+  w.put_string(tag::kSiteId, record.site_id);
+  w.put_u64(tag::kTraceSeq, record.trace_seq);
+}
+
+Result<void> seq_from_wire(std::span<const std::uint8_t> bytes,
+                           SeqRecord& out) {
+  proto::TlvReader r(bytes);
+  auto first = r.next();
+  if (!first || take_version(*first) == 0) {
+    return malformed("SeqRecord: missing version");
+  }
+  while (const auto tlv = r.next()) {
+    switch (tlv->tag) {
+      case tag::kSiteId: out.site_id = proto::tlv_string(*tlv); break;
+      case tag::kTraceSeq: {
+        const auto v = proto::tlv_u64(*tlv);
+        if (!v) return malformed("SeqRecord: trace seq");
+        out.trace_seq = *v;
+        break;
+      }
+      default: break;
+    }
+  }
+  if (r.truncated()) return malformed("SeqRecord: truncated");
+  return ok_result();
+}
+
+void endpoint_to_wire(const EndpointRecord& record,
+                      std::vector<std::uint8_t>& out) {
+  proto::TlvWriter w(out);
+  w.put_u16(tag::kVersion, proto::kStructVersion);
+  w.put_string(tag::kSiteId, record.site_id);
+  w.put_string(tag::kEndpointId, record.endpoint_id);
+  w.put_u8(tag::kKind, record.kind);
+  w.put_f64(tag::kPosX, record.x);
+  w.put_f64(tag::kPosY, record.y);
+  w.put_f64(tag::kPosZ, record.z);
+}
+
+Result<void> endpoint_from_wire(std::span<const std::uint8_t> bytes,
+                                EndpointRecord& out) {
+  proto::TlvReader r(bytes);
+  auto first = r.next();
+  if (!first || take_version(*first) == 0) {
+    return malformed("EndpointRecord: missing version");
+  }
+  while (const auto tlv = r.next()) {
+    switch (tlv->tag) {
+      case tag::kSiteId: out.site_id = proto::tlv_string(*tlv); break;
+      case tag::kEndpointId:
+        out.endpoint_id = proto::tlv_string(*tlv);
+        break;
+      case tag::kKind: {
+        const auto v = proto::tlv_u8(*tlv);
+        if (!v) return malformed("EndpointRecord: kind");
+        out.kind = *v;
+        break;
+      }
+      case tag::kPosX:
+      case tag::kPosY:
+      case tag::kPosZ: {
+        const auto v = proto::tlv_f64(*tlv);
+        if (!v) return malformed("EndpointRecord: position");
+        (tlv->tag == tag::kPosX ? out.x
+                                : tlv->tag == tag::kPosY ? out.y : out.z) = *v;
+        break;
+      }
+      default: break;
+    }
+  }
+  if (r.truncated()) return malformed("EndpointRecord: truncated");
+  return ok_result();
+}
+
+template <typename Record, typename Encode>
+void put_nested(proto::TlvWriter& w, std::uint16_t tag_id,
+                const Record& record, Encode encode) {
+  std::vector<std::uint8_t> nested;
+  encode(record, nested);
+  w.put_bytes(tag_id, nested);
+}
+
+}  // namespace
+
+void to_wire(const DaemonSnapshot& snapshot, std::vector<std::uint8_t>& out) {
+  proto::TlvWriter w(out);
+  w.put_u16(tag::kVersion, proto::kStructVersion);
+  w.put_u64(tag::kSimNowUs, snapshot.sim_now_us);
+  w.put_u64(tag::kEpochs, snapshot.epochs);
+  for (const auto& s : snapshot.sessions) {
+    put_nested(w, tag::kSession, s, session_to_wire);
+  }
+  for (const auto& q : snapshot.queued) {
+    put_nested(w, tag::kQueued, q, queued_to_wire);
+  }
+  for (const auto& s : snapshot.trace_seqs) {
+    put_nested(w, tag::kSeq, s, seq_to_wire);
+  }
+  for (const auto& e : snapshot.endpoints) {
+    put_nested(w, tag::kEndpoint, e, endpoint_to_wire);
+  }
+  w.put_bytes(tag::kLastReport, snapshot.last_report_wire);
+}
+
+std::vector<std::uint8_t> to_wire(const DaemonSnapshot& snapshot) {
+  std::vector<std::uint8_t> out;
+  to_wire(snapshot, out);
+  return out;
+}
+
+Result<void> from_wire(std::span<const std::uint8_t> bytes,
+                       DaemonSnapshot& out) {
+  proto::TlvReader r(bytes);
+  auto first = r.next();
+  if (!first || take_version(*first) == 0) {
+    return malformed("DaemonSnapshot: missing version");
+  }
+  while (const auto tlv = r.next()) {
+    switch (tlv->tag) {
+      case tag::kSimNowUs: {
+        const auto v = proto::tlv_u64(*tlv);
+        if (!v) return malformed("DaemonSnapshot: sim clock");
+        out.sim_now_us = *v;
+        break;
+      }
+      case tag::kEpochs: {
+        const auto v = proto::tlv_u64(*tlv);
+        if (!v) return malformed("DaemonSnapshot: epochs");
+        out.epochs = *v;
+        break;
+      }
+      case tag::kSession: {
+        SessionRecord record;
+        if (auto parsed = session_from_wire(tlv->value, record); !parsed.ok()) {
+          return parsed;
+        }
+        out.sessions.push_back(std::move(record));
+        break;
+      }
+      case tag::kQueued: {
+        QueuedRecord record;
+        if (auto parsed = queued_from_wire(tlv->value, record); !parsed.ok()) {
+          return parsed;
+        }
+        out.queued.push_back(std::move(record));
+        break;
+      }
+      case tag::kSeq: {
+        SeqRecord record;
+        if (auto parsed = seq_from_wire(tlv->value, record); !parsed.ok()) {
+          return parsed;
+        }
+        out.trace_seqs.push_back(std::move(record));
+        break;
+      }
+      case tag::kEndpoint: {
+        EndpointRecord record;
+        if (auto parsed = endpoint_from_wire(tlv->value, record);
+            !parsed.ok()) {
+          return parsed;
+        }
+        out.endpoints.push_back(std::move(record));
+        break;
+      }
+      case tag::kLastReport:
+        out.last_report_wire.assign(tlv->value.begin(), tlv->value.end());
+        break;
+      default: break;  // forward compat: skip unknown tags
+    }
+  }
+  if (r.truncated()) return malformed("DaemonSnapshot: truncated");
+  return ok_result();
+}
+
+Result<void> save_snapshot_file(const DaemonSnapshot& snapshot,
+                                const std::string& path) {
+  const std::vector<std::uint8_t> bytes = to_wire(snapshot);
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return make_error(ErrorCode::kIoError,
+                      "snapshot: cannot open " + tmp + ": " +
+                          std::strerror(errno));
+  }
+  const std::size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), file);
+  const bool flushed = std::fclose(file) == 0;
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return make_error(ErrorCode::kIoError, "snapshot: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return make_error(ErrorCode::kIoError,
+                      "snapshot: rename to " + path + " failed: " +
+                          std::strerror(errno));
+  }
+  return ok_result();
+}
+
+Result<DaemonSnapshot> load_snapshot_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return make_error(ErrorCode::kIoError,
+                      "snapshot: cannot open " + path + ": " +
+                          std::strerror(errno));
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, file)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return make_error(ErrorCode::kIoError, "snapshot: read of " + path +
+                                               " failed");
+  }
+  DaemonSnapshot snapshot;
+  if (auto parsed = from_wire(bytes, snapshot); !parsed.ok()) {
+    return parsed.error();
+  }
+  return snapshot;
+}
+
+}  // namespace surfos::daemon

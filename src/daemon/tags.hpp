@@ -1,0 +1,62 @@
+// Payload TLV tags of the surfosd request/reply messages (proto/wire.hpp
+// frames them; these are the per-message tag namespaces inside the payload).
+// Shared by the daemon's handlers and the CLI clients. Wire-stable: append
+// only, never renumber; readers skip unknown tags.
+#pragma once
+
+#include <cstdint>
+
+namespace surfos::daemon::tag {
+
+// Requests (kSubmitDemand / kStopApp / kResumeApp / kGetStatus): which app,
+// where, what demand.
+inline constexpr std::uint16_t kAppId = 2;
+inline constexpr std::uint16_t kSiteId = 3;
+inline constexpr std::uint16_t kDemand = 4;  ///< Nested AppDemand TLVs.
+inline constexpr std::uint16_t kPriority = 5;
+
+// kError replies.
+inline constexpr std::uint16_t kErrorCode = 2;
+inline constexpr std::uint16_t kErrorMessage = 3;
+
+// kHello / kHelloAck.
+inline constexpr std::uint16_t kMaxVersion = 2;
+inline constexpr std::uint16_t kChosenVersion = 2;
+inline constexpr std::uint16_t kServerName = 3;
+
+// kStatusReply.
+inline constexpr std::uint16_t kSession = 2;  ///< Repeated, nested (below).
+inline constexpr std::uint16_t kQueueDepth = 3;
+inline constexpr std::uint16_t kStatusEpochs = 4;
+// ... nested session record:
+inline constexpr std::uint16_t kSessionApp = 2;
+inline constexpr std::uint16_t kSessionSite = 3;
+inline constexpr std::uint16_t kSessionRunning = 4;
+inline constexpr std::uint16_t kSessionTrace = 5;
+inline constexpr std::uint16_t kSessionSatisfied = 6;
+inline constexpr std::uint16_t kSessionTasksTotal = 7;
+inline constexpr std::uint16_t kSessionTasksMet = 8;
+
+// kMetricsReply.
+inline constexpr std::uint16_t kReport = 2;  ///< Serialized FleetReport.
+inline constexpr std::uint16_t kEpochs = 3;
+inline constexpr std::uint16_t kRebuilds = 4;
+inline constexpr std::uint16_t kLastEpochMs = 5;
+inline constexpr std::uint16_t kRequests = 6;
+
+// kTraceChunk.
+inline constexpr std::uint16_t kTraceJson = 2;
+inline constexpr std::uint16_t kEventCount = 3;
+
+// kSnapshot success payload.
+inline constexpr std::uint16_t kPath = 2;
+inline constexpr std::uint16_t kBytes = 3;
+
+// kSetKnob request / kKnobsReply.
+inline constexpr std::uint16_t kKnobName = 2;
+inline constexpr std::uint16_t kKnobValue = 3;
+inline constexpr std::uint16_t kKnob = 2;  ///< Repeated nested in kKnobsReply.
+inline constexpr std::uint16_t kKnobHasValue = 4;
+inline constexpr std::uint16_t kKnobDoc = 5;
+
+}  // namespace surfos::daemon::tag

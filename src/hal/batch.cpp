@@ -5,7 +5,7 @@
 
 #include "surface/types.hpp"
 #include "telemetry/telemetry.hpp"
-#include "util/env.hpp"
+#include "core/config.hpp"
 #include "util/units.hpp"
 
 namespace surfos::hal {
@@ -78,9 +78,11 @@ std::vector<ElementUpdate> decode_element_updates(
 }
 
 HalWriteMode hal_write_mode_from_env() noexcept {
-  return util::env_size("SURFOS_HAL_BATCH", 1, 0) == 0
-             ? HalWriteMode::kPerElement
-             : HalWriteMode::kBatched;
+  // Routed through the config snapshot (core/config.hpp) so a daemon-start
+  // or set-knob SURFOS_HAL_BATCH applies to every orchestrator built after
+  // it; the mode is latched into OrchestratorOptions at construction.
+  return core::knob("SURFOS_HAL_BATCH", 1, 0) == 0 ? HalWriteMode::kPerElement
+                                                   : HalWriteMode::kBatched;
 }
 
 // --- WriteCombiner -----------------------------------------------------------

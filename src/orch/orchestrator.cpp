@@ -118,15 +118,19 @@ TaskHandle Orchestrator::protect(SecurityGoal goal, Priority priority,
 
 // --- Task lifecycle -------------------------------------------------------------
 
-void Orchestrator::set_task_idle(TaskId id, bool idle) {
+Result<void> Orchestrator::set_task_idle(TaskId id, bool idle) {
   const auto it = tasks_.find(id);
-  if (it == tasks_.end()) throw std::invalid_argument("unknown task");
+  if (it == tasks_.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "unknown task: " + std::to_string(id));
+  }
   Task& task = it->second;
   if (idle && task.active()) {
     task.state = TaskState::kIdle;
   } else if (!idle && task.state == TaskState::kIdle) {
     task.state = TaskState::kPending;
   }
+  return ok_result();
 }
 
 void Orchestrator::cancel_task(TaskId id) {
@@ -151,6 +155,17 @@ void Orchestrator::notify_environment_changed() {
   ++env_revision_;
   SURFOS_COUNT("orch.env.changes");
   SURFOS_INFO(kLog) << "environment changed (revision " << env_revision_ << ")";
+}
+
+void Orchestrator::set_environment(const sim::Environment* environment) {
+  if (environment == nullptr) {
+    throw std::invalid_argument("Orchestrator: null environment");
+  }
+  context_.environment = environment;
+  // Cached plans hold SceneChannels built against the old environment
+  // object; drop them rather than risk dangling geometry pointers.
+  plans_.clear();
+  notify_environment_changed();
 }
 
 void Orchestrator::set_optimizer(std::unique_ptr<opt::Optimizer> optimizer) {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.hpp"
 #include "em/propagation.hpp"
 #include "hal/batch.hpp"
 #include "hal/registry.hpp"
@@ -166,7 +167,8 @@ class Orchestrator {
 
   /// Idle tasks stay registered but release their resource slices
   /// ("setting a task idle when not used and releasing resources").
-  void set_task_idle(TaskId id, bool idle);
+  /// kNotFound on an unknown task id (Result surface; PR 8 API redesign).
+  Result<void> set_task_idle(TaskId id, bool idle);
   void cancel_task(TaskId id);
   const Task* find_task(TaskId id) const noexcept;
   std::vector<const Task*> tasks() const;
@@ -174,6 +176,12 @@ class Orchestrator {
   /// Environment dynamics (people moving, furniture): invalidates cached
   /// channels and plans so the next step() re-optimizes.
   void notify_environment_changed();
+
+  /// Repoints the control plane at a rebuilt environment (surfosd's dynamic
+  /// world replaces the sim::Environment object on every advance) and
+  /// invalidates cached plans. `environment` must be non-null and outlive
+  /// the orchestrator until the next call.
+  void set_environment(const sim::Environment* environment);
 
   // --- Control knobs -------------------------------------------------------
 

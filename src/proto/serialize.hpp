@@ -1,0 +1,81 @@
+// Versioned to_wire/from_wire for the control-plane report and demand
+// structs — the payloads of the surfosd protocol (proto/wire.hpp) and of the
+// crash/restart snapshot (daemon/snapshot.hpp).
+//
+// Encoding contract, shared by every struct here:
+//   - tag 1 is always a u16 struct version (kStructVersion). Parsers accept
+//     any version >= 1 — newer minor versions only *add* tags, and unknown
+//     tags are skipped — so an old client reads the fields it knows from a
+//     new daemon's reply. Version 0 (or a missing version tag) is malformed.
+//   - every field has an explicit tag; tags are append-only and never reused.
+//   - encoding is deterministic: fixed field order, fixed-width little-endian
+//     integers, f64 as IEEE bit patterns. Two equal structs serialize to
+//     identical bytes (the snapshot/restore drill's byte-identity check
+//     leans on this).
+//   - from_wire returns Result (core/status.hpp): kMalformedFrame on
+//     structural damage, never an exception — these parsers face wire input.
+//
+// These are free functions rather than struct methods so orch/core/broker
+// stay independent of the wire layer (surfos_proto links surfos_core, not
+// the other way around).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "broker/broker.hpp"
+#include "broker/demand.hpp"
+#include "core/fleet.hpp"
+#include "core/status.hpp"
+#include "core/surfos.hpp"
+#include "orch/orchestrator.hpp"
+
+namespace surfos::proto {
+
+/// Current encoding version of every struct below. Bump only when a field's
+/// meaning changes (adding tags does NOT bump it).
+inline constexpr std::uint16_t kStructVersion = 1;
+
+// Each pair: append-into-buffer (for nesting) and fresh-vector convenience;
+// from_wire fills `out` and reports kMalformedFrame/kUnsupportedVersion.
+
+void to_wire(const orch::StepTrace& trace, std::vector<std::uint8_t>& out);
+std::vector<std::uint8_t> to_wire(const orch::StepTrace& trace);
+Result<void> from_wire(std::span<const std::uint8_t> bytes,
+                       orch::StepTrace& out);
+
+void to_wire(const orch::TaskReport& report, std::vector<std::uint8_t>& out);
+Result<void> from_wire(std::span<const std::uint8_t> bytes,
+                       orch::TaskReport& out);
+
+void to_wire(const orch::StepReport& report, std::vector<std::uint8_t>& out);
+std::vector<std::uint8_t> to_wire(const orch::StepReport& report);
+Result<void> from_wire(std::span<const std::uint8_t> bytes,
+                       orch::StepReport& out);
+
+void to_wire(const FleetReport& report, std::vector<std::uint8_t>& out);
+std::vector<std::uint8_t> to_wire(const FleetReport& report);
+Result<void> from_wire(std::span<const std::uint8_t> bytes, FleetReport& out);
+
+void to_wire(const InstallReport& report, std::vector<std::uint8_t>& out);
+std::vector<std::uint8_t> to_wire(const InstallReport& report);
+Result<void> from_wire(std::span<const std::uint8_t> bytes,
+                       InstallReport& out);
+
+void to_wire(const broker::AppDemand& demand, std::vector<std::uint8_t>& out);
+std::vector<std::uint8_t> to_wire(const broker::AppDemand& demand);
+Result<void> from_wire(std::span<const std::uint8_t> bytes,
+                       broker::AppDemand& out);
+
+void to_wire(const broker::AppStatus& status, std::vector<std::uint8_t>& out);
+std::vector<std::uint8_t> to_wire(const broker::AppStatus& status);
+Result<void> from_wire(std::span<const std::uint8_t> bytes,
+                       broker::AppStatus& out);
+
+void to_wire(const FleetInventory& inventory, std::vector<std::uint8_t>& out);
+std::vector<std::uint8_t> to_wire(const FleetInventory& inventory);
+Result<void> from_wire(std::span<const std::uint8_t> bytes,
+                       FleetInventory& out);
+
+}  // namespace surfos::proto

@@ -6,7 +6,7 @@
 
 #include "sim/channel.hpp"
 #include "telemetry/telemetry.hpp"
-#include "util/env.hpp"
+#include "core/config.hpp"
 
 namespace surfos::sim {
 
@@ -28,7 +28,7 @@ std::size_t capacity_from_env() noexcept {
   // 0 is a valid setting and means "memoization disabled"; negatives and
   // junk fall back to the default instead of wrapping (SURFOS_EVAL_CACHE=-1
   // used to become ULONG_MAX through strtoul).
-  return util::env_size("SURFOS_EVAL_CACHE", 64, 0);
+  return core::knob("SURFOS_EVAL_CACHE", 64, 0);
 }
 
 std::atomic<std::size_t>& capacity_slot() noexcept {

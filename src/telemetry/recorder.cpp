@@ -15,7 +15,7 @@
 #include <sstream>
 
 #include "telemetry/export.hpp"
-#include "util/env.hpp"
+#include "core/config.hpp"
 
 namespace surfos::telemetry {
 
@@ -23,7 +23,7 @@ namespace {
 
 std::size_t capacity_from_env() noexcept {
   // The ring needs at least one slot; invalid values keep the default.
-  return util::env_size("SURFOS_TRACE_BUFFER", 65536, 1);
+  return core::knob("SURFOS_TRACE_BUFFER", 65536, 1);
 }
 
 // --- Async-signal-safe formatting helpers ------------------------------------

@@ -1,7 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include "core/config.hpp"
 #include "telemetry/telemetry.hpp"
-#include "util/env.hpp"
 
 #include <atomic>
 #include <condition_variable>
@@ -24,7 +24,10 @@ std::size_t auto_degree() {
   const unsigned hw = std::thread::hardware_concurrency();
   // SURFOS_THREADS needs at least 1 worker; invalid values fall back to
   // the detected core count.
-  return env_size("SURFOS_THREADS", hw > 0 ? hw : 1, 1);
+  // Routed through the config snapshot (core/config.hpp): the pool is
+  // built once per process, so this is a construction-time knob — the
+  // daemon snapshots it before spawning any worker.
+  return core::knob("SURFOS_THREADS", hw > 0 ? hw : 1, 1);
 }
 
 /// One parallel_for in flight: a chunk cursor plus completion accounting.

@@ -193,10 +193,15 @@ class BrokerAdmissionTest : public ::testing::Test {
 
 TEST_F(BrokerAdmissionTest, SubmitThenPumpStartsSessionsWithTraceIds) {
   ServiceBroker& broker = os_->broker();
-  EXPECT_TRUE(broker.submit_demand(
-      "xfer", demand_profile(AppClass::kFileTransfer, "laptop")));
-  EXPECT_TRUE(broker.submit_demand(
-      "charge", demand_profile(AppClass::kWirelessCharging, "phone")));
+  EXPECT_TRUE(broker
+                  .submit_demand("xfer", demand_profile(
+                                             AppClass::kFileTransfer, "laptop"))
+                  .ok());
+  EXPECT_TRUE(broker
+                  .submit_demand("charge",
+                                 demand_profile(AppClass::kWirelessCharging,
+                                                "phone"))
+                  .ok());
   EXPECT_EQ(broker.admission().depth(), 2u);
 
   EXPECT_EQ(broker.pump_admissions(), 2u);
@@ -209,42 +214,71 @@ TEST_F(BrokerAdmissionTest, SubmitThenPumpStartsSessionsWithTraceIds) {
   }
 }
 
-TEST_F(BrokerAdmissionTest, PumpDropsDuplicateRunningAppWithoutThrowing) {
+TEST_F(BrokerAdmissionTest, PumpDropsDuplicateRunningAppWithoutFailing) {
   ServiceBroker& broker = os_->broker();
-  broker.start_app("xfer", demand_profile(AppClass::kFileTransfer, "laptop"));
-  broker.submit_demand("xfer",
-                       demand_profile(AppClass::kFileTransfer, "laptop"));
-  EXPECT_NO_THROW(broker.pump_admissions());
+  ASSERT_TRUE(broker
+                  .start_app("xfer",
+                             demand_profile(AppClass::kFileTransfer, "laptop"))
+                  .ok());
+  ASSERT_TRUE(broker
+                  .submit_demand("xfer", demand_profile(
+                                             AppClass::kFileTransfer, "laptop"))
+                  .ok());
+  EXPECT_EQ(broker.pump_admissions(), 0u);
   EXPECT_EQ(broker.sessions().size(), 1u);
 }
 
 TEST_F(BrokerAdmissionTest, StartAppCollisionNamesTheCollidingTasks) {
   ServiceBroker& broker = os_->broker();
-  broker.start_app("xfer", demand_profile(AppClass::kFileTransfer, "laptop"));
+  ASSERT_TRUE(broker
+                  .start_app("xfer",
+                             demand_profile(AppClass::kFileTransfer, "laptop"))
+                  .ok());
   const auto& session = broker.sessions().at("xfer");
   ASSERT_FALSE(session.tasks.empty());
-  try {
-    broker.start_app("xfer",
-                     demand_profile(AppClass::kFileTransfer, "laptop"));
-    FAIL() << "expected std::invalid_argument";
-  } catch (const std::invalid_argument& error) {
-    const std::string what = error.what();
-    EXPECT_NE(what.find("xfer"), std::string::npos) << what;
-    for (const orch::TaskId id : session.tasks) {
-      EXPECT_NE(what.find(std::to_string(id)), std::string::npos) << what;
-    }
+  const auto collision = broker.start_app(
+      "xfer", demand_profile(AppClass::kFileTransfer, "laptop"));
+  ASSERT_FALSE(collision.ok());
+  EXPECT_EQ(collision.code(), ErrorCode::kAlreadyExists);
+  const std::string& what = collision.error().message;
+  EXPECT_NE(what.find("xfer"), std::string::npos) << what;
+  for (const orch::TaskId id : session.tasks) {
+    EXPECT_NE(what.find(std::to_string(id)), std::string::npos) << what;
   }
 }
 
-TEST_F(BrokerAdmissionTest, StopAndResumeThrowConsistentlyOnUnknownApps) {
+TEST_F(BrokerAdmissionTest, StopAndResumeReportNotFoundOnUnknownApps) {
   ServiceBroker& broker = os_->broker();
-  EXPECT_THROW(broker.stop_app("ghost"), std::invalid_argument);
-  EXPECT_THROW(broker.resume_app("ghost"), std::invalid_argument);
-  broker.start_app("xfer", demand_profile(AppClass::kFileTransfer, "laptop"));
-  EXPECT_NO_THROW(broker.stop_app("xfer"));
+  EXPECT_EQ(broker.stop_app("ghost").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(broker.resume_app("ghost").code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(broker
+                  .start_app("xfer",
+                             demand_profile(AppClass::kFileTransfer, "laptop"))
+                  .ok());
+  EXPECT_TRUE(broker.stop_app("xfer").ok());
   EXPECT_FALSE(broker.sessions().at("xfer").running);
-  EXPECT_NO_THROW(broker.resume_app("xfer"));
+  EXPECT_TRUE(broker.resume_app("xfer").ok());
   EXPECT_TRUE(broker.sessions().at("xfer").running);
+}
+
+TEST_F(BrokerAdmissionTest, DeprecatedThrowingShimsStillThrow) {
+  // The one-release compatibility bridge: the shims reproduce the old
+  // exception contract on top of the Result surface.
+  ServiceBroker& broker = os_->broker();
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  EXPECT_THROW(broker.stop_app_or_throw("ghost"), std::invalid_argument);
+  EXPECT_THROW(broker.resume_app_or_throw("ghost"), std::invalid_argument);
+  EXPECT_NO_THROW(broker.start_app_or_throw(
+      "xfer", demand_profile(AppClass::kFileTransfer, "laptop")));
+  EXPECT_THROW(broker.start_app_or_throw(
+                   "xfer", demand_profile(AppClass::kFileTransfer, "laptop")),
+               std::invalid_argument);
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 }
 
 }  // namespace

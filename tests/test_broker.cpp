@@ -309,22 +309,25 @@ struct BrokerFixture {
 
 TEST(Broker, StartAppCreatesTasks) {
   BrokerFixture fx;
-  fx.broker->start_app("stream", demand_profile(AppClass::kVideoStreaming,
-                                                "laptop"));
+  ASSERT_TRUE(fx.broker
+                  ->start_app("stream", demand_profile(
+                                            AppClass::kVideoStreaming,
+                                            "laptop"))
+                  .ok());
   const auto& sessions = fx.broker->sessions();
   ASSERT_EQ(sessions.size(), 1u);
   EXPECT_EQ(sessions.at("stream").tasks.size(), 1u);
   EXPECT_TRUE(sessions.at("stream").running);
-  EXPECT_THROW(fx.broker->start_app("stream", demand_profile(
-                                                  AppClass::kVideoStreaming,
-                                                  "laptop")),
-               std::invalid_argument);
+  const auto collision = fx.broker->start_app(
+      "stream", demand_profile(AppClass::kVideoStreaming, "laptop"));
+  ASSERT_FALSE(collision.ok());
+  EXPECT_EQ(collision.code(), ErrorCode::kAlreadyExists);
 }
 
 TEST(Broker, StatusTracksGoalSatisfaction) {
   BrokerFixture fx;
   AppDemand demand = demand_profile(AppClass::kVideoConference, "laptop");
-  fx.broker->start_app("meet", demand);
+  ASSERT_TRUE(fx.broker->start_app("meet", demand).ok());
   fx.orchestrator->step();
   const AppStatus status = fx.broker->status("meet");
   EXPECT_TRUE(status.known);
@@ -337,16 +340,19 @@ TEST(Broker, StatusTracksGoalSatisfaction) {
 
 TEST(Broker, StopAndResumeIdleTasks) {
   BrokerFixture fx;
-  fx.broker->start_app("stream", demand_profile(AppClass::kVideoStreaming,
-                                                "laptop"));
+  ASSERT_TRUE(fx.broker
+                  ->start_app("stream", demand_profile(
+                                            AppClass::kVideoStreaming,
+                                            "laptop"))
+                  .ok());
   fx.orchestrator->step();
-  fx.broker->stop_app("stream");
+  ASSERT_TRUE(fx.broker->stop_app("stream").ok());
   const auto report = fx.orchestrator->step();
   EXPECT_EQ(report.assignment_count, 0u);
-  fx.broker->resume_app("stream");
+  ASSERT_TRUE(fx.broker->resume_app("stream").ok());
   const auto resumed = fx.orchestrator->step();
   EXPECT_EQ(resumed.assignment_count, 1u);
-  EXPECT_THROW(fx.broker->resume_app("ghost"), std::invalid_argument);
+  EXPECT_EQ(fx.broker->resume_app("ghost").code(), ErrorCode::kNotFound);
 }
 
 TEST(Broker, EscalatesUnsatisfiedApps) {
@@ -355,7 +361,7 @@ TEST(Broker, EscalatesUnsatisfiedApps) {
   AppDemand demand = demand_profile(AppClass::kVrGaming, "VR_headset");
   demand.throughput_mbps = 40000.0;
   demand.max_latency_ms = 400.0;  // start at normal priority
-  fx.broker->start_app("vr", demand);
+  ASSERT_TRUE(fx.broker->start_app("vr", demand).ok());
   fx.orchestrator->step();
   EXPECT_FALSE(fx.broker->status("vr").satisfied);
   const std::size_t escalated = fx.broker->escalate_unsatisfied();
@@ -416,7 +422,7 @@ TEST(Broker, NamedRegionsResolve) {
   fx.broker->add_region("meeting_room",
                         geom::SampleGrid(0.5, 1.5, 0.5, 1.5, 1.0, 2, 2));
   AppDemand demand = demand_profile(AppClass::kSmartHome, "", "meeting_room");
-  fx.broker->start_app("tracker", demand);
+  ASSERT_TRUE(fx.broker->start_app("tracker", demand).ok());
   fx.orchestrator->step();
   const auto& session = fx.broker->sessions().at("tracker");
   const orch::Task* task = fx.orchestrator->find_task(session.tasks[0]);

@@ -1,0 +1,561 @@
+// surfosd lifecycle tests (daemon/daemon.hpp): the submit -> status ->
+// snapshot -> restart -> resume drill, wire-level rejection of malformed
+// frames, trace-id echo, and knob hot-reload — all with ticker = false so
+// every epoch is driven by hand and the tests are deterministic.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "daemon/client.hpp"
+#include "daemon/daemon.hpp"
+#include "daemon/snapshot.hpp"
+#include "daemon/tags.hpp"
+#include "proto/serialize.hpp"
+#include "proto/wire.hpp"
+
+namespace surfos::daemon {
+namespace {
+
+/// Unique short paths per test (sockaddr_un caps paths at ~107 bytes).
+std::string temp_path(const char* stem, const char* ext) {
+  static int counter = 0;
+  return "/tmp/sd_" + std::to_string(::getpid()) + "_" + stem +
+         std::to_string(++counter) + ext;
+}
+
+proto::WireFrame make_request(proto::MsgType type, std::uint64_t trace_id,
+                              std::vector<std::uint8_t> payload = {}) {
+  proto::WireFrame frame;
+  frame.type = type;
+  frame.trace_id = trace_id;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+std::vector<std::uint8_t> submit_payload(
+    const std::string& app_id, const broker::AppDemand& demand,
+    const std::string& site_id = {}) {
+  std::vector<std::uint8_t> payload;
+  proto::TlvWriter w(payload);
+  w.put_string(tag::kAppId, app_id);
+  if (!site_id.empty()) w.put_string(tag::kSiteId, site_id);
+  w.put_bytes(tag::kDemand, proto::to_wire(demand));
+  return payload;
+}
+
+broker::AppDemand vr_demand(const std::string& endpoint) {
+  return broker::demand_profile(broker::AppClass::kVrGaming, endpoint);
+}
+
+ErrorCode error_code_of(const proto::WireFrame& reply) {
+  EXPECT_EQ(reply.type, proto::MsgType::kError);
+  proto::TlvReader r(reply.payload);
+  while (const auto tlv = r.next()) {
+    if (tlv->tag == tag::kErrorCode) {
+      return static_cast<ErrorCode>(proto::tlv_u32(*tlv).value_or(0));
+    }
+  }
+  return ErrorCode::kOk;
+}
+
+struct SessionRow {
+  std::string app_id;
+  std::string site_id;
+  bool running = false;
+  std::uint64_t trace_id = 0;
+};
+
+std::vector<SessionRow> parse_status(const proto::WireFrame& reply) {
+  std::vector<SessionRow> rows;
+  proto::TlvReader r(reply.payload);
+  while (const auto tlv = r.next()) {
+    if (tlv->tag != tag::kSession) continue;
+    SessionRow row;
+    proto::TlvReader n(tlv->value);
+    while (const auto field = n.next()) {
+      switch (field->tag) {
+        case tag::kSessionApp: row.app_id = proto::tlv_string(*field); break;
+        case tag::kSessionSite: row.site_id = proto::tlv_string(*field); break;
+        case tag::kSessionRunning:
+          row.running = proto::tlv_u8(*field).value_or(0) != 0;
+          break;
+        case tag::kSessionTrace:
+          row.trace_id = proto::tlv_u64(*field).value_or(0);
+          break;
+        default: break;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+DaemonOptions test_options(const std::string& socket,
+                           const std::string& snapshot = {}) {
+  DaemonOptions options;
+  options.socket_path = socket;
+  options.snapshot_path = snapshot;
+  options.epoch_ms = 20;
+  options.ticker = false;  // epochs driven by hand
+  options.grid_n = 2;      // small probe grid keeps construction fast
+  return options;
+}
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  void TearDown() override { core::clear_config(); }
+};
+
+// --- In-process request handling --------------------------------------------
+
+TEST_F(DaemonTest, RepliesEchoTheRequestTraceId) {
+  Daemon daemon(test_options(temp_path("echo", ".sock")));
+  const std::uint64_t trace_id = 0xabcdef0123456789ull;
+  const auto reply =
+      daemon.handle_request(make_request(proto::MsgType::kGetStatus, trace_id));
+  EXPECT_EQ(reply.trace_id, trace_id);
+  // Trace-less requests get a daemon-minted (nonzero) id echoed back.
+  const auto minted =
+      daemon.handle_request(make_request(proto::MsgType::kGetMetrics, 0));
+  EXPECT_NE(minted.trace_id, 0u);
+}
+
+TEST_F(DaemonTest, SubmitThenEpochStartsTheSession) {
+  Daemon daemon(test_options(temp_path("sub", ".sock")));
+  const auto reply = daemon.handle_request(make_request(
+      proto::MsgType::kSubmitDemand, 1,
+      submit_payload("vr", vr_demand("headset"))));
+  ASSERT_EQ(reply.type, proto::MsgType::kOk);
+
+  // Queued, not yet running: admission drains on the next epoch.
+  auto rows = parse_status(
+      daemon.handle_request(make_request(proto::MsgType::kGetStatus, 2)));
+  EXPECT_TRUE(rows.empty());
+
+  daemon.run_epoch();
+  rows = parse_status(
+      daemon.handle_request(make_request(proto::MsgType::kGetStatus, 3)));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].app_id, "vr");
+  EXPECT_EQ(rows[0].site_id, "site0");
+  EXPECT_TRUE(rows[0].running);
+  EXPECT_NE(rows[0].trace_id, 0u);
+  EXPECT_EQ(daemon.stats().epochs, 1u);
+}
+
+TEST_F(DaemonTest, StopAndResumeRoundTrip) {
+  Daemon daemon(test_options(temp_path("sr", ".sock")));
+  (void)daemon.handle_request(make_request(
+      proto::MsgType::kSubmitDemand, 1, submit_payload("app", vr_demand("d"))));
+  daemon.run_epoch();
+
+  std::vector<std::uint8_t> stop_payload;
+  proto::TlvWriter w(stop_payload);
+  w.put_string(tag::kAppId, "app");
+  auto reply = daemon.handle_request(
+      make_request(proto::MsgType::kStopApp, 2, stop_payload));
+  EXPECT_EQ(reply.type, proto::MsgType::kOk);
+  auto rows = parse_status(
+      daemon.handle_request(make_request(proto::MsgType::kGetStatus, 3)));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].running);
+
+  reply = daemon.handle_request(
+      make_request(proto::MsgType::kResumeApp, 4, stop_payload));
+  EXPECT_EQ(reply.type, proto::MsgType::kOk);
+  rows = parse_status(
+      daemon.handle_request(make_request(proto::MsgType::kGetStatus, 5)));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0].running);
+
+  // Unknown apps answer kNotFound over the wire, same code as in-process.
+  std::vector<std::uint8_t> ghost;
+  proto::TlvWriter g(ghost);
+  g.put_string(tag::kAppId, "ghost");
+  EXPECT_EQ(error_code_of(daemon.handle_request(
+                make_request(proto::MsgType::kStopApp, 6, ghost))),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(DaemonTest, MalformedPayloadsAnswerWithWireStableCodes) {
+  Daemon daemon(test_options(temp_path("mal", ".sock")));
+  // Submit without a demand: kMalformedFrame.
+  std::vector<std::uint8_t> no_demand;
+  proto::TlvWriter w(no_demand);
+  w.put_string(tag::kAppId, "x");
+  EXPECT_EQ(error_code_of(daemon.handle_request(make_request(
+                proto::MsgType::kSubmitDemand, 1, no_demand))),
+            ErrorCode::kMalformedFrame);
+  // Unknown site: kNotFound.
+  EXPECT_EQ(error_code_of(daemon.handle_request(make_request(
+                proto::MsgType::kSubmitDemand, 2,
+                submit_payload("x", vr_demand("d"), "atlantis")))),
+            ErrorCode::kNotFound);
+  // A reply-only message type as a request: kUnknownCommand.
+  EXPECT_EQ(error_code_of(daemon.handle_request(
+                make_request(proto::MsgType::kOk, 3))),
+            ErrorCode::kUnknownCommand);
+  // Restore without sessions but with no snapshot file: kIoError.
+  EXPECT_EQ(error_code_of(daemon.handle_request(
+                make_request(proto::MsgType::kRestore, 4))),
+            ErrorCode::kIoError);
+}
+
+TEST_F(DaemonTest, SetKnobHotReloadsAdmissionCapacity) {
+  core::install_config(core::Config());  // daemon mode, all defaults
+  Daemon daemon(test_options(temp_path("knob", ".sock")));
+
+  std::vector<std::uint8_t> set_payload;
+  proto::TlvWriter w(set_payload);
+  w.put_string(tag::kKnobName, "SURFOS_ADMIT_QUEUE");
+  w.put_u64(tag::kKnobValue, 1);
+  ASSERT_EQ(daemon
+                .handle_request(
+                    make_request(proto::MsgType::kSetKnob, 1, set_payload))
+                .type,
+            proto::MsgType::kOk);
+
+  // Capacity 1 (hot-reloaded, no restart): the first background demand
+  // queues, the second is refused at admission.
+  const auto bg = broker::demand_profile(broker::AppClass::kFileTransfer, "a");
+  ASSERT_EQ(daemon
+                .handle_request(make_request(proto::MsgType::kSubmitDemand, 2,
+                                             submit_payload("bulk1", bg)))
+                .type,
+            proto::MsgType::kOk);
+  EXPECT_EQ(error_code_of(daemon.handle_request(
+                make_request(proto::MsgType::kSubmitDemand, 3,
+                             submit_payload("bulk2", bg)))),
+            ErrorCode::kAdmissionShed);
+
+  // Unknown knob / below-minimum value come back as wire-stable errors.
+  std::vector<std::uint8_t> bad;
+  proto::TlvWriter b(bad);
+  b.put_string(tag::kKnobName, "SURFOS_NOT_REAL");
+  b.put_u64(tag::kKnobValue, 1);
+  EXPECT_EQ(error_code_of(daemon.handle_request(
+                make_request(proto::MsgType::kSetKnob, 4, bad))),
+            ErrorCode::kNotFound);
+}
+
+// --- The snapshot / restart / resume drill -----------------------------------
+
+TEST_F(DaemonTest, SnapshotRestartResumeDrill) {
+  const std::string snapshot_path = temp_path("drill", ".snap");
+  std::vector<std::uint8_t> report_before;
+  std::vector<SessionRow> rows_before;
+  std::uint64_t queued_trace = 0;
+
+  {
+    Daemon daemon(test_options(temp_path("a", ".sock"), snapshot_path));
+    // Two sessions: one running, one stopped.
+    (void)daemon.handle_request(
+        make_request(proto::MsgType::kSubmitDemand, 1,
+                     submit_payload("vr", vr_demand("headset"))));
+    (void)daemon.handle_request(make_request(
+        proto::MsgType::kSubmitDemand, 2,
+        submit_payload("cam", broker::demand_profile(
+                                  broker::AppClass::kSmartHome, "cam0"))));
+    daemon.run_epoch();
+    daemon.run_epoch();
+    std::vector<std::uint8_t> stop;
+    proto::TlvWriter w(stop);
+    w.put_string(tag::kAppId, "cam");
+    ASSERT_EQ(
+        daemon.handle_request(make_request(proto::MsgType::kStopApp, 3, stop))
+            .type,
+        proto::MsgType::kOk);
+    // A third demand stays in-flight in the admission queue (no epoch runs
+    // before the snapshot).
+    (void)daemon.handle_request(
+        make_request(proto::MsgType::kSubmitDemand, 4,
+                     submit_payload("late", vr_demand("phone"))));
+
+    rows_before = parse_status(
+        daemon.handle_request(make_request(proto::MsgType::kGetStatus, 5)));
+    ASSERT_EQ(rows_before.size(), 2u);
+    report_before = daemon.last_report_wire();
+    ASSERT_FALSE(report_before.empty());
+
+    ASSERT_EQ(daemon.handle_request(make_request(proto::MsgType::kSnapshot, 6))
+                  .type,
+              proto::MsgType::kOk);
+  }  // daemon A gone — the "crash"
+
+  // The snapshot file records the in-flight demand and the auto-registered
+  // endpoints the sessions reference.
+  {
+    auto loaded = load_snapshot_file(snapshot_path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().sessions.size(), 2u);
+    ASSERT_EQ(loaded.value().queued.size(), 1u);
+    EXPECT_EQ(loaded.value().queued[0].app_id, "late");
+    EXPECT_EQ(loaded.value().endpoints.size(), 3u);  // headset, cam0, phone
+  }
+
+  Daemon restarted(test_options(temp_path("b", ".sock"), snapshot_path));
+  ASSERT_TRUE(restarted.load_snapshot().ok());
+
+  // Byte-identical FleetReport before and after restore, served by
+  // get_metrics until the first post-restore epoch.
+  EXPECT_EQ(restarted.last_report_wire(), report_before);
+  const auto metrics =
+      restarted.handle_request(make_request(proto::MsgType::kGetMetrics, 7));
+  bool report_served = false;
+  proto::TlvReader r(metrics.payload);
+  while (const auto tlv = r.next()) {
+    if (tlv->tag == tag::kReport) {
+      report_served =
+          std::vector<std::uint8_t>(tlv->value.begin(), tlv->value.end()) ==
+          report_before;
+    }
+  }
+  EXPECT_TRUE(report_served);
+
+  // Sessions resume under their ORIGINAL trace ids and running flags.
+  auto rows_after = parse_status(
+      restarted.handle_request(make_request(proto::MsgType::kGetStatus, 8)));
+  ASSERT_EQ(rows_after.size(), rows_before.size());
+  for (const SessionRow& before : rows_before) {
+    bool found = false;
+    for (const SessionRow& after : rows_after) {
+      if (after.app_id != before.app_id) continue;
+      found = true;
+      EXPECT_EQ(after.trace_id, before.trace_id) << before.app_id;
+      EXPECT_EQ(after.running, before.running) << before.app_id;
+    }
+    EXPECT_TRUE(found) << before.app_id;
+  }
+
+  // The in-flight demand went back through admission: one epoch admits it.
+  restarted.run_epoch();
+  rows_after = parse_status(
+      restarted.handle_request(make_request(proto::MsgType::kGetStatus, 9)));
+  ASSERT_EQ(rows_after.size(), 3u);
+  bool late_running = false;
+  for (const SessionRow& row : rows_after) {
+    if (row.app_id == "late") late_running = row.running;
+  }
+  EXPECT_TRUE(late_running);
+  (void)queued_trace;
+  std::remove(snapshot_path.c_str());
+}
+
+TEST_F(DaemonTest, RestoreRefusesWhenSessionsExist) {
+  const std::string snapshot_path = temp_path("busy", ".snap");
+  Daemon daemon(test_options(temp_path("c", ".sock"), snapshot_path));
+  (void)daemon.handle_request(make_request(
+      proto::MsgType::kSubmitDemand, 1, submit_payload("vr", vr_demand("h"))));
+  daemon.run_epoch();
+  ASSERT_EQ(
+      daemon.handle_request(make_request(proto::MsgType::kSnapshot, 2)).type,
+      proto::MsgType::kOk);
+  EXPECT_EQ(error_code_of(daemon.handle_request(
+                make_request(proto::MsgType::kRestore, 3))),
+            ErrorCode::kUnavailable);
+  std::remove(snapshot_path.c_str());
+}
+
+TEST_F(DaemonTest, DepartedEndpointsAreGarbageCollected) {
+  core::install_config(core::Config());
+  ASSERT_TRUE(core::set_config_knob("SURFOS_ADMIT_QUEUE", 1).ok());
+  const std::string snapshot_path = temp_path("gc", ".snap");
+  Daemon daemon(test_options(temp_path("d", ".sock"), snapshot_path));
+
+  // First demand queues (its endpoint arrives); the second is shed, but its
+  // endpoint was registered before admission refused it — a visitor that
+  // never got service.
+  (void)daemon.handle_request(make_request(
+      proto::MsgType::kSubmitDemand, 1, submit_payload("a", vr_demand("e1"))));
+  EXPECT_EQ(error_code_of(daemon.handle_request(make_request(
+                proto::MsgType::kSubmitDemand, 2,
+                submit_payload("b", vr_demand("e2"))))),
+            ErrorCode::kAdmissionShed);
+
+  // End-of-epoch GC deregisters the unreferenced endpoint.
+  daemon.run_epoch();
+  ASSERT_EQ(
+      daemon.handle_request(make_request(proto::MsgType::kSnapshot, 3)).type,
+      proto::MsgType::kOk);
+  auto snapshot = load_snapshot_file(snapshot_path);
+  ASSERT_TRUE(snapshot.ok());
+  ASSERT_EQ(snapshot.value().endpoints.size(), 1u);
+  EXPECT_EQ(snapshot.value().endpoints[0].endpoint_id, "e1");
+  std::remove(snapshot_path.c_str());
+}
+
+// --- Over the socket ---------------------------------------------------------
+
+TEST_F(DaemonTest, SocketHelloNegotiatesVersion) {
+  const std::string socket_path = temp_path("hello", ".sock");
+  Daemon daemon(test_options(socket_path));
+  ASSERT_TRUE(daemon.start().ok());
+
+  auto client = Client::connect(socket_path);
+  ASSERT_TRUE(client.ok());
+  std::vector<std::uint8_t> payload;
+  proto::TlvWriter w(payload);
+  w.put_u16(tag::kMaxVersion, proto::kProtoVersion);
+  const auto reply = client.value().call(proto::MsgType::kHello, payload);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().type, proto::MsgType::kHelloAck);
+  std::uint16_t chosen = 0;
+  proto::TlvReader r(reply.value().payload);
+  while (const auto tlv = r.next()) {
+    if (tlv->tag == tag::kChosenVersion) {
+      chosen = proto::tlv_u16(*tlv).value_or(0);
+    }
+  }
+  EXPECT_EQ(chosen, proto::kProtoVersion);
+  daemon.stop();
+}
+
+TEST_F(DaemonTest, SocketSubmitStatusDrill) {
+  const std::string socket_path = temp_path("sock", ".sock");
+  Daemon daemon(test_options(socket_path));
+  ASSERT_TRUE(daemon.start().ok());
+
+  auto client = Client::connect(socket_path);
+  ASSERT_TRUE(client.ok());
+  const std::uint64_t trace_id = 0x7777777777777777ull;
+  const auto submit = client.value().call(
+      proto::MsgType::kSubmitDemand,
+      submit_payload("vr", vr_demand("headset")), trace_id);
+  ASSERT_TRUE(submit.ok());
+  EXPECT_EQ(submit.value().type, proto::MsgType::kOk);
+  EXPECT_EQ(submit.value().trace_id, trace_id);  // echo across the socket
+
+  daemon.run_epoch();
+  const auto status = client.value().call(proto::MsgType::kGetStatus, {});
+  ASSERT_TRUE(status.ok());
+  const auto rows = parse_status(status.value());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].app_id, "vr");
+  EXPECT_TRUE(rows[0].running);
+  daemon.stop();
+}
+
+/// Connects a raw AF_UNIX stream socket (bypassing Client so tests can send
+/// deliberately damaged bytes). Returns -1 on failure.
+int raw_connect(const std::string& socket_path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Sends `bytes`, reads until the peer closes, and returns everything read.
+std::vector<std::uint8_t> send_and_drain(int fd,
+                                         const std::vector<std::uint8_t>& bytes) {
+  EXPECT_EQ(::write(fd, bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+  std::vector<std::uint8_t> received;
+  std::uint8_t chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) break;
+    received.insert(received.end(), chunk, chunk + n);
+  }
+  return received;
+}
+
+TEST_F(DaemonTest, SocketRejectsBadVersionOversizedAndGarbageFrames) {
+  const std::string socket_path = temp_path("rej", ".sock");
+  Daemon daemon(test_options(socket_path));
+  ASSERT_TRUE(daemon.start().ok());
+
+  // A frame claiming protocol version 99: kError(kUnsupportedVersion) reply,
+  // then the daemon closes the connection.
+  {
+    proto::WireFrame frame;
+    frame.type = proto::MsgType::kGetStatus;
+    auto encoded = proto::encode_frame(frame);
+    ASSERT_TRUE(encoded.ok());
+    encoded.value()[4] = 99;
+    const int fd = raw_connect(socket_path);
+    ASSERT_GE(fd, 0);
+    const auto received = send_and_drain(fd, encoded.value());
+    ::close(fd);
+    const proto::FrameDecode decode = proto::try_decode_frame(received);
+    ASSERT_TRUE(decode.frame.has_value());
+    EXPECT_EQ(error_code_of(*decode.frame), ErrorCode::kUnsupportedVersion);
+  }
+
+  // A header declaring a payload beyond the 1 MiB cap: kError(kOutOfRange),
+  // connection closed without waiting for the phantom bytes.
+  {
+    std::vector<std::uint8_t> header(proto::kFrameHeaderSize, 0);
+    const std::uint32_t huge = proto::kMaxFramePayload + 1;
+    header[0] = static_cast<std::uint8_t>(huge & 0xff);
+    header[1] = static_cast<std::uint8_t>((huge >> 8) & 0xff);
+    header[2] = static_cast<std::uint8_t>((huge >> 16) & 0xff);
+    header[3] = static_cast<std::uint8_t>((huge >> 24) & 0xff);
+    header[4] = proto::kProtoVersion;
+    header[5] = static_cast<std::uint8_t>(proto::MsgType::kHello);
+    const int fd = raw_connect(socket_path);
+    ASSERT_GE(fd, 0);
+    const auto received = send_and_drain(fd, header);
+    ::close(fd);
+    const proto::FrameDecode decode = proto::try_decode_frame(received);
+    ASSERT_TRUE(decode.frame.has_value());
+    EXPECT_EQ(error_code_of(*decode.frame), ErrorCode::kOutOfRange);
+  }
+
+  // An unknown message type byte: kError(kUnknownCommand), closed.
+  {
+    proto::WireFrame frame;
+    frame.type = proto::MsgType::kHello;
+    auto encoded = proto::encode_frame(frame);
+    ASSERT_TRUE(encoded.ok());
+    encoded.value()[5] = 200;
+    const int fd = raw_connect(socket_path);
+    ASSERT_GE(fd, 0);
+    const auto received = send_and_drain(fd, encoded.value());
+    ::close(fd);
+    const proto::FrameDecode decode = proto::try_decode_frame(received);
+    ASSERT_TRUE(decode.frame.has_value());
+    EXPECT_EQ(error_code_of(*decode.frame), ErrorCode::kUnknownCommand);
+  }
+
+  // The daemon survives all three abuses and still serves good clients.
+  auto client = Client::connect(socket_path);
+  ASSERT_TRUE(client.ok());
+  const auto status = client.value().call(proto::MsgType::kGetStatus, {});
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value().type, proto::MsgType::kStatusReply);
+  EXPECT_EQ(daemon.stats().malformed, 3u);
+  daemon.stop();
+}
+
+TEST_F(DaemonTest, ShutdownOverTheWireStopsTheDaemon) {
+  const std::string socket_path = temp_path("down", ".sock");
+  Daemon daemon(test_options(socket_path));
+  ASSERT_TRUE(daemon.start().ok());
+
+  auto client = Client::connect(socket_path);
+  ASSERT_TRUE(client.ok());
+  const auto reply = client.value().call(proto::MsgType::kShutdown, {});
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().type, proto::MsgType::kOk);
+  daemon.wait();  // returns because the wire request cleared running_
+  EXPECT_FALSE(daemon.running());
+  daemon.stop();
+}
+
+}  // namespace
+}  // namespace surfos::daemon

@@ -47,10 +47,12 @@ TEST(Facade, InstallRejectsWrongHardwareClass) {
 TEST(Facade, DatasheetInstallWorkflow) {
   sim::CoverageRoomScenario scene = sim::make_coverage_room(4);
   SurfOS os(scene.environment.get(), scene.ap(), scene.band, scene.budget);
-  const InstallReport install = os.install_from_datasheet(
+  const auto install_result = os.install_from_datasheet(
       "model: Acme\nfrequency: 28 GHz\nmode: reflective\n"
       "reconfigurable: yes\nelements: 12x12\nmystery: value\n",
       scene.surface_pose, "acme0");
+  ASSERT_TRUE(install_result.ok());
+  const InstallReport& install = install_result.value();
   EXPECT_EQ(install.device_id, "acme0");
   EXPECT_EQ(install.warnings.size(), 1u);  // the mystery key
   os.register_endpoint("laptop", hal::EndpointKind::kClient, {1.2, 2.4, 1.0});
@@ -58,8 +60,10 @@ TEST(Facade, DatasheetInstallWorkflow) {
       os.orchestrator().enhance_link({"laptop", 10.0, 50.0});
   os.step();
   EXPECT_TRUE(os.orchestrator().find_task(task)->goal_met);
-  EXPECT_THROW(os.install_from_datasheet("nonsense", scene.surface_pose, "x"),
-               std::invalid_argument);
+  const auto bad = os.install_from_datasheet("nonsense", scene.surface_pose,
+                                             "x");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), ErrorCode::kParseError);
 }
 
 TEST(Integration, HybridRelayDeliversBedroomCoverage) {
@@ -259,22 +263,28 @@ TEST(Integration, MultiServiceDayInTheLife) {
   os.broker().add_region("this_room",
                          geom::SampleGrid(0.8, 2.8, 0.5, 2.5, 1.0, 3, 3));
 
-  os.broker().start_app("meet",
-                        broker::demand_profile(
-                            broker::AppClass::kVideoConference, "laptop"));
-  os.broker().start_app("charge",
-                        broker::demand_profile(
-                            broker::AppClass::kWirelessCharging, "phone"));
-  os.broker().start_app(
-      "home", broker::demand_profile(broker::AppClass::kSmartHome, "",
-                                     "this_room"));
+  ASSERT_TRUE(os.broker()
+                  .start_app("meet", broker::demand_profile(
+                                         broker::AppClass::kVideoConference,
+                                         "laptop"))
+                  .ok());
+  ASSERT_TRUE(os.broker()
+                  .start_app("charge", broker::demand_profile(
+                                           broker::AppClass::kWirelessCharging,
+                                           "phone"))
+                  .ok());
+  ASSERT_TRUE(os.broker()
+                  .start_app("home",
+                             broker::demand_profile(broker::AppClass::kSmartHome,
+                                                    "", "this_room"))
+                  .ok());
   os.step();
   EXPECT_TRUE(os.broker().status("meet").satisfied);
   EXPECT_EQ(os.broker().sessions().size(), 3u);
 
-  os.broker().stop_app("meet");
-  os.broker().stop_app("charge");
-  os.broker().stop_app("home");
+  EXPECT_TRUE(os.broker().stop_app("meet").ok());
+  EXPECT_TRUE(os.broker().stop_app("charge").ok());
+  EXPECT_TRUE(os.broker().stop_app("home").ok());
   const auto report = os.step();
   EXPECT_EQ(report.assignment_count, 0u);
 }

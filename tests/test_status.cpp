@@ -1,0 +1,123 @@
+// Result<T> / ErrorCode semantics and the Config knob-snapshot machinery
+// (core/status.hpp, core/config.hpp) — the PR 8 service-API foundation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/config.hpp"
+#include "core/status.hpp"
+
+namespace surfos {
+namespace {
+
+TEST(Result, ValueResultRoundTrips) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.code(), ErrorCode::kOk);
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, ErrorResultCarriesCodeAndMessage) {
+  Result<int> r(ErrorCode::kNotFound, "no such app");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.error().message, "no such app");
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, WrongSideAccessIsALogicError) {
+  Result<int> good(1);
+  Result<int> bad(ErrorCode::kInternal, "boom");
+  EXPECT_THROW((void)good.error(), std::logic_error);
+  EXPECT_THROW((void)bad.value(), std::logic_error);
+}
+
+TEST(Result, VoidSpecialization) {
+  Result<void> ok = ok_result();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), ErrorCode::kOk);
+  Result<void> err(ErrorCode::kAdmissionShed, "shed");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), ErrorCode::kAdmissionShed);
+  EXPECT_EQ(err.error().message, "shed");
+}
+
+TEST(Result, UnwrapOrThrowBridgesTheOldContract) {
+  EXPECT_EQ(unwrap_or_throw(Result<int>(5)), 5);
+  EXPECT_NO_THROW(unwrap_or_throw(ok_result()));
+  // The deprecated shims promised std::invalid_argument; the bridge keeps it.
+  EXPECT_THROW(unwrap_or_throw(Result<int>(ErrorCode::kParseError, "bad")),
+               std::invalid_argument);
+  EXPECT_THROW(unwrap_or_throw(Result<void>(ErrorCode::kNotFound, "gone")),
+               std::invalid_argument);
+}
+
+TEST(ErrorCode, NamesAreStableAndTotal) {
+  EXPECT_STREQ(to_string(ErrorCode::kOk), "ok");
+  EXPECT_STREQ(to_string(ErrorCode::kAdmissionShed), "admission-shed");
+  EXPECT_STREQ(to_string(ErrorCode::kInternal), "internal");
+  for (std::uint16_t v = 0; v < kErrorCodeCount; ++v) {
+    EXPECT_STRNE(to_string(static_cast<ErrorCode>(v)), "unknown-error")
+        << "code " << v << " has no name";
+  }
+  // A newer peer's code degrades to a generic name, never UB.
+  EXPECT_STREQ(to_string(static_cast<ErrorCode>(kErrorCodeCount)),
+               "unknown-error");
+}
+
+class ConfigTest : public ::testing::Test {
+ protected:
+  void TearDown() override { core::clear_config(); }
+};
+
+TEST_F(ConfigTest, SetValidatesAgainstTheRegistry) {
+  core::Config config;
+  EXPECT_EQ(config.set("SURFOS_NOT_A_KNOB", 3).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(config.set("SURFOS_ADMIT_QUEUE", 0).code(),
+            ErrorCode::kOutOfRange);  // min 1
+  ASSERT_TRUE(config.set("SURFOS_ADMIT_QUEUE", 32).ok());
+  EXPECT_EQ(config.lookup("SURFOS_ADMIT_QUEUE"), 32u);
+  EXPECT_EQ(config.lookup("SURFOS_EPOCH_MS"), std::nullopt);
+}
+
+TEST_F(ConfigTest, KnobFallsBackToEnvWithoutASnapshot) {
+  core::clear_config();
+  // No snapshot, no env var: the reader's default wins.
+  EXPECT_EQ(core::knob("SURFOS_EPOCH_MS", 20, 1), 20u);
+}
+
+TEST_F(ConfigTest, InstalledSnapshotOverridesAndHotReloads) {
+  core::Config config;
+  ASSERT_TRUE(config.set("SURFOS_EPOCH_MS", 5).ok());
+  core::install_config(config);
+  EXPECT_EQ(core::knob("SURFOS_EPOCH_MS", 20, 1), 5u);
+  // Unset knobs under a snapshot use the reader's default, NOT the env.
+  EXPECT_EQ(core::knob("SURFOS_PUMP_MAX", 8, 1), 8u);
+
+  // set_config_knob swaps a new snapshot in: the next read sees it.
+  ASSERT_TRUE(core::set_config_knob("SURFOS_EPOCH_MS", 50).ok());
+  EXPECT_EQ(core::knob("SURFOS_EPOCH_MS", 20, 1), 50u);
+  EXPECT_EQ(core::set_config_knob("SURFOS_EPOCH_MS", 0).code(),
+            ErrorCode::kOutOfRange);
+  EXPECT_EQ(core::set_config_knob("NOPE", 1).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(ConfigTest, SetKnobWithoutASnapshotIsUnavailable) {
+  core::clear_config();
+  EXPECT_EQ(core::set_config_knob("SURFOS_EPOCH_MS", 5).code(),
+            ErrorCode::kUnavailable);
+}
+
+TEST_F(ConfigTest, EntriesFollowRegistryOrder) {
+  core::Config config;
+  ASSERT_TRUE(config.set("SURFOS_THREADS", 2).ok());
+  const auto entries = config.entries();
+  ASSERT_EQ(entries.size(), std::size(core::kKnobRegistry));
+  EXPECT_EQ(entries.front().first, "SURFOS_THREADS");
+  EXPECT_EQ(entries.front().second, 2u);
+}
+
+}  // namespace
+}  // namespace surfos

@@ -254,10 +254,11 @@ orch::StepReport run_scenario() {
   const surface::Catalog catalog = surface::Catalog::standard();
   os.install_programmable(*catalog.find("NR-Surface"), scene.surface_pose, 10,
                           10, "wall");
-  os.install_from_datasheet(
-      "model: Acme\nfrequency: 28 GHz\nmode: reflective\n"
-      "reconfigurable: yes\nelements: 8x8\nmystery: value\n",
-      scene.surface_pose, "acme");
+  EXPECT_TRUE(os.install_from_datasheet(
+                    "model: Acme\nfrequency: 28 GHz\nmode: reflective\n"
+                    "reconfigurable: yes\nelements: 8x8\nmystery: value\n",
+                    scene.surface_pose, "acme")
+                  .ok());
   os.register_endpoint("laptop", hal::EndpointKind::kClient, {1.2, 2.4, 1.0});
   os.broker().add_region("this_room",
                          geom::SampleGrid(0.8, 2.8, 0.5, 2.5, 1.0, 3, 3));
@@ -341,10 +342,11 @@ TEST_F(TelemetryTest, TaskHandleTracksTaskState) {
   SurfOS os(scene.environment.get(), scene.ap(), scene.band, scene.budget);
   // Element-wise hardware: a 10 dB link target is comfortably achievable
   // (the same setup test_integration's datasheet workflow relies on).
-  os.install_from_datasheet(
-      "model: Handle\nfrequency: 28 GHz\nmode: reflective\n"
-      "reconfigurable: yes\nelements: 12x12\n",
-      scene.surface_pose, "wall");
+  EXPECT_TRUE(os.install_from_datasheet(
+                    "model: Handle\nfrequency: 28 GHz\nmode: reflective\n"
+                    "reconfigurable: yes\nelements: 12x12\n",
+                    scene.surface_pose, "wall")
+                  .ok());
   os.register_endpoint("laptop", hal::EndpointKind::kClient, {1.2, 2.4, 1.0});
 
   const orch::TaskHandle handle =

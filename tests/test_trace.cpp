@@ -354,7 +354,7 @@ TEST_F(TraceTest, EscalationKeepsTheIntentTraceId) {
   demand.app_class = broker::AppClass::kVideoStreaming;
   demand.endpoint_id = "laptop";
   demand.throughput_mbps = 1e9;  // impossible -> unsatisfied
-  os->broker().start_app("stubborn", demand);
+  ASSERT_TRUE(os->broker().start_app("stubborn", demand).ok());
   os->step();
 
   const auto& session = os->broker().sessions().at("stubborn");

@@ -1,0 +1,139 @@
+// surfos-status: one-shot operator dashboard for a running surfosd.
+//
+//   surfos-status [--socket PATH]
+//
+// Combines get_status and get_metrics into a single human-readable view:
+// daemon health (epochs, epoch wall time, environment rebuilds, requests),
+// the per-step fleet counters, and the session table.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "daemon/client.hpp"
+#include "daemon/tags.hpp"
+#include "proto/serialize.hpp"
+#include "proto/wire.hpp"
+
+namespace {
+
+namespace tag = surfos::daemon::tag;
+namespace proto = surfos::proto;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/surfosd.sock";
+  if (const char* env = std::getenv("SURFOS_SOCKET")) socket_path = env;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: surfos-status [--socket PATH]\n");
+      return 2;
+    }
+  }
+
+  auto connected = surfos::daemon::Client::connect(socket_path);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "surfos-status: %s\n",
+                 connected.error().message.c_str());
+    return 1;
+  }
+  surfos::daemon::Client client = std::move(connected.value());
+
+  const auto metrics = client.call(proto::MsgType::kGetMetrics, {});
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "surfos-status: %s\n",
+                 metrics.error().message.c_str());
+    return 1;
+  }
+  std::uint64_t epochs = 0, rebuilds = 0, requests = 0;
+  double epoch_ms = 0.0;
+  surfos::FleetReport report;
+  bool have_report = false;
+  {
+    proto::TlvReader r(metrics.value().payload);
+    while (const auto tlv = r.next()) {
+      switch (tlv->tag) {
+        case tag::kReport:
+          have_report = proto::from_wire(tlv->value, report).ok();
+          break;
+        case tag::kEpochs: epochs = proto::tlv_u64(*tlv).value_or(0); break;
+        case tag::kRebuilds:
+          rebuilds = proto::tlv_u64(*tlv).value_or(0);
+          break;
+        case tag::kLastEpochMs:
+          epoch_ms = proto::tlv_f64(*tlv).value_or(0.0);
+          break;
+        case tag::kRequests:
+          requests = proto::tlv_u64(*tlv).value_or(0);
+          break;
+        default: break;
+      }
+    }
+  }
+  std::printf("surfosd @ %s\n", socket_path.c_str());
+  std::printf("  epochs    %llu (last %.2f ms)\n",
+              static_cast<unsigned long long>(epochs), epoch_ms);
+  std::printf("  rebuilds  %llu\n", static_cast<unsigned long long>(rebuilds));
+  std::printf("  requests  %llu\n", static_cast<unsigned long long>(requests));
+  if (have_report) {
+    std::printf("  last step %zu site(s): %zu assignment(s), "
+                "%zu optimization(s), %zu starved\n",
+                report.sites.size(), report.total_assignments,
+                report.total_optimizations, report.total_starved);
+  }
+
+  const auto status = client.call(proto::MsgType::kGetStatus, {});
+  if (!status.ok()) {
+    std::fprintf(stderr, "surfos-status: %s\n",
+                 status.error().message.c_str());
+    return 1;
+  }
+  std::printf("sessions:\n");
+  std::size_t sessions = 0;
+  std::uint64_t depth = 0;
+  proto::TlvReader r(status.value().payload);
+  while (const auto tlv = r.next()) {
+    if (tlv->tag == tag::kQueueDepth) {
+      depth = proto::tlv_u64(*tlv).value_or(0);
+      continue;
+    }
+    if (tlv->tag != tag::kSession) continue;
+    ++sessions;
+    std::string app, site;
+    bool running = false, satisfied = false;
+    std::uint64_t total = 0, met = 0;
+    proto::TlvReader n(tlv->value);
+    while (const auto field = n.next()) {
+      switch (field->tag) {
+        case tag::kSessionApp: app = proto::tlv_string(*field); break;
+        case tag::kSessionSite: site = proto::tlv_string(*field); break;
+        case tag::kSessionRunning:
+          running = proto::tlv_u8(*field).value_or(0) != 0;
+          break;
+        case tag::kSessionSatisfied:
+          satisfied = proto::tlv_u8(*field).value_or(0) != 0;
+          break;
+        case tag::kSessionTasksTotal:
+          total = proto::tlv_u64(*field).value_or(0);
+          break;
+        case tag::kSessionTasksMet:
+          met = proto::tlv_u64(*field).value_or(0);
+          break;
+        default: break;
+      }
+    }
+    std::printf("  %-16s %-8s %-8s %-11s goals %llu/%llu\n", app.c_str(),
+                site.c_str(), running ? "running" : "stopped",
+                satisfied ? "satisfied" : "unsatisfied",
+                static_cast<unsigned long long>(met),
+                static_cast<unsigned long long>(total));
+  }
+  if (sessions == 0) std::printf("  (none)\n");
+  std::printf("  %llu demand(s) queued for admission\n",
+              static_cast<unsigned long long>(depth));
+  return 0;
+}
