@@ -17,8 +17,11 @@
 #      the dense-path suites in ./build-ubsan); undefined behavior in the
 #      lane kernels fails the run
 #   6. daemon smoke: spawn the real surfosd binary on a temp socket, drive
-#      50 surfos-ctl requests through it, SIGTERM it, and check for a clean
-#      exit, a written snapshot, and zero leaked fds while serving
+#      50 surfos-ctl requests through it, stream >= 20 epochs of kEvent
+#      frames into a `surfos-ctl watch metrics` subscriber and kill it
+#      mid-stream (the daemon must keep serving), render three surfos-top
+#      frames, SIGTERM it, and check for a clean exit, a written snapshot,
+#      and zero leaked fds while serving
 #
 #   $ ci/check.sh
 set -euo pipefail
@@ -48,7 +51,7 @@ echo "== tsan: thread-pool / tracing / incremental / daemon tests under ThreadSa
 cmake -B build-tsan -S . -DSURFOS_SANITIZE=thread
 cmake --build build-tsan -j"$JOBS" --target \
   test_thread_pool test_parallel_determinism test_trace test_incremental \
-  test_fleet test_admission test_proto test_daemon
+  test_fleet test_admission test_proto test_daemon test_streaming
 # TSan findings abort the test process (halt_on_error) so a data race can
 # never hide behind a green assertion run. -L is a regex: the trace suite
 # hammers the recorder from pool workers, the incremental cache fills
@@ -71,12 +74,13 @@ UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
 
 echo
 echo "== daemon smoke: live surfosd + 50 surfos-ctl requests + SIGTERM snapshot"
-cmake --build build -j"$JOBS" --target surfosd surfos-ctl surfos-status
+cmake --build build -j"$JOBS" --target surfosd surfos-ctl surfos-status surfos-top
 SMOKE_SOCK="$(mktemp -u /tmp/surfosd_ci_XXXXXX.sock)"
 SMOKE_SNAP="$(mktemp -u /tmp/surfosd_ci_XXXXXX.snap)"
+WATCH_LOG="$(mktemp /tmp/surfosd_ci_watch_XXXXXX.log)"
 ./build/tools/surfosd --socket "$SMOKE_SOCK" --snapshot "$SMOKE_SNAP" --epoch-ms 5 &
 SMOKE_PID=$!
-trap 'kill -9 $SMOKE_PID 2>/dev/null || true; rm -f "$SMOKE_SOCK" "$SMOKE_SNAP"' EXIT
+trap 'kill -9 $SMOKE_PID 2>/dev/null || true; rm -f "$SMOKE_SOCK" "$SMOKE_SNAP" "$WATCH_LOG"' EXIT
 for _ in $(seq 1 50); do
   [ -S "$SMOKE_SOCK" ] && break
   sleep 0.1
@@ -97,6 +101,24 @@ for i in $(seq 1 20); do "${CTL[@]}" metrics > /dev/null; done
 "${CTL[@]}" snapshot
 "${CTL[@]}" traces > /dev/null
 ./build/tools/surfos-status --socket "$SMOKE_SOCK"
+# Live streaming: a watch subscriber rides the 5 ms ticker for >= 20 epochs
+# of kEvent frames, then dies mid-stream (SIGKILL: no unsubscribe, no
+# orderly close). The daemon must drop the connection and keep serving.
+"${CTL[@]}" watch metrics > "$WATCH_LOG" 2>/dev/null &
+WATCH_PID=$!
+for _ in $(seq 1 50); do
+  [ "$(grep -c '^event topic=metrics' "$WATCH_LOG")" -ge 20 ] && break
+  sleep 0.1
+done
+kill -9 $WATCH_PID 2>/dev/null || true
+wait $WATCH_PID 2>/dev/null || true
+WATCH_EVENTS=$(grep -c '^event topic=metrics' "$WATCH_LOG")
+if [ "$WATCH_EVENTS" -lt 20 ]; then
+  echo "watch subscriber saw only $WATCH_EVENTS metrics events"; exit 1
+fi
+"${CTL[@]}" ping  # still serving after the mid-stream kill
+# And the dashboard renders: three frames over the same stream, then exits.
+./build/tools/surfos-top --socket "$SMOKE_SOCK" --frames 3 > /dev/null
 # Every connection above has been closed: the serving daemon must be back
 # to its baseline fd table (no leaked client fds).
 sleep 0.3

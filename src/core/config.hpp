@@ -72,6 +72,16 @@ inline constexpr KnobSpec kKnobRegistry[] = {
      "surfosd control-epoch period in milliseconds"},
     {"SURFOS_PUMP_MAX", 1, KnobReload::kPerEpoch,
      "max demands admitted per control epoch per site"},
+    {"SURFOS_SUB_OUTBOX", 1, KnobReload::kPerEpoch,
+     "per-subscriber outbox depth in frames before drop-oldest"},
+    {"SURFOS_SLO_OVERRUN_STREAK", 1, KnobReload::kPerEpoch,
+     "consecutive epoch-budget overruns before a site degrades"},
+    {"SURFOS_SLO_QUEUE_PCT", 1, KnobReload::kPerEpoch,
+     "admission-queue depth as % of SURFOS_ADMIT_QUEUE that degrades"},
+    {"SURFOS_SLO_RETRY_PCT", 1, KnobReload::kPerEpoch,
+     "ARQ retransmissions as % of sends per epoch that degrades"},
+    {"SURFOS_SLO_SHED", 1, KnobReload::kPerEpoch,
+     "demands shed in one epoch that degrades a site"},
 };
 
 inline const KnobSpec* find_knob(std::string_view name) noexcept {

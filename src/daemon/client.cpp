@@ -37,13 +37,16 @@ Result<Client> Client::connect(const std::string& socket_path) {
 }
 
 Client::Client(Client&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), seq_(other.seq_) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      seq_(other.seq_),
+      buf_(std::move(other.buf_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
     seq_ = other.seq_;
+    buf_ = std::move(other.buf_);
   }
   return *this;
 }
@@ -52,9 +55,9 @@ Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Result<proto::WireFrame> Client::call(proto::MsgType type,
-                                      std::span<const std::uint8_t> payload,
-                                      std::uint64_t trace_id) {
+Result<std::uint64_t> Client::send(proto::MsgType type,
+                                   std::span<const std::uint8_t> payload,
+                                   std::uint64_t trace_id) {
   if (fd_ < 0) return make_error(ErrorCode::kUnavailable, "not connected");
   proto::WireFrame request;
   request.type = type;
@@ -78,15 +81,16 @@ Result<proto::WireFrame> Client::call(proto::MsgType type,
     }
     at += static_cast<std::size_t>(n);
   }
+  return request.trace_id;
+}
 
-  std::vector<std::uint8_t> buffer;
+Result<proto::WireFrame> Client::recv() {
+  if (fd_ < 0) return make_error(ErrorCode::kUnavailable, "not connected");
   while (true) {
-    const proto::FrameDecode decode = proto::try_decode_frame(buffer);
+    const proto::FrameDecode decode = proto::try_decode_frame(buf_);
     if (decode.frame) {
-      if (decode.frame->trace_id != request.trace_id) {
-        return make_error(ErrorCode::kInternal,
-                          "reply trace id does not match request");
-      }
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(decode.consumed));
       return *decode.frame;
     }
     if (decode.error) return *decode.error;
@@ -101,7 +105,26 @@ Result<proto::WireFrame> Client::call(proto::MsgType type,
       return make_error(ErrorCode::kIoError,
                         "daemon closed the connection mid-reply");
     }
-    buffer.insert(buffer.end(), chunk, chunk + n);
+    buf_.insert(buf_.end(), chunk, chunk + n);
+  }
+}
+
+Result<proto::WireFrame> Client::call(proto::MsgType type,
+                                      std::span<const std::uint8_t> payload,
+                                      std::uint64_t trace_id) {
+  const auto sent = send(type, payload, trace_id);
+  if (!sent.ok()) return sent.error();
+  while (true) {
+    auto frame = recv();
+    if (!frame.ok()) return frame.error();
+    // Pushed events are asynchronous and can interleave with the reply on
+    // a subscribed connection; they are never the answer to a request.
+    if (frame.value().type == proto::MsgType::kEvent) continue;
+    if (frame.value().trace_id != sent.value()) {
+      return make_error(ErrorCode::kInternal,
+                        "reply trace id does not match request");
+    }
+    return frame;
   }
 }
 

@@ -1,16 +1,27 @@
-// Client side of the surfosd wire protocol: a blocking request/reply
-// connection over the daemon's Unix-domain socket.
+// Client side of the surfosd wire protocol: a blocking connection over the
+// daemon's Unix-domain socket.
 //
-// Used by the CLI tools (surfos-ctl, surfos-status) and the daemon tests.
-// One call() writes one frame and reads bytes until exactly one reply frame
-// decodes; the daemon's reply always echoes the request's trace id, which
-// call() verifies. Clients that do not mint their own trace ids get
+// Used by the CLI tools (surfos-ctl, surfos-status, surfos-top) and the
+// daemon tests. Two usage styles:
+//
+//   - call(): one request/reply round trip. The daemon's reply always
+//     echoes the request's trace id, which call() verifies; server-pushed
+//     kEvent frames that arrive interleaved (on a subscribed connection)
+//     are NOT replies and are skipped — a subscriber that still issues
+//     control requests never mistakes an event for its answer.
+//   - send() + recv(): streaming. After a kSubscribe, recv() blocks for
+//     the next frame — reply or pushed kEvent — in arrival order.
+//
+// The read buffer persists across calls (leftover bytes after one decoded
+// frame belong to the next), which is what makes the two styles composable
+// on one connection. Clients that do not mint their own trace ids get
 // deterministic ones (domain "surfos.client", per-connection sequence).
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/status.hpp"
 #include "proto/wire.hpp"
@@ -28,12 +39,23 @@ class Client {
   Client& operator=(const Client&) = delete;
   ~Client();
 
-  /// One request/reply round trip. `trace_id` 0 mints a deterministic
-  /// client-side id; the returned frame is the daemon's reply (possibly a
-  /// kError frame — protocol errors are data, not I/O failures).
+  /// One request/reply round trip (skips interleaved kEvent pushes).
+  /// `trace_id` 0 mints a deterministic client-side id; the returned frame
+  /// is the daemon's reply (possibly a kError frame — protocol errors are
+  /// data, not I/O failures).
   Result<proto::WireFrame> call(proto::MsgType type,
                                 std::span<const std::uint8_t> payload,
                                 std::uint64_t trace_id = 0);
+
+  /// Writes one request frame without waiting for anything back. Returns
+  /// the trace id actually sent (minted when `trace_id` is 0).
+  Result<std::uint64_t> send(proto::MsgType type,
+                             std::span<const std::uint8_t> payload,
+                             std::uint64_t trace_id = 0);
+
+  /// Blocks until the next complete frame — a reply or a pushed kEvent —
+  /// and returns it in arrival order.
+  Result<proto::WireFrame> recv();
 
   bool connected() const noexcept { return fd_ >= 0; }
 
@@ -42,6 +64,7 @@ class Client {
 
   int fd_ = -1;
   std::uint64_t seq_ = 0;
+  std::vector<std::uint8_t> buf_;  ///< Bytes read but not yet decoded.
 };
 
 }  // namespace surfos::daemon

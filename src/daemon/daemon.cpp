@@ -1,14 +1,17 @@
 #include "daemon/daemon.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <map>
+#include <optional>
 
 #include "broker/admission.hpp"
 #include "core/config.hpp"
@@ -58,19 +61,6 @@ proto::WireFrame error_reply(std::uint64_t trace_id, const Error& error) {
 proto::WireFrame error_reply(std::uint64_t trace_id, ErrorCode code,
                              const std::string& message) {
   return error_reply(trace_id, Error{code, message});
-}
-
-bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
-  std::size_t at = 0;
-  while (at < size) {
-    const ssize_t n = ::write(fd, data + at, size - at);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    at += static_cast<std::size_t>(n);
-  }
-  return true;
 }
 
 }  // namespace
@@ -212,14 +202,93 @@ void Daemon::run_epoch() {
 
   last_report_wire_ = proto::to_wire(report);
   ++stats_.epochs;
-  stats_.last_epoch_ms = std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - wall_start)
-                             .count();
+
+  // Resolve admit->applied latencies: a submitted app first seen running
+  // completes its trace in the mergeable histogram. Entries whose app
+  // vanished (shed, stopped before admission) are garbage-collected.
+  const auto wall_now = std::chrono::steady_clock::now();
+  for (auto it = pending_admit_.begin(); it != pending_admit_.end();) {
+    const auto& [site_id, app_id] = it->first;
+    Site* site = find_site_entry(site_id);
+    bool resolved = false;
+    bool alive = false;
+    if (site != nullptr) {
+      const auto& sessions = site->os->broker().sessions();
+      if (const auto sit = sessions.find(app_id); sit != sessions.end()) {
+        alive = true;
+        if (sit->second.running) {
+          series_.record_admit_latency_ms(
+              std::chrono::duration<double, std::milli>(wall_now - it->second)
+                  .count());
+          resolved = true;
+        }
+      } else {
+        for (const auto& queued : site->os->broker().admission().pending()) {
+          if (queued.app_id == app_id) {
+            alive = true;
+            break;
+          }
+        }
+      }
+    }
+    it = resolved || !alive ? pending_admit_.erase(it) : std::next(it);
+  }
+
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(wall_now - wall_start)
+          .count();
+  stats_.last_epoch_ms = wall_ms;
+
+  // SLO watchdog: one verdict per site, from this epoch's signals.
+  const SloThresholds thresholds = SloThresholds::from_knobs();
+  auto& metrics = telemetry::MetricsRegistry::instance();
+  const std::uint64_t arq_retries =
+      metrics.counter("hal.arq.retransmissions").value();
+  const std::uint64_t arq_sends = metrics.counter("hal.arq.sends").value();
+  latest_health_.clear();
+  for (Site& site : sites_) {
+    const auto& admission = site.os->broker().admission();
+    SloInputs inputs;
+    inputs.queue_depth = admission.depth();
+    inputs.queue_capacity =
+        core::knob("SURFOS_ADMIT_QUEUE", admission.options().capacity, 1);
+    inputs.shed_total = admission.stats().shed;
+    inputs.arq_retry_total = arq_retries;
+    inputs.arq_send_total = arq_sends;
+    inputs.epoch_overrun = wall_ms > static_cast<double>(epoch_ms);
+    latest_health_.push_back(watchdog_.evaluate(site.id, inputs, thresholds));
+  }
+
+  // Record the epoch sample and push events to every due subscriber.
+  // Publication only enqueues into bounded outboxes — a stalled reader
+  // costs this thread nothing beyond the wake-pipe poke below.
+  series_.record(stats_.epochs, metrics.snapshot(), wall_ms,
+                 report.trace.actuate_us);
+  SubscriptionRegistry::EpochContext ctx;
+  ctx.epoch = stats_.epochs;
+  ctx.series = &series_;
+  ctx.health = &latest_health_;
+  std::vector<telemetry::TraceEvent> trace_events;
+  if (subs_.wants_traces()) {
+    trace_events = telemetry::Recorder::instance().events();
+    ctx.trace_events = &trace_events;
+  }
+  subs_.publish(ctx);
+  if (wake_pipe_[1] >= 0 && running_.load()) {
+    const char byte = 'p';  // wake poll() so it registers POLLOUT interest
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+std::vector<SiteHealth> Daemon::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_health_;
 }
 
 // --- Request dispatch --------------------------------------------------------
 
-proto::WireFrame Daemon::handle_request(const proto::WireFrame& request) {
+proto::WireFrame Daemon::handle_request(const proto::WireFrame& request,
+                                        int client_fd) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.requests;
   // Resolve the request's causal trace: client-minted id, or daemon-minted
@@ -245,6 +314,10 @@ proto::WireFrame Daemon::handle_request(const proto::WireFrame& request) {
     case proto::MsgType::kRestore: return handle_restore(traced);
     case proto::MsgType::kSetKnob: return handle_set_knob(traced);
     case proto::MsgType::kGetKnobs: return handle_get_knobs(traced);
+    case proto::MsgType::kSubscribe:
+      return handle_subscribe(traced, client_fd);
+    case proto::MsgType::kUnsubscribe:
+      return handle_unsubscribe(traced, client_fd);
     case proto::MsgType::kShutdown: {
       SURFOS_INFO(kLog) << "shutdown requested over the wire";
       running_.store(false);
@@ -322,6 +395,9 @@ proto::WireFrame Daemon::handle_submit(const proto::WireFrame& request) {
       !submitted.ok()) {
     return error_reply(request.trace_id, submitted.error());
   }
+  // Start the admit->applied clock: resolved in run_epoch when the session
+  // is first observed running.
+  pending_admit_[{site->id, app_id}] = std::chrono::steady_clock::now();
   proto::WireFrame reply = reply_frame(proto::MsgType::kOk, request.trace_id);
   proto::TlvWriter w(reply.payload);
   w.put_u64(tag::kQueueDepth, site->os->broker().admission().depth());
@@ -385,6 +461,12 @@ proto::WireFrame Daemon::handle_status(const proto::WireFrame& request) {
   }
   w.put_u64(tag::kQueueDepth, queue_depth);
   w.put_u64(tag::kStatusEpochs, stats_.epochs);
+  for (const SiteHealth& site : latest_health_) {
+    if (!site_filter.empty() && site.site_id != site_filter) continue;
+    put_site_health(w, tag::kSiteHealth, site);
+  }
+  w.put_u8(tag::kFleetHealth,
+           static_cast<std::uint8_t>(SloWatchdog::fleet_state(latest_health_)));
   return reply;
 }
 
@@ -401,13 +483,116 @@ proto::WireFrame Daemon::handle_metrics(const proto::WireFrame& request) {
 }
 
 proto::WireFrame Daemon::handle_traces(const proto::WireFrame& request) {
+  std::optional<std::uint64_t> cursor_ts;
+  std::optional<std::uint64_t> cursor_span;
+  std::optional<std::uint32_t> limit;
+  proto::TlvReader r(request.payload);
+  while (const auto tlv = r.next()) {
+    if (tlv->tag == tag::kTraceCursorTs) cursor_ts = proto::tlv_u64(*tlv);
+    if (tlv->tag == tag::kTraceCursorSpan) cursor_span = proto::tlv_u64(*tlv);
+    if (tlv->tag == tag::kTraceLimit) limit = proto::tlv_u32(*tlv);
+  }
+  if (r.truncated()) {
+    return error_reply(request.trace_id, ErrorCode::kMalformedFrame,
+                       "truncated stream-traces request");
+  }
   const auto events = telemetry::Recorder::instance().events();
   proto::WireFrame reply =
       reply_frame(proto::MsgType::kTraceChunk, request.trace_id);
   proto::TlvWriter w(reply.payload);
-  w.put_string(tag::kTraceJson, telemetry::chrome_trace_json(events));
-  w.put_u64(tag::kEventCount, events.size());
+  if (!cursor_ts && !cursor_span && !limit) {
+    // Legacy one-shot dump: the whole (ring-truncated) buffer as Chrome
+    // JSON, for old clients that never learned the cursor tags.
+    w.put_string(tag::kTraceJson, telemetry::chrome_trace_json(events));
+    w.put_u64(tag::kEventCount, events.size());
+    return reply;
+  }
+  const std::size_t page =
+      std::clamp<std::size_t>(limit.value_or(512), 1, 4096);
+  const auto slice = telemetry::events_after(
+      events, cursor_ts.value_or(0), cursor_span.value_or(0), page);
+  for (const auto& event : slice) {
+    put_trace_event(w, tag::kTraceEvent, event);
+  }
+  w.put_u64(tag::kEventCount, slice.size());
+  const std::uint64_t next_ts =
+      slice.empty() ? cursor_ts.value_or(0) : slice.back().ts_ns;
+  const std::uint64_t next_span =
+      slice.empty() ? cursor_span.value_or(0) : slice.back().span_id;
+  w.put_u64(tag::kTraceNextTs, next_ts);
+  w.put_u64(tag::kTraceNextSpan, next_span);
+  w.put_u8(tag::kTraceDone, slice.size() < page ? 1 : 0);
   return reply;
+}
+
+proto::WireFrame Daemon::handle_subscribe(const proto::WireFrame& request,
+                                          int client_fd) {
+  SubscriptionSpec spec;
+  bool have_topic = false;
+  proto::TlvReader r(request.payload);
+  while (const auto tlv = r.next()) {
+    switch (tlv->tag) {
+      case tag::kSubTopic: {
+        if (const auto v = proto::tlv_u8(*tlv);
+            v && *v >= static_cast<std::uint8_t>(SubTopic::kMetrics) &&
+            *v <= static_cast<std::uint8_t>(SubTopic::kHealth)) {
+          spec.topic = static_cast<SubTopic>(*v);
+          have_topic = true;
+        }
+        break;
+      }
+      case tag::kSubInterval:
+        spec.interval = proto::tlv_u32(*tlv).value_or(1);
+        break;
+      case tag::kSubSite: spec.site_filter = proto::tlv_string(*tlv); break;
+      case tag::kSubPrefix: spec.prefix = proto::tlv_string(*tlv); break;
+      default: break;
+    }
+  }
+  if (r.truncated() || !have_topic) {
+    return error_reply(request.trace_id, ErrorCode::kMalformedFrame,
+                       "subscribe needs a topic (metrics|traces|health)");
+  }
+  if (client_fd < 0) {
+    return error_reply(request.trace_id, ErrorCode::kUnavailable,
+                       "subscriptions need a streaming connection");
+  }
+  spec.interval = std::max<std::uint32_t>(1, spec.interval);
+  const auto subscribed = subs_.subscribe(client_fd, spec);
+  if (!subscribed.ok()) {
+    return error_reply(request.trace_id, subscribed.error());
+  }
+  SURFOS_INFO(kLog) << "subscription " << subscribed.value() << " opened: "
+                    << sub_topic_name(spec.topic) << " every "
+                    << spec.interval << " epoch(s)";
+  proto::WireFrame reply =
+      reply_frame(proto::MsgType::kSubscribeAck, request.trace_id);
+  proto::TlvWriter w(reply.payload);
+  w.put_u64(tag::kSubId, subscribed.value());
+  w.put_u8(tag::kSubTopic, static_cast<std::uint8_t>(spec.topic));
+  w.put_u32(tag::kSubInterval, spec.interval);
+  return reply;
+}
+
+proto::WireFrame Daemon::handle_unsubscribe(const proto::WireFrame& request,
+                                            int client_fd) {
+  std::optional<std::uint64_t> sub_id;
+  proto::TlvReader r(request.payload);
+  while (const auto tlv = r.next()) {
+    if (tlv->tag == tag::kSubId) sub_id = proto::tlv_u64(*tlv);
+  }
+  if (r.truncated() || !sub_id) {
+    return error_reply(request.trace_id, ErrorCode::kMalformedFrame,
+                       "unsubscribe needs a subscription id");
+  }
+  if (client_fd < 0) {
+    return error_reply(request.trace_id, ErrorCode::kUnavailable,
+                       "subscriptions need a streaming connection");
+  }
+  if (auto removed = subs_.unsubscribe(client_fd, *sub_id); !removed.ok()) {
+    return error_reply(request.trace_id, removed.error());
+  }
+  return reply_frame(proto::MsgType::kOk, request.trace_id);
 }
 
 proto::WireFrame Daemon::handle_snapshot(const proto::WireFrame& request) {
@@ -695,7 +880,11 @@ void Daemon::ticker_main() {
 bool Daemon::service_connection(int fd, std::vector<std::uint8_t>& buffer) {
   std::uint8_t chunk[4096];
   const ssize_t n = ::read(fd, chunk, sizeof chunk);
-  if (n <= 0) return false;  // closed or errored peer
+  if (n < 0) {
+    // Sockets are non-blocking: a spurious wakeup is not a dead peer.
+    return errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK;
+  }
+  if (n == 0) return false;  // closed peer
   buffer.insert(buffer.end(), chunk, chunk + n);
   while (true) {
     const proto::FrameDecode decode = proto::try_decode_frame(buffer);
@@ -709,18 +898,21 @@ bool Daemon::service_connection(int fd, std::vector<std::uint8_t>& buffer) {
       }
       const proto::WireFrame reply = error_reply(0, *decode.error);
       if (const auto encoded = proto::encode_frame(reply); encoded.ok()) {
-        (void)write_all(fd, encoded.value().data(), encoded.value().size());
+        subs_.enqueue_reply(fd, encoded.value());
+        (void)subs_.flush_to_fd(fd);  // best effort before the close
       }
       return false;
     }
     buffer.erase(buffer.begin(),
                  buffer.begin() + static_cast<std::ptrdiff_t>(decode.consumed));
-    const proto::WireFrame reply = handle_request(*decode.frame);
+    const proto::WireFrame reply = handle_request(*decode.frame, fd);
     const auto encoded = proto::encode_frame(reply);
     if (!encoded.ok()) return false;
-    if (!write_all(fd, encoded.value().data(), encoded.value().size())) {
-      return false;
-    }
+    // Replies ride the same per-connection outbox as pushed events (order
+    // preserved); whatever the socket does not take now goes out on the
+    // next POLLOUT.
+    subs_.enqueue_reply(fd, encoded.value());
+    if (!subs_.flush_to_fd(fd)) return false;
     if (buffer.empty()) return true;
   }
 }
@@ -732,7 +924,9 @@ void Daemon::server_main() {
     fds.push_back({wake_pipe_[0], POLLIN, 0});
     fds.push_back({listen_fd_, POLLIN, 0});
     for (const auto& [fd, buffer] : connections) {
-      fds.push_back({fd, POLLIN, 0});
+      short events = POLLIN;
+      if (subs_.has_output(fd)) events |= POLLOUT;
+      fds.push_back({fd, events, 0});
     }
     if (::poll(fds.data(), fds.size(), -1) < 0) {
       if (errno == EINTR) continue;
@@ -741,22 +935,40 @@ void Daemon::server_main() {
     if (fds[0].revents & POLLIN) {
       char drain[16];
       (void)!::read(wake_pipe_[0], drain, sizeof drain);
-      continue;  // running_ re-checked at the top
+      continue;  // running_ re-checked; POLLOUT interest recomputed
     }
     if (fds[1].revents & POLLIN) {
       const int client = ::accept(listen_fd_, nullptr, nullptr);
-      if (client >= 0) connections.emplace(client, std::vector<std::uint8_t>());
+      if (client >= 0) {
+        // Non-blocking from birth: the ticker must never be able to stall
+        // behind a slow reader, and neither may this thread.
+        if (const int flags = ::fcntl(client, F_GETFL, 0); flags >= 0) {
+          (void)::fcntl(client, F_SETFL, flags | O_NONBLOCK);
+        }
+        connections.emplace(client, std::vector<std::uint8_t>());
+        subs_.add_connection(client);
+      }
     }
     for (std::size_t i = 2; i < fds.size(); ++i) {
-      if (!(fds[i].revents & (POLLIN | POLLERR | POLLHUP))) continue;
       const int fd = fds[i].fd;
-      if (!service_connection(fd, connections[fd])) {
+      bool alive = true;
+      if (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) {
+        alive = service_connection(fd, connections[fd]);
+      }
+      if (alive && (fds[i].revents & POLLOUT)) {
+        alive = subs_.flush_to_fd(fd);
+      }
+      if (!alive) {
         ::close(fd);
         connections.erase(fd);
+        subs_.drop_connection(fd);
       }
     }
   }
-  for (const auto& [fd, buffer] : connections) ::close(fd);
+  for (const auto& [fd, buffer] : connections) {
+    ::close(fd);
+    subs_.drop_connection(fd);
+  }
 }
 
 DaemonStats Daemon::stats() const {

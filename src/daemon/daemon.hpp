@@ -23,20 +23,26 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/fleet.hpp"
 #include "core/status.hpp"
+#include "daemon/slo.hpp"
+#include "daemon/subscription.hpp"
 #include "em/antenna.hpp"
 #include "proto/wire.hpp"
 #include "sim/dynamics.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace surfos::daemon {
 
@@ -89,12 +95,26 @@ class Daemon {
   /// Full request dispatch: one request frame in, one reply frame out (the
   /// reply always echoes the request's trace id). Public so tests and the
   /// loopback bench can exercise the protocol without a socket.
-  proto::WireFrame handle_request(const proto::WireFrame& request);
+  /// `client_fd` identifies the serving connection for subscription
+  /// requests; -1 (loopback callers) makes kSubscribe answer kUnavailable.
+  proto::WireFrame handle_request(const proto::WireFrame& request,
+                                  int client_fd = -1);
 
   DaemonStats stats() const;
   const DaemonOptions& options() const noexcept { return options_; }
   /// The serialized last FleetReport (what get_metrics serves).
   std::vector<std::uint8_t> last_report_wire() const;
+
+  /// The SLO watchdog's verdicts from the last completed epoch.
+  std::vector<SiteHealth> health() const;
+  /// Live subscription/outbox accounting (published / dropped events).
+  SubscriptionStats subscription_stats() const { return subs_.stats(); }
+  /// The streaming registry itself — tests and benches enqueue/drain
+  /// directly through it.
+  SubscriptionRegistry& subscriptions() noexcept { return subs_; }
+  /// The per-epoch metric time-series (guarded by the epoch mutex; callers
+  /// outside the daemon's own threads should prefer the wire protocol).
+  const telemetry::Timeseries& timeseries() const noexcept { return series_; }
 
  private:
   struct Site {
@@ -126,6 +146,10 @@ class Daemon {
   proto::WireFrame handle_restore(const proto::WireFrame& request);
   proto::WireFrame handle_set_knob(const proto::WireFrame& request);
   proto::WireFrame handle_get_knobs(const proto::WireFrame& request);
+  proto::WireFrame handle_subscribe(const proto::WireFrame& request,
+                                    int client_fd);
+  proto::WireFrame handle_unsubscribe(const proto::WireFrame& request,
+                                      int client_fd);
 
   /// Applies a parsed snapshot under mu_ (shared by load_snapshot and the
   /// wire-level kRestore).
@@ -146,6 +170,18 @@ class Daemon {
   std::vector<std::uint8_t> last_report_wire_;
   DaemonStats stats_;
   std::uint64_t sim_now_us_ = 0;
+
+  // Streaming observability (all under mu_ except subs_, which has its own
+  // lock; lock order is mu_ -> subs_ internal mutex).
+  telemetry::Timeseries series_;
+  SloWatchdog watchdog_;
+  std::vector<SiteHealth> latest_health_;
+  /// (site, app) -> submit wall time, resolved into the admit->applied
+  /// histogram when the session is first seen running.
+  std::map<std::pair<std::string, std::string>,
+           std::chrono::steady_clock::time_point>
+      pending_admit_;
+  SubscriptionRegistry subs_;
 
   std::atomic<bool> running_{false};
   int listen_fd_ = -1;

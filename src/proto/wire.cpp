@@ -72,7 +72,7 @@ FrameDecode try_decode_frame(std::span<const std::uint8_t> bytes) {
     return result;
   }
   if (type < static_cast<std::uint8_t>(MsgType::kHello) ||
-      type > static_cast<std::uint8_t>(MsgType::kError)) {
+      type > static_cast<std::uint8_t>(MsgType::kUnsubscribe)) {
     result.error = make_error(ErrorCode::kUnknownCommand,
                               "unknown message type " + std::to_string(type));
     return result;

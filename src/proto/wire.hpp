@@ -56,7 +56,18 @@ enum class MsgType : std::uint8_t {
   kStatusReply = 7,
   kGetMetrics = 8,
   kMetricsReply = 9,
-  kStreamTraces = 10,  ///< Pull recent flight-recorder events.
+  // kStreamTraces pulls flight-recorder events with cursor-based
+  // pagination. The recorder ring holds a bounded window; a one-shot dump
+  // silently truncates to whatever that window holds. A paginated request
+  // carries a cursor — the (ts_ns, span_id) pair of the last event the
+  // client has seen, plus a page limit — and the reply returns events
+  // strictly after that position in the recorder's (ts_ns, span_id) sort
+  // order, the cursor for the next page, and a "done" flag once the buffer
+  // is drained. Clients loop until done; events evicted by ring wraparound
+  // between pages are simply skipped (never duplicated or torn) and show up
+  // in the recorder's dropped() count. A request without cursor/limit tags
+  // keeps the legacy one-shot Chrome-JSON reply.
+  kStreamTraces = 10,  ///< Pull flight-recorder events (cursor-paginated).
   kTraceChunk = 11,
   kSnapshot = 12,  ///< Write a state snapshot to the daemon's snapshot path.
   kRestore = 13,   ///< Re-load state from the snapshot path.
@@ -66,6 +77,17 @@ enum class MsgType : std::uint8_t {
   kShutdown = 17,
   kOk = 18,     ///< Generic success reply (payload per request type).
   kError = 19,  ///< Payload: u16 ErrorCode + string message.
+  // Streaming subscriptions (PR 9). A client subscribes to a topic
+  // (metrics | traces | health) at an epoch interval; the daemon pushes
+  // kEvent frames from then on — the only server-initiated frames in the
+  // protocol. Event payloads are delta-encoded against the subscriber's
+  // last delivered epoch; a gap in the per-subscription sequence number
+  // means the daemon dropped events for a slow reader (counted in the
+  // kDroppedEvents tag) and the next metrics event is a full baseline.
+  kSubscribe = 20,     ///< Open a subscription: topic, interval, filters.
+  kSubscribeAck = 21,  ///< Subscription id + effective interval.
+  kEvent = 22,         ///< Server-pushed topic event (delta payload).
+  kUnsubscribe = 23,   ///< Close one subscription by id.
 };
 
 struct WireFrame {

@@ -1,6 +1,7 @@
 #include "telemetry/export.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -12,6 +13,13 @@ std::string format_double(double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.6g", value);
   return buffer;
+}
+
+// JSON has no literal for NaN/Inf — "%.6g" would emit bare `nan`/`inf`
+// tokens that break strict parsers, so non-finite values serialize as null.
+std::string format_json_double(double value) {
+  if (!std::isfinite(value)) return "null";
+  return format_double(value);
 }
 
 }  // namespace
@@ -102,20 +110,20 @@ std::string snapshot_json(const Snapshot& snapshot) {
     const auto& g = snapshot.gauges[i];
     if (i > 0) oss << ',';
     append_json_string(oss, g.name);
-    oss << ':' << format_double(g.value);
+    oss << ':' << format_json_double(g.value);
   }
   oss << "},\"histograms\":{";
   for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
     const auto& h = snapshot.histograms[i];
     if (i > 0) oss << ',';
     append_json_string(oss, h.name);
-    oss << ":{\"count\":" << h.count << ",\"sum\":" << format_double(h.sum)
+    oss << ":{\"count\":" << h.count << ",\"sum\":" << format_json_double(h.sum)
         << ",\"buckets\":[";
     for (std::size_t b = 0; b < h.buckets.size(); ++b) {
       if (b > 0) oss << ',';
       oss << '[';
       if (b < h.upper_bounds.size()) {
-        oss << format_double(h.upper_bounds[b]);
+        oss << format_json_double(h.upper_bounds[b]);
       } else {
         oss << "null";
       }

@@ -188,6 +188,26 @@ std::uint64_t Recorder::dropped() const noexcept {
   return total;
 }
 
+std::vector<TraceEvent> events_after(const std::vector<TraceEvent>& sorted,
+                                     std::uint64_t cursor_ts_ns,
+                                     SpanId cursor_span_id,
+                                     std::size_t limit) {
+  // Binary search for the first event strictly after (ts, span) in the
+  // same (ts_ns, span_id) order events() sorts by.
+  const auto begin = std::upper_bound(
+      sorted.begin(), sorted.end(),
+      std::pair<std::uint64_t, SpanId>(cursor_ts_ns, cursor_span_id),
+      [](const std::pair<std::uint64_t, SpanId>& cursor,
+         const TraceEvent& e) {
+        return cursor.first != e.ts_ns ? cursor.first < e.ts_ns
+                                       : cursor.second < e.span_id;
+      });
+  const std::size_t available =
+      static_cast<std::size_t>(sorted.end() - begin);
+  return {begin, begin + static_cast<std::ptrdiff_t>(
+                             std::min(limit, available))};
+}
+
 bool Recorder::dump(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return false;

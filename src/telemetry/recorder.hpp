@@ -115,6 +115,19 @@ class Recorder {
   std::vector<Stripe> stripes_;
 };
 
+// --- Pagination --------------------------------------------------------------
+
+/// Cursor-paginated slice of a (ts_ns, span_id)-sorted event vector (the
+/// order Recorder::events() returns): up to `limit` events strictly after
+/// the cursor position. A zero cursor starts from the beginning. Events
+/// evicted by ring wraparound between pages simply never appear — the
+/// cursor ordering guarantees no duplicates and no torn events, and the
+/// eviction shows up in Recorder::dropped().
+std::vector<TraceEvent> events_after(const std::vector<TraceEvent>& sorted,
+                                     std::uint64_t cursor_ts_ns,
+                                     SpanId cursor_span_id,
+                                     std::size_t limit);
+
 // --- Exporters ---------------------------------------------------------------
 
 /// Chrome trace-event JSON (chrome://tracing / Perfetto loadable) of the

@@ -5,16 +5,22 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/surfos.hpp"
 #include "sim/floorplan.hpp"
 #include "surface/catalog.hpp"
+#include "telemetry/recorder.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/timeseries.hpp"
 #include "util/thread_pool.hpp"
 
 namespace surfos {
@@ -241,6 +247,189 @@ TEST_F(TelemetryTest, JsonAndTableExports) {
   EXPECT_NE(table.find("export.events"), std::string::npos);
   EXPECT_NE(table.find("export.level"), std::string::npos);
   EXPECT_NE(table.find("export.lat"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, JsonExportMapsNonFiniteValuesToNull) {
+  auto& registry = MetricsRegistry::instance();
+  registry.gauge("bad.nn").set(std::numeric_limits<double>::quiet_NaN());
+  registry.gauge("bad.pos").set(std::numeric_limits<double>::infinity());
+  registry.gauge("bad.neg").set(-std::numeric_limits<double>::infinity());
+  registry.gauge("good.value").set(1.5);
+  registry.histogram("bad.hist", std::vector<double>{1.0})
+      .record(std::numeric_limits<double>::infinity());  // poisons the sum
+
+  const std::string json = telemetry::snapshot_json();
+  // JSON has no nan/inf literals; emitting them would make the whole
+  // document unparseable. Every non-finite value must become null.
+  for (const char* forbidden : {"nan", "inf", "NaN", "Infinity"}) {
+    EXPECT_EQ(json.find(forbidden), std::string::npos) << forbidden;
+  }
+  EXPECT_NE(json.find("\"bad.nn\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bad.pos\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"bad.neg\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"good.value\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":null"), std::string::npos);
+  // The poisoned histogram's overflow bucket bound also renders as null.
+  EXPECT_NE(json.find("[null,1]"), std::string::npos);
+
+  // Round trip: the document stays structurally valid JSON — balanced
+  // braces/brackets outside strings from start to finish.
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+// --- Timeseries --------------------------------------------------------------
+
+telemetry::Snapshot two_counter_snapshot(std::uint64_t a, std::uint64_t b,
+                                         double gauge) {
+  telemetry::Snapshot snap;
+  snap.counters.push_back({"ts.a", a, true});
+  snap.counters.push_back({"ts.b", b, true});
+  snap.gauges.push_back({"ts.g", gauge});
+  return snap;
+}
+
+TEST_F(TelemetryTest, TimeseriesDeltaEncodesOnlyChanges) {
+  telemetry::Timeseries series(8);
+  EXPECT_FALSE(series.delta_since(0).has_value());  // nothing recorded
+
+  series.record(1, two_counter_snapshot(1, 5, 0.5), 2.0, 10.0);
+  series.record(2, two_counter_snapshot(3, 5, 0.5), 3.0, 20.0);
+
+  // Anchor 0: full baseline with everything.
+  const auto baseline = series.delta_since(0);
+  ASSERT_TRUE(baseline.has_value());
+  EXPECT_TRUE(baseline->baseline);
+  EXPECT_EQ(baseline->to_epoch, 2u);
+  EXPECT_EQ(baseline->counters.size(), 2u);
+  EXPECT_EQ(baseline->gauges.size(), 1u);
+
+  // Anchor 1: only ts.a changed; the steady counter and gauge are elided.
+  const auto delta = series.delta_since(1);
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_FALSE(delta->baseline);
+  EXPECT_EQ(delta->from_epoch, 1u);
+  ASSERT_EQ(delta->counters.size(), 1u);
+  EXPECT_EQ(delta->counters[0].name, "ts.a");
+  EXPECT_EQ(delta->counters[0].value, 3u);
+  EXPECT_TRUE(delta->gauges.empty());
+  EXPECT_DOUBLE_EQ(delta->epoch_ms, 3.0);
+
+  // A gauge change by bit pattern is a change — including from NaN.
+  series.record(3, two_counter_snapshot(3, 5, 0.75), 1.0, 0.0);
+  const auto gauge_delta = series.delta_since(2);
+  ASSERT_TRUE(gauge_delta.has_value());
+  EXPECT_TRUE(gauge_delta->counters.empty());
+  ASSERT_EQ(gauge_delta->gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(gauge_delta->gauges[0].value, 0.75);
+
+  // An evicted anchor degrades to a baseline, never a wrong delta.
+  for (std::uint64_t epoch = 4; epoch <= 12; ++epoch) {
+    series.record(epoch, two_counter_snapshot(epoch, 5, 0.75), 1.0, 0.0);
+  }
+  EXPECT_EQ(series.size(), 8u);  // ring capacity
+  const auto evicted = series.delta_since(2);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_TRUE(evicted->baseline);
+  EXPECT_EQ(series.find(2), nullptr);
+  EXPECT_NE(series.find(12), nullptr);
+}
+
+TEST_F(TelemetryTest, MergeableHistogramMergesBucketwise) {
+  telemetry::MergeableHistogram a(std::vector<double>{1.0, 10.0});
+  telemetry::MergeableHistogram b(std::vector<double>{1.0, 10.0});
+  a.record(0.5);
+  a.record(5.0);
+  b.record(5.0);
+  b.record(100.0);  // overflow bucket
+
+  ASSERT_TRUE(a.merge(b));
+  EXPECT_EQ(a.count, 4u);
+  EXPECT_DOUBLE_EQ(a.sum, 0.5 + 5.0 + 5.0 + 100.0);
+  ASSERT_EQ(a.buckets.size(), 3u);
+  EXPECT_EQ(a.buckets[0], 1u);
+  EXPECT_EQ(a.buckets[1], 2u);
+  EXPECT_EQ(a.buckets[2], 1u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), 10.0);  // 2nd sample falls in (1,10]
+
+  // Mismatched bounds refuse to merge rather than corrupt.
+  telemetry::MergeableHistogram c(std::vector<double>{2.0});
+  EXPECT_FALSE(a.merge(c));
+  EXPECT_EQ(a.count, 4u);
+}
+
+// --- Recorder pagination under wraparound ------------------------------------
+
+TEST_F(TelemetryTest, EventsAfterSurvivesRingWraparoundMidStream) {
+  telemetry::Recorder recorder(/*capacity=*/64, /*stripes=*/1);
+  const auto record_span = [&recorder](std::uint64_t i) {
+    telemetry::TraceEvent event;
+    event.trace_id = 0x7000 + i;
+    event.span_id = i;
+    event.name = "wrap.span";
+    event.ts_ns = i * 1000;
+    event.dur_ns = 10;
+    recorder.record(event);
+  };
+
+  for (std::uint64_t i = 1; i <= 48; ++i) record_span(i);
+
+  // First page of 16 from a zero cursor.
+  auto sorted = recorder.events();
+  auto page = telemetry::events_after(sorted, 0, 0, 16);
+  ASSERT_EQ(page.size(), 16u);
+  std::set<std::uint64_t> delivered;
+  for (const auto& event : page) delivered.insert(event.span_id);
+  std::uint64_t cursor_ts = page.back().ts_ns;
+  std::uint64_t cursor_span = page.back().span_id;
+  EXPECT_EQ(cursor_span, 16u);
+
+  // The ring wraps mid-stream: 40 more events evict spans 1..24 — of which
+  // 17..24 were never delivered. Exact accounting: the recorder knows it
+  // overwrote 24, and the cursor skips the evicted gap without ever
+  // duplicating or tearing an event.
+  for (std::uint64_t i = 49; i <= 88; ++i) record_span(i);
+  EXPECT_EQ(recorder.dropped(), 24u);
+
+  bool done = false;
+  while (!done) {
+    sorted = recorder.events();
+    page = telemetry::events_after(sorted, cursor_ts, cursor_span, 16);
+    done = page.size() < 16;
+    for (const auto& event : page) {
+      EXPECT_TRUE(delivered.insert(event.span_id).second)
+          << "duplicate span " << event.span_id;
+      EXPECT_EQ(event.dur_ns, 10u);  // never torn
+    }
+    if (!page.empty()) {
+      cursor_ts = page.back().ts_ns;
+      cursor_span = page.back().span_id;
+    }
+  }
+
+  // Delivered = the first page + everything that survived the wrap; the
+  // evicted-but-never-delivered gap is exactly spans 17..24.
+  EXPECT_EQ(delivered.size(), 16u + 64u);
+  for (std::uint64_t span = 17; span <= 24; ++span) {
+    EXPECT_EQ(delivered.count(span), 0u) << span;
+  }
+  for (std::uint64_t span = 25; span <= 88; ++span) {
+    EXPECT_EQ(delivered.count(span), 1u) << span;
+  }
 }
 
 // --- System-level contracts --------------------------------------------------

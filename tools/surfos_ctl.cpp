@@ -8,7 +8,12 @@
 //   stop APP / resume APP        session control
 //   status [--app A] [--site S]  session table
 //   metrics                      fleet step counters from the last epoch
-//   traces                       dump flight-recorder events (chrome JSON)
+//   traces                       drain flight-recorder events (chrome JSON);
+//                                pages with the kStreamTraces cursor until
+//                                the buffer is exhausted
+//   watch TOPIC [options]        subscribe to metrics|traces|health and
+//                                print server-pushed events until --count
+//                                events arrive (or forever)
 //   snapshot / restore           daemon state to/from its snapshot path
 //   set-knob NAME VALUE          hot-reload a SURFOS_* knob
 //   knobs                        list knobs and current overrides
@@ -19,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <functional>
 #include <optional>
 #include <string>
@@ -26,10 +32,12 @@
 
 #include "broker/demand.hpp"
 #include "daemon/client.hpp"
+#include "daemon/subscription.hpp"
 #include "daemon/tags.hpp"
 #include "orch/task.hpp"
 #include "proto/serialize.hpp"
 #include "proto/wire.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace {
 
@@ -42,6 +50,8 @@ int usage() {
       stderr,
       "usage: surfos-ctl [--socket PATH] COMMAND [ARGS...]\n"
       "  ping | status [--app A] [--site S] | metrics | traces\n"
+      "  watch metrics|traces|health [--interval EPOCHS] [--count N]\n"
+      "        [--site S] [--prefix P]\n"
       "  submit APP [--site S] [--class C] [--endpoint E] [--region R]\n"
       "         [--throughput MBPS] [--latency MS] [--sensing] [--security]\n"
       "         [--power] [--priority background|normal|interactive|critical]\n"
@@ -126,12 +136,23 @@ int main(int argc, char** argv) {
   std::optional<double> latency;
   bool sensing = false, security = false, power = false;
   std::optional<surfos::orch::Priority> priority;
+  std::string prefix;
+  long interval = 1;
+  long count = 0;  // 0 = stream forever
   std::vector<std::string> positional;
   for (; at < argc; ++at) {
     const std::string arg = argv[at];
     const bool has_value = at + 1 < argc;
     if (arg == "--site" && has_value) {
       site_id = argv[++at];
+    } else if (arg == "--prefix" && has_value) {
+      prefix = argv[++at];
+    } else if (arg == "--interval" && has_value) {
+      interval = std::atol(argv[++at]);
+      if (interval < 1) return usage();
+    } else if (arg == "--count" && has_value) {
+      count = std::atol(argv[++at]);
+      if (count < 0) return usage();
     } else if (arg == "--app" && has_value) {
       app_id = argv[++at];
     } else if (arg == "--endpoint" && has_value) {
@@ -348,15 +369,241 @@ int main(int argc, char** argv) {
   }
 
   if (command == "traces") {
-    return run(client, proto::MsgType::kStreamTraces, payload,
-               [](const proto::WireFrame& reply) {
-                 proto::TlvReader r(reply.payload);
-                 while (const auto tlv = r.next()) {
-                   if (tlv->tag == tag::kTraceJson) {
-                     std::printf("%s\n", proto::tlv_string(*tlv).c_str());
-                   }
-                 }
-               });
+    // Cursor drain loop: page through the flight recorder until the daemon
+    // reports kTraceDone, then emit one chrome JSON document. Wire names
+    // are interned in a deque so the rebuilt TraceEvents can point at them.
+    std::deque<std::string> names;
+    std::vector<surfos::telemetry::TraceEvent> events;
+    std::uint64_t cursor_ts = 0, cursor_span = 0;
+    bool done = false;
+    while (!done) {
+      std::vector<std::uint8_t> page;
+      proto::TlvWriter pw(page);
+      pw.put_u64(tag::kTraceCursorTs, cursor_ts);
+      pw.put_u64(tag::kTraceCursorSpan, cursor_span);
+      pw.put_u32(tag::kTraceLimit, 1024);
+      auto reply = client.call(proto::MsgType::kStreamTraces, page);
+      if (!reply.ok()) {
+        std::fprintf(stderr, "surfos-ctl: %s\n",
+                     reply.error().message.c_str());
+        return 1;
+      }
+      if (reply.value().type == proto::MsgType::kError) {
+        return report_error(reply.value());
+      }
+      proto::TlvReader r(reply.value().payload);
+      while (const auto tlv = r.next()) {
+        switch (tlv->tag) {
+          case tag::kTraceEvent: {
+            surfos::telemetry::TraceEvent ev;
+            proto::TlvReader n(tlv->value);
+            while (const auto field = n.next()) {
+              switch (field->tag) {
+                case tag::kEvTs:
+                  ev.ts_ns = proto::tlv_u64(*field).value_or(0);
+                  break;
+                case tag::kEvDur:
+                  ev.dur_ns = proto::tlv_u64(*field).value_or(0);
+                  break;
+                case tag::kEvTrace:
+                  ev.trace_id = proto::tlv_u64(*field).value_or(0);
+                  break;
+                case tag::kEvSpan:
+                  ev.span_id = proto::tlv_u64(*field).value_or(0);
+                  break;
+                case tag::kEvParent:
+                  ev.parent_span_id = proto::tlv_u64(*field).value_or(0);
+                  break;
+                case tag::kEvName:
+                  names.push_back(proto::tlv_string(*field));
+                  ev.name = names.back().c_str();
+                  break;
+                case tag::kEvKind:
+                  ev.kind = static_cast<surfos::telemetry::TraceEvent::Kind>(
+                      proto::tlv_u8(*field).value_or(0));
+                  break;
+                case tag::kEvArg:
+                  ev.arg = proto::tlv_u64(*field).value_or(0);
+                  break;
+                case tag::kEvTid:
+                  ev.thread_index = proto::tlv_u32(*field).value_or(0);
+                  break;
+                default: break;
+              }
+            }
+            events.push_back(ev);
+            break;
+          }
+          case tag::kTraceNextTs:
+            cursor_ts = proto::tlv_u64(*tlv).value_or(cursor_ts);
+            break;
+          case tag::kTraceNextSpan:
+            cursor_span = proto::tlv_u64(*tlv).value_or(cursor_span);
+            break;
+          case tag::kTraceDone:
+            done = proto::tlv_u8(*tlv).value_or(0) != 0;
+            break;
+          default: break;
+        }
+      }
+    }
+    std::printf("%s", surfos::telemetry::chrome_trace_json(events).c_str());
+    return 0;
+  }
+
+  if (command == "watch") {
+    if (positional.size() != 1) return usage();
+    const std::uint8_t topic = surfos::daemon::parse_sub_topic(positional[0]);
+    if (topic == 0) {
+      std::fprintf(stderr, "surfos-ctl: unknown topic: %s\n",
+                   positional[0].c_str());
+      return 2;
+    }
+    w.put_u8(tag::kSubTopic, topic);
+    w.put_u32(tag::kSubInterval, static_cast<std::uint32_t>(interval));
+    if (!site_id.empty()) w.put_string(tag::kSubSite, site_id);
+    if (!prefix.empty()) w.put_string(tag::kSubPrefix, prefix);
+    auto ack = client.call(proto::MsgType::kSubscribe, payload);
+    if (!ack.ok()) {
+      std::fprintf(stderr, "surfos-ctl: %s\n", ack.error().message.c_str());
+      return 1;
+    }
+    if (ack.value().type == proto::MsgType::kError) {
+      return report_error(ack.value());
+    }
+    std::uint64_t sub_id = 0;
+    {
+      proto::TlvReader r(ack.value().payload);
+      while (const auto tlv = r.next()) {
+        if (tlv->tag == tag::kSubId) {
+          sub_id = proto::tlv_u64(*tlv).value_or(0);
+        }
+      }
+    }
+    std::fprintf(stderr, "subscribed %s id=%llu interval=%ld\n",
+                 positional[0].c_str(),
+                 static_cast<unsigned long long>(sub_id), interval);
+    long seen = 0;
+    while (count == 0 || seen < count) {
+      auto frame = client.recv();
+      if (!frame.ok()) {
+        std::fprintf(stderr, "surfos-ctl: %s\n",
+                     frame.error().message.c_str());
+        return 1;
+      }
+      if (frame.value().type != proto::MsgType::kEvent) continue;
+      std::uint64_t epoch = 0, seq = 0, dropped = 0;
+      bool baseline = false;
+      // One line per event, `key=value` fields — greppable from scripts —
+      // followed by indented per-record lines.
+      std::vector<std::string> lines;
+      proto::TlvReader r(frame.value().payload);
+      while (const auto tlv = r.next()) {
+        switch (tlv->tag) {
+          case tag::kEventEpoch:
+            epoch = proto::tlv_u64(*tlv).value_or(0);
+            break;
+          case tag::kEventSeq:
+            seq = proto::tlv_u64(*tlv).value_or(0);
+            break;
+          case tag::kDroppedEvents:
+            dropped = proto::tlv_u64(*tlv).value_or(0);
+            break;
+          case tag::kEventBaseline:
+            baseline = proto::tlv_u8(*tlv).value_or(0) != 0;
+            break;
+          case tag::kEventCounter:
+          case tag::kEventGauge: {
+            std::string name;
+            std::uint64_t u64 = 0;
+            double f64 = 0.0;
+            const bool is_gauge = tlv->tag == tag::kEventGauge;
+            proto::TlvReader n(tlv->value);
+            while (const auto field = n.next()) {
+              if (field->tag == tag::kMetricName) {
+                name = proto::tlv_string(*field);
+              } else if (field->tag == tag::kMetricU64) {
+                u64 = proto::tlv_u64(*field).value_or(0);
+              } else if (field->tag == tag::kMetricF64) {
+                f64 = proto::tlv_f64(*field).value_or(0.0);
+              }
+            }
+            char line[256];
+            if (is_gauge) {
+              std::snprintf(line, sizeof line, "  gauge %s=%g", name.c_str(),
+                            f64);
+            } else {
+              std::snprintf(line, sizeof line, "  counter %s=%llu",
+                            name.c_str(),
+                            static_cast<unsigned long long>(u64));
+            }
+            lines.push_back(line);
+            break;
+          }
+          case tag::kEventTrace: {
+            std::string name;
+            std::uint64_t ts = 0, dur = 0;
+            proto::TlvReader n(tlv->value);
+            while (const auto field = n.next()) {
+              if (field->tag == tag::kEvName) {
+                name = proto::tlv_string(*field);
+              } else if (field->tag == tag::kEvTs) {
+                ts = proto::tlv_u64(*field).value_or(0);
+              } else if (field->tag == tag::kEvDur) {
+                dur = proto::tlv_u64(*field).value_or(0);
+              }
+            }
+            char line[256];
+            std::snprintf(line, sizeof line,
+                          "  trace %s ts_ns=%llu dur_ns=%llu", name.c_str(),
+                          static_cast<unsigned long long>(ts),
+                          static_cast<unsigned long long>(dur));
+            lines.push_back(line);
+            break;
+          }
+          case tag::kEventSiteHealth: {
+            std::string site, reason;
+            std::uint8_t state = 0;
+            std::uint64_t epochs_in = 0;
+            proto::TlvReader n(tlv->value);
+            while (const auto field = n.next()) {
+              if (field->tag == tag::kHealthSite) {
+                site = proto::tlv_string(*field);
+              } else if (field->tag == tag::kHealthState) {
+                state = proto::tlv_u8(*field).value_or(0);
+              } else if (field->tag == tag::kHealthEpochs) {
+                epochs_in = proto::tlv_u64(*field).value_or(0);
+              } else if (field->tag == tag::kHealthReason) {
+                reason = proto::tlv_string(*field);
+              }
+            }
+            char line[320];
+            std::snprintf(
+                line, sizeof line, "  site %s state=%s epochs=%llu%s%s",
+                site.c_str(),
+                surfos::daemon::slo_state_name(
+                    static_cast<surfos::daemon::SloState>(state)),
+                static_cast<unsigned long long>(epochs_in),
+                reason.empty() ? "" : " reason=", reason.c_str());
+            lines.push_back(line);
+            break;
+          }
+          default: break;
+        }
+      }
+      std::printf("event topic=%s epoch=%llu seq=%llu dropped=%llu%s\n",
+                  positional[0].c_str(),
+                  static_cast<unsigned long long>(epoch),
+                  static_cast<unsigned long long>(seq),
+                  static_cast<unsigned long long>(dropped),
+                  baseline ? " baseline=1" : "");
+      for (const std::string& line : lines) {
+        std::printf("%s\n", line.c_str());
+      }
+      std::fflush(stdout);
+      ++seen;
+    }
+    return 0;
   }
 
   if (command == "snapshot" || command == "restore") {

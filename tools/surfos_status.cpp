@@ -4,7 +4,8 @@
 //
 // Combines get_status and get_metrics into a single human-readable view:
 // daemon health (epochs, epoch wall time, environment rebuilds, requests),
-// the per-step fleet counters, and the session table.
+// the per-step fleet counters, the SLO watchdog verdicts, and the session
+// table.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "daemon/client.hpp"
+#include "daemon/slo.hpp"
 #include "daemon/tags.hpp"
 #include "proto/serialize.hpp"
 #include "proto/wire.hpp"
@@ -92,6 +94,13 @@ int main(int argc, char** argv) {
                  status.error().message.c_str());
     return 1;
   }
+  struct HealthRow {
+    std::string site, reason;
+    std::uint8_t state = 0;
+    std::uint64_t epochs_in = 0;
+  };
+  std::vector<HealthRow> health;
+  std::uint8_t fleet_state = 0;
   std::printf("sessions:\n");
   std::size_t sessions = 0;
   std::uint64_t depth = 0;
@@ -99,6 +108,31 @@ int main(int argc, char** argv) {
   while (const auto tlv = r.next()) {
     if (tlv->tag == tag::kQueueDepth) {
       depth = proto::tlv_u64(*tlv).value_or(0);
+      continue;
+    }
+    if (tlv->tag == tag::kFleetHealth) {
+      fleet_state = proto::tlv_u8(*tlv).value_or(0);
+      continue;
+    }
+    if (tlv->tag == tag::kSiteHealth) {
+      HealthRow row;
+      proto::TlvReader n(tlv->value);
+      while (const auto field = n.next()) {
+        switch (field->tag) {
+          case tag::kHealthSite: row.site = proto::tlv_string(*field); break;
+          case tag::kHealthState:
+            row.state = proto::tlv_u8(*field).value_or(0);
+            break;
+          case tag::kHealthEpochs:
+            row.epochs_in = proto::tlv_u64(*field).value_or(0);
+            break;
+          case tag::kHealthReason:
+            row.reason = proto::tlv_string(*field);
+            break;
+          default: break;
+        }
+      }
+      health.push_back(std::move(row));
       continue;
     }
     if (tlv->tag != tag::kSession) continue;
@@ -135,5 +169,15 @@ int main(int argc, char** argv) {
   if (sessions == 0) std::printf("  (none)\n");
   std::printf("  %llu demand(s) queued for admission\n",
               static_cast<unsigned long long>(depth));
+  std::printf("slo: fleet %s\n",
+              surfos::daemon::slo_state_name(
+                  static_cast<surfos::daemon::SloState>(fleet_state)));
+  for (const auto& row : health) {
+    std::printf("  %-8s %-10s %llu epoch(s)%s%s\n", row.site.c_str(),
+                surfos::daemon::slo_state_name(
+                    static_cast<surfos::daemon::SloState>(row.state)),
+                static_cast<unsigned long long>(row.epochs_in),
+                row.reason.empty() ? "" : "  ", row.reason.c_str());
+  }
   return 0;
 }

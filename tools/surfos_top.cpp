@@ -1,0 +1,287 @@
+// surfos-top: live terminal dashboard for a running surfosd.
+//
+//   surfos-top [--socket PATH] [--interval EPOCHS] [--frames N]
+//
+// Subscribes to all three streaming topics on one connection — metrics
+// (delta-encoded counters/gauges), traces (new flight-recorder events), and
+// health (per-site SLO watchdog verdicts) — and redraws an ANSI dashboard
+// every metrics event: fleet counters, a sparkline of recent epoch wall
+// times, the per-site health table with the SLO state column, and the
+// per-epoch trace event rate.
+//
+// --frames N exits after N redraws (0 = run until the daemon goes away),
+// which is how CI drives the dashboard without a TTY. The event stream is
+// authoritative: surfos-top never polls.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "daemon/client.hpp"
+#include "daemon/slo.hpp"
+#include "daemon/subscription.hpp"
+#include "daemon/tags.hpp"
+#include "proto/wire.hpp"
+
+namespace {
+
+namespace tag = surfos::daemon::tag;
+namespace proto = surfos::proto;
+using surfos::daemon::Client;
+using surfos::daemon::SloState;
+
+struct HealthRow {
+  SloState state = SloState::kHealthy;
+  std::uint64_t epochs_in = 0;
+  std::string reason;
+};
+
+struct Dashboard {
+  std::uint64_t epoch = 0;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::deque<double> epoch_ms;  ///< Sparkline history, newest last.
+  double flush_us = 0.0;
+  std::map<std::string, HealthRow> sites;
+  std::uint64_t trace_events_last = 0;  ///< Trace records in the last event.
+  std::uint64_t dropped = 0;            ///< Worst drop counter seen.
+  std::uint64_t frames = 0;             ///< Redraws so far.
+};
+
+constexpr std::size_t kSparkWidth = 48;
+
+/// Renders `values` (newest last) as a ▁▂▃▄▅▆▇█ sparkline scaled to the
+/// window's max.
+std::string sparkline(const std::deque<double>& values) {
+  static const char* kBars[] = {"▁", "▂", "▃", "▄",
+                                "▅", "▆", "▇", "█"};
+  double max = 0.0;
+  for (const double v : values) max = v > max ? v : max;
+  std::string out;
+  for (const double v : values) {
+    const double unit = max > 0.0 ? v / max : 0.0;
+    int idx = static_cast<int>(unit * 7.999);
+    if (idx < 0) idx = 0;
+    if (idx > 7) idx = 7;
+    out += kBars[idx];
+  }
+  return out;
+}
+
+void redraw(const Dashboard& d) {
+  // Home + clear-to-end keeps the redraw flicker-free on real terminals and
+  // harmless when stdout is a pipe.
+  std::printf("\x1b[H\x1b[J");
+  std::printf("surfos-top · epoch %llu · frame %llu\n",
+              static_cast<unsigned long long>(d.epoch),
+              static_cast<unsigned long long>(d.frames));
+  const double last_ms = d.epoch_ms.empty() ? 0.0 : d.epoch_ms.back();
+  std::printf("epoch %.2f ms  flush %.1f us  traces/epoch %llu  dropped %llu\n",
+              last_ms, d.flush_us,
+              static_cast<unsigned long long>(d.trace_events_last),
+              static_cast<unsigned long long>(d.dropped));
+  std::printf("latency %s\n", sparkline(d.epoch_ms).c_str());
+
+  std::printf("\nsites (%zu):\n", d.sites.size());
+  std::printf("  %-12s %-10s %-8s %s\n", "SITE", "SLO", "EPOCHS", "REASON");
+  for (const auto& [site, row] : d.sites) {
+    std::printf("  %-12s %-10s %-8llu %s\n", site.c_str(),
+                surfos::daemon::slo_state_name(row.state),
+                static_cast<unsigned long long>(row.epochs_in),
+                row.reason.c_str());
+  }
+  if (d.sites.empty()) std::printf("  (no health events yet)\n");
+
+  std::printf("\ncounters (%zu):\n", d.counters.size());
+  std::size_t shown = 0;
+  for (const auto& [name, value] : d.counters) {
+    if (++shown > 16) {
+      std::printf("  … %zu more\n", d.counters.size() - 16);
+      break;
+    }
+    std::printf("  %-40s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : d.gauges) {
+    std::printf("  %-40s %g\n", name.c_str(), value);
+  }
+  std::fflush(stdout);
+}
+
+/// Applies one kEvent frame to the dashboard. Returns true when the frame
+/// was a metrics event (the redraw trigger — one per epoch interval).
+bool apply_event(const proto::WireFrame& frame, Dashboard& d) {
+  std::uint8_t topic = 0;
+  std::uint64_t epoch = 0, dropped = 0, traces = 0;
+  bool baseline = false;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::optional<double> epoch_ms, flush_us;
+  proto::TlvReader r(frame.payload);
+  while (const auto tlv = r.next()) {
+    switch (tlv->tag) {
+      case tag::kSubTopic: topic = proto::tlv_u8(*tlv).value_or(0); break;
+      case tag::kEventEpoch: epoch = proto::tlv_u64(*tlv).value_or(0); break;
+      case tag::kDroppedEvents:
+        dropped = proto::tlv_u64(*tlv).value_or(0);
+        break;
+      case tag::kEventBaseline:
+        baseline = proto::tlv_u8(*tlv).value_or(0) != 0;
+        break;
+      case tag::kEventEpochMs:
+        epoch_ms = proto::tlv_f64(*tlv).value_or(0.0);
+        break;
+      case tag::kEventFlushUs:
+        flush_us = proto::tlv_f64(*tlv).value_or(0.0);
+        break;
+      case tag::kEventCounter:
+      case tag::kEventGauge: {
+        std::string name;
+        std::uint64_t u64 = 0;
+        double f64 = 0.0;
+        proto::TlvReader n(tlv->value);
+        while (const auto field = n.next()) {
+          if (field->tag == tag::kMetricName) {
+            name = proto::tlv_string(*field);
+          } else if (field->tag == tag::kMetricU64) {
+            u64 = proto::tlv_u64(*field).value_or(0);
+          } else if (field->tag == tag::kMetricF64) {
+            f64 = proto::tlv_f64(*field).value_or(0.0);
+          }
+        }
+        if (tlv->tag == tag::kEventCounter) {
+          counters.emplace_back(std::move(name), u64);
+        } else {
+          gauges.emplace_back(std::move(name), f64);
+        }
+        break;
+      }
+      case tag::kEventTrace: ++traces; break;
+      case tag::kEventSiteHealth: {
+        std::string site;
+        HealthRow row;
+        proto::TlvReader n(tlv->value);
+        while (const auto field = n.next()) {
+          if (field->tag == tag::kHealthSite) {
+            site = proto::tlv_string(*field);
+          } else if (field->tag == tag::kHealthState) {
+            row.state = static_cast<SloState>(proto::tlv_u8(*field).value_or(0));
+          } else if (field->tag == tag::kHealthEpochs) {
+            row.epochs_in = proto::tlv_u64(*field).value_or(0);
+          } else if (field->tag == tag::kHealthReason) {
+            row.reason = proto::tlv_string(*field);
+          }
+        }
+        if (!site.empty()) d.sites[site] = std::move(row);
+        break;
+      }
+      default: break;
+    }
+  }
+
+  if (dropped > d.dropped) d.dropped = dropped;
+  if (epoch > d.epoch) d.epoch = epoch;
+  const auto metrics_topic =
+      static_cast<std::uint8_t>(surfos::daemon::SubTopic::kMetrics);
+  const auto traces_topic =
+      static_cast<std::uint8_t>(surfos::daemon::SubTopic::kTraces);
+  if (topic == traces_topic) d.trace_events_last = traces;
+  if (topic != metrics_topic) return false;
+
+  if (baseline) {
+    // A baseline is a full snapshot (sent after a drop): replace, don't
+    // merge, so counters that disappeared don't linger.
+    d.counters.clear();
+    d.gauges.clear();
+  }
+  for (auto& [name, value] : counters) d.counters[name] = value;
+  for (auto& [name, value] : gauges) d.gauges[name] = value;
+  if (epoch_ms) {
+    d.epoch_ms.push_back(*epoch_ms);
+    while (d.epoch_ms.size() > kSparkWidth) d.epoch_ms.pop_front();
+  }
+  if (flush_us) d.flush_us = *flush_us;
+  return true;
+}
+
+int subscribe(Client& client, surfos::daemon::SubTopic topic,
+              std::uint32_t interval) {
+  std::vector<std::uint8_t> payload;
+  proto::TlvWriter w(payload);
+  w.put_u8(tag::kSubTopic, static_cast<std::uint8_t>(topic));
+  w.put_u32(tag::kSubInterval, interval);
+  auto ack = client.call(proto::MsgType::kSubscribe, payload);
+  if (!ack.ok()) {
+    std::fprintf(stderr, "surfos-top: %s\n", ack.error().message.c_str());
+    return 1;
+  }
+  if (ack.value().type == proto::MsgType::kError) {
+    std::fprintf(stderr, "surfos-top: subscribe %s refused\n",
+                 surfos::daemon::sub_topic_name(topic));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/surfosd.sock";
+  if (const char* env = std::getenv("SURFOS_SOCKET")) socket_path = env;
+  long interval = 1;
+  long frames = 0;  // 0 = run until the stream ends
+  for (int i = 1; i < argc; ++i) {
+    const bool has_value = i + 1 < argc;
+    if (std::strcmp(argv[i], "--socket") == 0 && has_value) {
+      socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--interval") == 0 && has_value) {
+      interval = std::atol(argv[++i]);
+      if (interval < 1) interval = 1;
+    } else if (std::strcmp(argv[i], "--frames") == 0 && has_value) {
+      frames = std::atol(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: surfos-top [--socket PATH] [--interval EPOCHS] "
+                   "[--frames N]\n");
+      return 2;
+    }
+  }
+
+  auto connected = Client::connect(socket_path);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "surfos-top: %s\n", connected.error().message.c_str());
+    return 1;
+  }
+  Client client = std::move(connected.value());
+
+  using surfos::daemon::SubTopic;
+  for (const SubTopic topic :
+       {SubTopic::kMetrics, SubTopic::kTraces, SubTopic::kHealth}) {
+    if (const int rc =
+            subscribe(client, topic, static_cast<std::uint32_t>(interval));
+        rc != 0) {
+      return rc;
+    }
+  }
+
+  Dashboard dash;
+  while (frames == 0 || dash.frames < static_cast<std::uint64_t>(frames)) {
+    auto frame = client.recv();
+    if (!frame.ok()) {
+      std::fprintf(stderr, "surfos-top: %s\n", frame.error().message.c_str());
+      return dash.frames > 0 ? 0 : 1;
+    }
+    if (frame.value().type != proto::MsgType::kEvent) continue;
+    if (apply_event(frame.value(), dash)) {
+      ++dash.frames;
+      redraw(dash);
+    }
+  }
+  return 0;
+}
