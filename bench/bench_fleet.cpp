@@ -19,7 +19,9 @@
 // in shards on the process-wide pool — they measure control-plane software
 // cost, not radio hardware.
 //
-// Emits BENCH_fleet.json:  ./bench_fleet [output.json]
+// Emits BENCH_fleet.json:  ./bench_fleet [output.json] [--no-share]
+// --no-share disables the content-addressed precompute store (the ablation
+// row: every site precomputes its own dense channel artifacts).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -39,6 +41,7 @@
 #include "core/surfos.hpp"
 #include "hal/batch.hpp"
 #include "sim/floorplan.hpp"
+#include "sim/precompute_store.hpp"
 #include "surface/catalog.hpp"
 #include "util/rng.hpp"
 
@@ -321,9 +324,19 @@ const char* class_name(orch::Priority priority) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_fleet.json";
+  std::string out_path = "BENCH_fleet.json";
+  bool share = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--no-share") {
+      share = false;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  sim::set_precompute_enabled(share);
 
-  std::printf("=== Fleet sustained-load harness: %zu sites ===\n", kSites);
+  std::printf("=== Fleet sustained-load harness: %zu sites (%s) ===\n", kSites,
+              share ? "shared precompute" : "--no-share ablation");
   setenv("SURFOS_ADMIT_QUEUE", std::to_string(kQueueCapacity).c_str(), 1);
 
   // Arrivals: an open-loop Poisson phase, then a bursty trace replay phase
@@ -343,6 +356,7 @@ int main(int argc, char** argv) {
   std::vector<sim::CoverageRoomScenario> scenarios;
   auto fleet = build_fleet(kSites, scenarios, /*panel_n=*/6, {});
   LoadResult load = run_sustained_load(*fleet, arrivals);
+  const sim::PrecomputeStore::Stats pre = Fleet::precompute_stats();
 
   std::sort(load.latency_ms.begin(), load.latency_ms.end());
   const double p50 = percentile(load.latency_ms, 50.0);
@@ -367,6 +381,13 @@ int main(int argc, char** argv) {
                     ? load.shed_by_class.at(priority)
                     : 0);
   }
+
+  std::printf("precompute store:     %llu hits, %llu misses, %llu evictions, "
+              "%.1f MiB resident\n",
+              static_cast<unsigned long long>(pre.hits),
+              static_cast<unsigned long long>(pre.misses),
+              static_cast<unsigned long long>(pre.evictions),
+              static_cast<double>(pre.bytes) / (1024.0 * 1024.0));
 
   // HAL write-path comparison on an identical rewrite workload.
   const std::size_t batched_tx = run_rewrite_epoch(hal::HalWriteMode::kBatched);
@@ -428,6 +449,10 @@ int main(int argc, char** argv) {
     }
   }
   out << "  },\n";
+  out << "  \"precompute\": {\"shared\": " << (share ? "true" : "false")
+      << ", \"hits\": " << pre.hits << ", \"misses\": " << pre.misses
+      << ", \"evictions\": " << pre.evictions
+      << ", \"resident_bytes\": " << pre.bytes << "},\n";
   out << "  \"config_transactions\": " << load.config_transactions << ",\n";
   out << "  \"rewrite_epoch\": {\"batched_transactions\": " << batched_tx
       << ", \"per_element_transactions\": " << naive_tx

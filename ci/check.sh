@@ -10,9 +10,13 @@
 #   3. forced-scalar re-run of the full suite (SURFOS_SIMD=scalar): the
 #      scalar SIMD backend is the bit-exact reference, so every test must
 #      pass with vectorization disabled
-#   4. TSan build of the thread-pool/tracing/incremental/fleet/daemon tests
-#      (ctest -L "tsan|trace|incremental|fleet|daemon" in ./build-tsan); any
-#      sanitizer report fails the run
+#   3b. forced-dense re-run of the full suite (SURFOS_PRECOMPUTE=0): the
+#      content-addressed precompute store is a pure cache, so every test
+#      must pass with sharing disabled and private dense artifacts
+#   4. TSan build of the thread-pool/tracing/incremental/fleet/daemon/
+#      precompute tests (ctest -L
+#      "tsan|trace|incremental|fleet|daemon|precompute" in ./build-tsan);
+#      any sanitizer report fails the run
 #   5. UBSan build of the SIMD/geometry/channel tests (ctest -L simd plus
 #      the dense-path suites in ./build-ubsan); undefined behavior in the
 #      lane kernels fails the run
@@ -41,26 +45,34 @@ ctest --test-dir build --output-on-failure -L trace
 ctest --test-dir build --output-on-failure -L incremental
 ctest --test-dir build --output-on-failure -L fleet
 ctest --test-dir build --output-on-failure -L daemon
+ctest --test-dir build --output-on-failure -L precompute
 
 echo
 echo "== forced scalar: full suite with SURFOS_SIMD=scalar (vector dispatch off)"
 SURFOS_SIMD=scalar ctest --test-dir build --output-on-failure -j"$JOBS"
 
 echo
+echo "== forced dense: full suite with SURFOS_PRECOMPUTE=0 (artifact sharing off)"
+SURFOS_PRECOMPUTE=0 ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo
 echo "== tsan: thread-pool / tracing / incremental / daemon tests under ThreadSanitizer (build-tsan/)"
 cmake -B build-tsan -S . -DSURFOS_SANITIZE=thread
 cmake --build build-tsan -j"$JOBS" --target \
   test_thread_pool test_parallel_determinism test_trace test_incremental \
-  test_fleet test_admission test_proto test_daemon test_streaming
+  test_precompute test_fleet test_admission test_proto test_daemon \
+  test_streaming
 # TSan findings abort the test process (halt_on_error) so a data race can
 # never hide behind a green assertion run. -L is a regex: the trace suite
 # hammers the recorder from pool workers, the incremental cache fills
 # per-RX entries from FD-probe workers, the fleet suite steps sharded
-# sites concurrently on the pool, and the daemon suite runs the ticker and
-# poll() server threads against client connections, so all of them run
-# under TSan too.
+# sites concurrently on the pool, the daemon suite runs the ticker and
+# poll() server threads against client connections, and the precompute
+# suite exercises the mutex-guarded global artifact store from pool
+# workers, so all of them run under TSan too.
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
-  ctest --test-dir build-tsan --output-on-failure -L "tsan|trace|incremental|fleet|daemon"
+  ctest --test-dir build-tsan --output-on-failure \
+  -L "tsan|trace|incremental|fleet|daemon|precompute"
 
 echo
 echo "== ubsan: SIMD kernels + dense channel path under UBSan (build-ubsan/)"

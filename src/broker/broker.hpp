@@ -101,21 +101,6 @@ class ServiceBroker {
   std::uint64_t trace_seq() const noexcept { return trace_seq_; }
   void set_trace_seq(std::uint64_t seq) noexcept { trace_seq_ = seq; }
 
-  // --- Deprecated throwing shims (one release; see DESIGN.md) --------------
-
-  [[deprecated("use the Result-returning start_app")]] telemetry::TraceId
-  start_app_or_throw(std::string app_id, AppDemand demand) {
-    return unwrap_or_throw(start_app(std::move(app_id), std::move(demand)));
-  }
-  [[deprecated("use the Result-returning stop_app")]] void stop_app_or_throw(
-      const std::string& app_id) {
-    unwrap_or_throw(stop_app(app_id));
-  }
-  [[deprecated("use the Result-returning resume_app")]] void
-  resume_app_or_throw(const std::string& app_id) {
-    unwrap_or_throw(resume_app(app_id));
-  }
-
   AppStatus status(const std::string& app_id) const;
 
   /// Escalates every running-but-unsatisfied app by re-admitting its link

@@ -82,6 +82,10 @@ inline constexpr KnobSpec kKnobRegistry[] = {
      "ARQ retransmissions as % of sends per epoch that degrades"},
     {"SURFOS_SLO_SHED", 1, KnobReload::kPerEpoch,
      "demands shed in one epoch that degrades a site"},
+    {"SURFOS_PRECOMPUTE", 0, KnobReload::kConstruction,
+     "content-addressed precompute sharing (0 = private dense artifacts)"},
+    {"SURFOS_PRECOMPUTE_CACHE", 0, KnobReload::kPerEpoch,
+     "precompute-store byte budget (LRU; 0 = keep only pinned artifacts)"},
 };
 
 inline const KnobSpec* find_knob(std::string_view name) noexcept {

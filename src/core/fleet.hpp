@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/surfos.hpp"
+#include "sim/precompute_store.hpp"
 
 namespace surfos {
 
@@ -66,6 +67,13 @@ class Fleet {
 
   /// Cross-site inventory for the operator's dashboard.
   FleetInventory inventory() const;
+
+  /// Snapshot of the process-wide precompute store the fleet's sites share
+  /// (hits/misses/evictions, resident bytes and entries). Convenience for
+  /// dashboards; identical to PrecomputeStore::instance().stats().
+  static sim::PrecomputeStore::Stats precompute_stats() {
+    return sim::PrecomputeStore::instance().stats();
+  }
 
  private:
   /// Resolved shard count for `site_count` sites (SURFOS_FLEET_SHARDS knob).

@@ -64,16 +64,6 @@ class SurfOS {
       const std::string& datasheet_text, const geom::Frame& pose,
       std::string device_id);
 
-  /// Deprecated throwing shim for the pre-Result API (one release; see
-  /// DESIGN.md "Daemon & wire protocol").
-  [[deprecated("use the Result-returning install_from_datasheet")]]
-  InstallReport install_from_datasheet_or_throw(
-      const std::string& datasheet_text, const geom::Frame& pose,
-      std::string device_id) {
-    return unwrap_or_throw(
-        install_from_datasheet(datasheet_text, pose, std::move(device_id)));
-  }
-
   /// Registers a client/sensor endpoint the orchestrator can target.
   void register_endpoint(std::string id, hal::EndpointKind kind,
                          const geom::Vec3& position);

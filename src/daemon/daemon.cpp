@@ -19,6 +19,7 @@
 #include "daemon/tags.hpp"
 #include "em/material.hpp"
 #include "proto/serialize.hpp"
+#include "sim/precompute_store.hpp"
 #include "surface/catalog.hpp"
 #include "telemetry/recorder.hpp"
 #include "telemetry/telemetry.hpp"
@@ -479,6 +480,11 @@ proto::WireFrame Daemon::handle_metrics(const proto::WireFrame& request) {
   w.put_u64(tag::kRebuilds, stats_.env_rebuilds);
   w.put_f64(tag::kLastEpochMs, stats_.last_epoch_ms);
   w.put_u64(tag::kRequests, stats_.requests);
+  const sim::PrecomputeStore::Stats pre = sim::PrecomputeStore::instance().stats();
+  w.put_u64(tag::kPrecomputeHits, pre.hits);
+  w.put_u64(tag::kPrecomputeMisses, pre.misses);
+  w.put_u64(tag::kPrecomputeBytes, pre.bytes);
+  w.put_u64(tag::kPrecomputeEvictions, pre.evictions);
   return reply;
 }
 

@@ -45,6 +45,12 @@ inline constexpr std::uint16_t kEpochs = 3;
 inline constexpr std::uint16_t kRebuilds = 4;
 inline constexpr std::uint16_t kLastEpochMs = 5;
 inline constexpr std::uint16_t kRequests = 6;
+// Precompute-store snapshot (appended in PR 10; old clients skip unknown
+// tags, old servers simply omit them).
+inline constexpr std::uint16_t kPrecomputeHits = 7;       ///< u64.
+inline constexpr std::uint16_t kPrecomputeMisses = 8;     ///< u64.
+inline constexpr std::uint16_t kPrecomputeBytes = 9;      ///< u64 resident.
+inline constexpr std::uint16_t kPrecomputeEvictions = 10; ///< u64.
 
 // kStreamTraces request: cursor-based pagination (see proto/wire.hpp for
 // the semantics). A request with none of these tags gets the legacy

@@ -41,6 +41,10 @@ class CxPlanes {
 
   std::size_t size() const noexcept { return n_; }
   std::size_t padded_size() const noexcept { return re_.size(); }
+  /// Heap bytes held by the two planes (precompute-store accounting).
+  std::size_t bytes() const noexcept {
+    return (re_.capacity() + im_.capacity()) * sizeof(double);
+  }
 
   double* re() noexcept { return re_.data(); }
   double* im() noexcept { return im_.data(); }
@@ -86,6 +90,10 @@ class CxPlaneMat {
   std::size_t rows() const noexcept { return rows_; }
   std::size_t cols() const noexcept { return cols_; }
   std::size_t stride() const noexcept { return stride_; }
+  /// Heap bytes held by the two planes (precompute-store accounting).
+  std::size_t bytes() const noexcept {
+    return (re_.capacity() + im_.capacity()) * sizeof(double);
+  }
 
   double* row_re(std::size_t r) noexcept { return re_.data() + r * stride_; }
   double* row_im(std::size_t r) noexcept { return im_.data() + r * stride_; }

@@ -211,35 +211,23 @@ std::vector<geom::Vec3> Orchestrator::probe_points(const Task& task,
 }
 
 std::string Orchestrator::signature_of(const Assignment& assignment) const {
+  // Deliberately excludes the task set: a plan is keyed by its physical
+  // resources (band, slot, devices), so task churn lands on the same plan
+  // and its channel can be rebased in O(changed endpoints) (plan_for).
   std::ostringstream oss;
   oss << static_cast<int>(assignment.band) << "|slot" << assignment.slot << "|";
-  for (const TaskId id : assignment.tasks) oss << id << ",";
-  oss << "|";
   for (const auto& device : assignment.devices) oss << device << ",";
   return oss.str();
 }
 
-Orchestrator::Plan& Orchestrator::plan_for(const Assignment& assignment,
-                                           bool& fresh) {
-  const std::string key = signature_of(assignment);
-  const auto it = plans_.find(key);
-  if (it != plans_.end() && it->second.env_revision == env_revision_) {
-    fresh = false;
-    return it->second;
-  }
-  fresh = true;
-  Plan plan;
-  plan.env_revision = env_revision_;
+std::string Orchestrator::tasks_signature(const Assignment& assignment) const {
+  std::ostringstream oss;
+  for (const TaskId id : assignment.tasks) oss << id << ",";
+  return oss.str();
+}
 
-  for (const auto& device : assignment.devices) {
-    const auto* driver = registry_->find_surface(device);
-    if (driver == nullptr) {
-      throw std::logic_error("Orchestrator: scheduled unknown device " + device);
-    }
-    plan.panels.push_back(&driver->panel());
-  }
-
-  std::vector<geom::Vec3> rx_points;
+void Orchestrator::collect_task_rx(const Assignment& assignment, Plan& plan,
+                                   std::vector<geom::Vec3>& rx_points) {
   for (const TaskId id : assignment.tasks) {
     const Task& task = tasks_.at(id);
     bool ok = true;
@@ -255,17 +243,10 @@ Orchestrator::Plan& Orchestrator::plan_for(const Assignment& assignment,
     plan.task_rx[id] = std::move(indices);
     rx_points.insert(rx_points.end(), points.begin(), points.end());
   }
-  if (rx_points.empty()) {
-    // Every task in the assignment failed; park an empty plan.
-    plans_[key] = std::move(plan);
-    return plans_[key];
-  }
+}
 
-  plan.channel = std::make_unique<sim::SceneChannel>(
-      context_.environment, em::band_center(assignment.band), context_.ap,
-      plan.panels, std::move(rx_points), nullptr, context_.channel_options);
-  plan.variables = std::make_unique<PanelVariables>(plan.panels);
-
+void Orchestrator::pick_sensing_panels(const Assignment& assignment,
+                                       Plan& plan) const {
   // Pick each sensing task's aperture: the panel with the strongest mean
   // element response over the task's probe points.
   for (const TaskId id : assignment.tasks) {
@@ -286,6 +267,70 @@ Orchestrator::Plan& Orchestrator::plan_for(const Assignment& assignment,
     }
     plan.sensing_panel_of[id] = best_panel;
   }
+}
+
+Orchestrator::Plan& Orchestrator::plan_for(const Assignment& assignment,
+                                           bool& fresh) {
+  const std::string key = signature_of(assignment);
+  const std::string tasks_sig = tasks_signature(assignment);
+  const auto it = plans_.find(key);
+  if (it != plans_.end() && it->second.env_revision == env_revision_) {
+    if (it->second.tasks_sig == tasks_sig) {
+      fresh = false;
+      return it->second;
+    }
+    // Same resources, different task set: rebase the live channel's RX rows
+    // instead of rebuilding the whole plan. Surviving endpoints keep their
+    // rows; only new ones are traced (SceneChannel::rebase_rx). The result
+    // is indistinguishable from a fresh build — same RX order, cleared
+    // warm start — at O(changed endpoints) cost.
+    Plan& plan = it->second;
+    if (plan.channel != nullptr) {
+      plan.task_rx.clear();
+      plan.sensing_panel_of.clear();
+      std::vector<geom::Vec3> rx_points;
+      collect_task_rx(assignment, plan, rx_points);
+      if (!rx_points.empty()) {
+        SURFOS_COUNT("orch.plan.rebased");
+        plan.channel->rebase_rx(std::move(rx_points));
+        pick_sensing_panels(assignment, plan);
+        plan.x.clear();
+        plan.optimized = false;
+        plan.last_loss = 0.0;
+        plan.tasks_sig = tasks_sig;
+        fresh = true;
+        return plan;
+      }
+    }
+    // Parked plan, or every task now fails: fall through to a full rebuild.
+  }
+  fresh = true;
+  Plan plan;
+  plan.env_revision = env_revision_;
+  plan.tasks_sig = tasks_sig;
+
+  for (const auto& device : assignment.devices) {
+    const auto* driver = registry_->find_surface(device);
+    if (driver == nullptr) {
+      throw std::logic_error("Orchestrator: scheduled unknown device " + device);
+    }
+    plan.panels.push_back(&driver->panel());
+  }
+
+  std::vector<geom::Vec3> rx_points;
+  collect_task_rx(assignment, plan, rx_points);
+  if (rx_points.empty()) {
+    // Every task in the assignment failed; park an empty plan.
+    plans_[key] = std::move(plan);
+    return plans_[key];
+  }
+
+  plan.channel = std::make_unique<sim::SceneChannel>(
+      context_.environment, em::band_center(assignment.band), context_.ap,
+      plan.panels, std::move(rx_points), nullptr, context_.channel_options);
+  plan.variables = std::make_unique<PanelVariables>(plan.panels);
+
+  pick_sensing_panels(assignment, plan);
 
   plans_[key] = std::move(plan);
   return plans_[key];

@@ -209,6 +209,10 @@ class Orchestrator {
     std::map<TaskId, std::size_t> sensing_panel_of;  ///< For sensing tasks.
     std::vector<double> x;  ///< Current control phases.
     std::uint64_t env_revision = 0;
+    /// Task ids the channel's RX rows were built for. When only this
+    /// differs from the incoming assignment, plan_for rebases the channel's
+    /// RX set in O(changed endpoints) instead of rebuilding the plan.
+    std::string tasks_sig;
     bool optimized = false;
     double last_loss = 0.0;
   };
@@ -219,6 +223,14 @@ class Orchestrator {
   std::vector<geom::Vec3> probe_points(const Task& task, bool& ok) const;
   Plan& plan_for(const Assignment& assignment, bool& fresh);
   std::string signature_of(const Assignment& assignment) const;
+  std::string tasks_signature(const Assignment& assignment) const;
+  /// Fills plan.task_rx (indices into `rx_points`) from the assignment's
+  /// tasks, appending each task's probe points; failing tasks are marked
+  /// kFailed and skipped.
+  void collect_task_rx(const Assignment& assignment, Plan& plan,
+                       std::vector<geom::Vec3>& rx_points);
+  /// Picks each sensing task's aperture panel from the plan's channel.
+  void pick_sensing_panels(const Assignment& assignment, Plan& plan) const;
   /// Returns the number of objective evaluations the optimizer spent.
   std::size_t optimize_plan(const Assignment& assignment, Plan& plan);
   /// Stages the plan's realized configs into the epoch's write-combining

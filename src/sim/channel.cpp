@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 #include "em/band.hpp"
 #include "sim/incremental.hpp"
@@ -36,6 +38,37 @@ const em::AntennaPattern& pattern_or_isotropic(const em::AntennaPattern* p) {
   return p != nullptr ? *p : kIsotropic;
 }
 
+void digest_vec3(util::DigestBuilder& b, const geom::Vec3& v) {
+  b.add_double(v.x);
+  b.add_double(v.y);
+  b.add_double(v.z);
+}
+
+/// Structural fingerprint of an antenna pattern: its name bytes, peak gain,
+/// and the amplitude response sampled on a fixed set of unit directions
+/// ({-1,0,1}^3 \ {0}, normalized — 26 probes cover every octant and axis).
+/// Patterns are value types constructed from a handful of parameters, so
+/// matching samples + name pins down matching responses everywhere.
+void digest_pattern(util::DigestBuilder& b, const em::AntennaPattern& pattern) {
+  const std::string name = pattern.name();
+  b.add_size(name.size());
+  for (const char c : name) b.add_word(static_cast<std::uint64_t>(
+      static_cast<unsigned char>(c)));
+  b.add_double(pattern.peak_power_gain());
+  for (int ix = -1; ix <= 1; ++ix) {
+    for (int iy = -1; iy <= 1; ++iy) {
+      for (int iz = -1; iz <= 1; ++iz) {
+        if (ix == 0 && iy == 0 && iz == 0) continue;
+        const geom::Vec3 dir = geom::Vec3{static_cast<double>(ix),
+                                          static_cast<double>(iy),
+                                          static_cast<double>(iz)}
+                                   .normalized();
+        b.add_double(pattern.amplitude_gain(dir));
+      }
+    }
+  }
+}
+
 /// |cos| between a panel's normal and the direction from an element to a
 /// point (scalar path; the SIMD fills use hop_gain/pair_gain instead).
 double element_cos(const surface::SurfacePanel& panel,
@@ -59,6 +92,21 @@ struct PosPlanes {
       y[i] = positions[i].y;
       z[i] = positions[i].z;
     }
+  }
+};
+
+std::vector<PosPlanes> make_pos_planes(
+    const std::vector<const surface::SurfacePanel*>& panels) {
+  std::vector<PosPlanes> pos(panels.size());
+  for (std::size_t p = 0; p < panels.size(); ++p) {
+    pos[p].fill(panels[p]->element_positions());
+  }
+  return pos;
+}
+
+struct DigestHash {
+  std::size_t operator()(const util::ConfigDigest& d) const noexcept {
+    return static_cast<std::size_t>(d.lo ^ (d.hi * 0x9e3779b97f4a7c15ull));
   }
 };
 
@@ -92,40 +140,90 @@ SceneChannel::SceneChannel(const Environment* environment, double frequency_hz,
 
 SceneChannel::~SceneChannel() = default;
 
-void SceneChannel::precompute() {
-  SURFOS_TRACE_SPAN("sim.channel.precompute");
-  SURFOS_COUNT("sim.channel.precomputes");
-  SURFOS_COUNT_N("sim.channel.precompute_rx_points", rx_points_.size());
-  SURFOS_COUNT_N("sim.channel.precompute_panels", panels_.size());
+util::ConfigDigest SceneChannel::compute_scene_digest() const {
+  util::DigestBuilder b;
+  b.add_word(0x5352464f50433130ull);  // "SRFOPC10": scene-artifact salt
+  b.add_double(frequency_hz_);
+  digest_vec3(b, tx_.position);
+  digest_pattern(b, pattern_or_isotropic(tx_.antenna));
+  digest_pattern(b, pattern_or_isotropic(rx_antenna_));
+  b.add_word(options_.per_element_blockage ? 1 : 0);
+  b.add_word(options_.include_surface_cascades ? 1 : 0);
+  b.add_word(static_cast<std::uint64_t>(options_.tracer.max_reflection_order));
+  b.add_double(options_.tracer.min_path_gain);
+  // Kernels are bit-identical across SIMD backends (PR 6), but the digest
+  // stays conservative: tests that switch backends mid-process must compare
+  // genuinely recomputed artifacts, not cache hits. One backend per process
+  // in production, so this never splits real sharing.
+  b.add_word(static_cast<std::uint64_t>(util::simd::active_backend()));
+
+  b.add_size(panels_.size());
+  for (const auto* panel : panels_) {
+    b.add_size(panel->element_count());
+    b.add_double(panel->design().effective_area());
+    digest_vec3(b, panel->normal());
+    digest_vec3(b, panel->center());
+    for (const geom::Vec3& ep : panel->element_positions()) digest_vec3(b, ep);
+  }
+
+  const auto& mesh = environment_->mesh();
+  b.add_size(mesh.triangle_count());
+  for (const geom::Triangle& t : mesh.triangles()) {
+    digest_vec3(b, t.a);
+    digest_vec3(b, t.b);
+    digest_vec3(b, t.c);
+    b.add_word(static_cast<std::uint64_t>(t.material_id));
+  }
+  const auto reflectors = environment_->reflectors();
+  b.add_size(reflectors.size());
+  for (const Reflector& r : reflectors) {
+    digest_vec3(b, r.frame.origin());
+    digest_vec3(b, r.frame.u());
+    digest_vec3(b, r.frame.v());
+    b.add_double(r.half_u);
+    b.add_double(r.half_v);
+    b.add_word(static_cast<std::uint64_t>(r.material_id));
+  }
+  const auto& materials = environment_->materials();
+  b.add_size(materials.size());
+  for (std::size_t i = 0; i < materials.size(); ++i) {
+    const em::Material& m = materials.get(static_cast<int>(i));
+    b.add_double(m.rel_permittivity);
+    b.add_double(m.conductivity_a);
+    b.add_double(m.conductivity_b);
+    b.add_double(m.thickness_m);
+  }
+  return b.digest();
+}
+
+util::ConfigDigest SceneChannel::row_key(const geom::Vec3& rx) const {
+  util::DigestBuilder b;
+  b.add_word(0x5352464f524f5731ull);  // "SRFORW1": row-artifact salt
+  digest_vec3(b, rx);
+  return util::combine(scene_digest_, b.digest());
+}
+
+std::shared_ptr<ScenePrecompute> SceneChannel::build_statics() const {
   const auto& tx_pattern = pattern_or_isotropic(tx_.antenna);
-  const auto& rx_pattern = pattern_or_isotropic(rx_antenna_);
   const auto& kn = util::simd::ops();
   const double wavenum = em::wavenumber(frequency_hz_);
   const double lambda = em::wavelength(frequency_hz_);
   const double sqrt4pi = std::sqrt(4.0 * M_PI);
 
-  // Direct (non-surface) component, antenna-weighted per path, traced in
-  // SIMD blocks of kWidth receivers.
-  const BatchTracer tracer(environment_, frequency_hz_, options_.tracer);
-  h_dir_.assign(rx_points_.size(), em::Cx{});
-  tracer.trace_weighted(tx_.position, rx_points_, tx_pattern, rx_pattern,
-                        h_dir_);
-
-  std::vector<PosPlanes> pos(panels_.size());
-  for (std::size_t p = 0; p < panels_.size(); ++p) {
-    pos[p].fill(panels_[p]->element_positions());
-  }
+  auto out = std::make_shared<ScenePrecompute>();
+  const std::vector<PosPlanes> pos = make_pos_planes(panels_);
 
   // TX -> panel element vectors: hop gains + departure directions from the
   // hop_gain kernel, antenna weights from the batched pattern, and the
   // panel-center transmission applied as one complex scale.
-  f_.resize(panels_.size());
+  out->f.resize(panels_.size());
   util::parallel_for(0, panels_.size(), [&](std::size_t p) {
     const auto& panel = *panels_[p];
     const double area = panel.design().effective_area();
     const auto& positions = panel.element_positions();
     const std::size_t n = positions.size();
-    f_[p].resize(n);
+    em::CxPlanes& f = out->f[p];
+    f.resize(n);
     if (options_.per_element_blockage) {
       // Slow exact path: per-element occlusion, scalar formulas.
       for (std::size_t i = 0; i < n; ++i) {
@@ -138,7 +236,7 @@ void SceneChannel::precompute() {
         const double gt = tx_pattern.amplitude_gain(dep);
         const em::Cx trans = environment_->segment_transmission(
             tx_.position, ep, frequency_hz_);
-        f_[p].set(i, hop * gt * trans);
+        f.set(i, hop * gt * trans);
       }
       return;
     }
@@ -151,70 +249,20 @@ void SceneChannel::precompute() {
     // hop = sqrt(area cos)/(sqrt(4pi) d) e^{-jkd}; u = element -> TX.
     kn.hop_gain(pos[p].x.data(), pos[p].y.data(), pos[p].z.data(),
                 tx_.position.x, tx_.position.y, tx_.position.z, nrm.x, nrm.y,
-                nrm.z, wavenum, area, sqrt4pi, f_[p].re(), f_[p].im(),
-                ux.data(), uy.data(), uz.data(), n);
+                nrm.z, wavenum, area, sqrt4pi, f.re(), f.im(), ux.data(),
+                uy.data(), uz.data(), n);
     // The TX pattern is evaluated on the departure direction TX -> element,
     // which is -u, hence sign = -1 (an exact flip).
     tx_pattern.amplitude_gain_batch(ux.data(), uy.data(), uz.data(), -1.0,
                                     w.data(), n);
-    kn.rscale_mul(f_[p].re(), f_[p].im(), w.data(), pad);
-    kn.cscale(f_[p].re(), f_[p].im(), center_trans.real(), center_trans.imag(),
-              pad);
-  });
-
-  // Panel elements -> RX vectors, parallel over RX points.
-  g_.resize(rx_points_.size());
-  util::parallel_for(0, rx_points_.size(), [&](std::size_t j) {
-    const geom::Vec3& rx = rx_points_[j];
-    g_[j].resize(panels_.size());
-    for (std::size_t p = 0; p < panels_.size(); ++p) {
-      const auto& panel = *panels_[p];
-      const double area = panel.design().effective_area();
-      const auto& positions = panel.element_positions();
-      const std::size_t n = positions.size();
-      g_[j][p].resize(n);
-      if (options_.per_element_blockage) {
-        for (std::size_t i = 0; i < n; ++i) {
-          const geom::Vec3& ep = positions[i];
-          const double d = ep.distance_to(rx);
-          if (d < 1e-6) continue;
-          const double cos_out = element_cos(panel, ep, rx);
-          const em::Cx hop =
-              em::element_hop_gain(frequency_hz_, area, cos_out, d);
-          // RX pattern is evaluated toward the incoming wave, i.e. from the
-          // RX point back toward the element.
-          const geom::Vec3 arr = (rx - ep).normalized();
-          const double gr = rx_pattern.amplitude_gain(-arr);
-          const em::Cx trans =
-              environment_->segment_transmission(ep, rx, frequency_hz_);
-          g_[j][p].set(i, hop * gr * trans);
-        }
-        continue;
-      }
-      const em::Cx center_trans = environment_->segment_transmission(
-          panel.center(), rx, frequency_hz_);
-      const std::size_t pad = em::padded_len(n);
-      util::simd::AlignedVec ux(pad, 0.0), uy(pad, 0.0), uz(pad, 0.0),
-          w(pad, 0.0);
-      const geom::Vec3 nrm = panel.normal();
-      kn.hop_gain(pos[p].x.data(), pos[p].y.data(), pos[p].z.data(), rx.x,
-                  rx.y, rx.z, nrm.x, nrm.y, nrm.z, wavenum, area, sqrt4pi,
-                  g_[j][p].re(), g_[j][p].im(), ux.data(), uy.data(),
-                  uz.data(), n);
-      // u = element -> RX is the arrival direction; the RX pattern looks
-      // back along it, hence sign = -1.
-      rx_pattern.amplitude_gain_batch(ux.data(), uy.data(), uz.data(), -1.0,
-                                      w.data(), n);
-      kn.rscale_mul(g_[j][p].re(), g_[j][p].im(), w.data(), pad);
-      kn.cscale(g_[j][p].re(), g_[j][p].im(), center_trans.real(),
-                center_trans.imag(), pad);
-    }
+    kn.rscale_mul(f.re(), f.im(), w.data(), pad);
+    kn.cscale(f.re(), f.im(), center_trans.real(), center_trans.imag(), pad);
   });
 
   // Panel -> panel cascade matrices, parallel over the flattened (q, p)
   // pair index — each pair owns one O(N^2) matrix, the dominant cost.
-  cascades_.assign(panels_.size(),
-                   std::vector<em::CxPlaneMat>(panels_.size()));
+  out->cascades.assign(panels_.size(),
+                       std::vector<em::CxPlaneMat>(panels_.size()));
   if (options_.include_surface_cascades) {
     const std::size_t np = panels_.size();
     util::parallel_for(0, np * np, [&](std::size_t pair) {
@@ -242,13 +290,207 @@ void SceneChannel::precompute() {
       // lanes stay zero under scaling).
       kn.cscale(mat.row_re(0), mat.row_im(0), center_trans.real(),
                 center_trans.imag(), mat.rows() * mat.stride());
-      cascades_[q][p] = std::move(mat);
+      out->cascades[q][p] = std::move(mat);
     });
+  }
+  return out;
+}
+
+void SceneChannel::fill_missing_rows(const std::vector<std::size_t>& missing) {
+  if (missing.empty()) return;
+  const auto& tx_pattern = pattern_or_isotropic(tx_.antenna);
+  const auto& rx_pattern = pattern_or_isotropic(rx_antenna_);
+  const auto& kn = util::simd::ops();
+  const double wavenum = em::wavenumber(frequency_hz_);
+  const double sqrt4pi = std::sqrt(4.0 * M_PI);
+
+  // Direct (non-surface) component, antenna-weighted per path, traced in
+  // SIMD blocks of kWidth receivers — only for the rows actually missing.
+  // Per-receiver values are lane-independent, so tracing a subset yields
+  // bits identical to tracing the full set (trace_batch.hpp).
+  std::vector<geom::Vec3> points(missing.size());
+  for (std::size_t k = 0; k < missing.size(); ++k) {
+    points[k] = rx_points_[missing[k]];
+  }
+  std::vector<em::Cx> h(points.size(), em::Cx{});
+  const BatchTracer tracer(environment_, frequency_hz_, options_.tracer);
+  tracer.trace_weighted(tx_.position, points, tx_pattern, rx_pattern, h);
+
+  const std::vector<PosPlanes> pos = make_pos_planes(panels_);
+
+  // Panel elements -> RX vectors, parallel over the missing rows.
+  std::vector<std::shared_ptr<RxRowPrecompute>> built(missing.size());
+  util::parallel_for(0, missing.size(), [&](std::size_t k) {
+    const geom::Vec3& rx = points[k];
+    auto row = std::make_shared<RxRowPrecompute>();
+    row->h_dir = h[k];
+    row->g.resize(panels_.size());
+    for (std::size_t p = 0; p < panels_.size(); ++p) {
+      const auto& panel = *panels_[p];
+      const double area = panel.design().effective_area();
+      const auto& positions = panel.element_positions();
+      const std::size_t n = positions.size();
+      em::CxPlanes& g = row->g[p];
+      g.resize(n);
+      if (options_.per_element_blockage) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const geom::Vec3& ep = positions[i];
+          const double d = ep.distance_to(rx);
+          if (d < 1e-6) continue;
+          const double cos_out =
+              element_cos(panel, ep, rx);
+          const em::Cx hop =
+              em::element_hop_gain(frequency_hz_, area, cos_out, d);
+          // RX pattern is evaluated toward the incoming wave, i.e. from the
+          // RX point back toward the element.
+          const geom::Vec3 arr = (rx - ep).normalized();
+          const double gr = rx_pattern.amplitude_gain(-arr);
+          const em::Cx trans =
+              environment_->segment_transmission(ep, rx, frequency_hz_);
+          g.set(i, hop * gr * trans);
+        }
+        continue;
+      }
+      const em::Cx center_trans = environment_->segment_transmission(
+          panel.center(), rx, frequency_hz_);
+      const std::size_t pad = em::padded_len(n);
+      util::simd::AlignedVec ux(pad, 0.0), uy(pad, 0.0), uz(pad, 0.0),
+          w(pad, 0.0);
+      const geom::Vec3 nrm = panel.normal();
+      kn.hop_gain(pos[p].x.data(), pos[p].y.data(), pos[p].z.data(), rx.x,
+                  rx.y, rx.z, nrm.x, nrm.y, nrm.z, wavenum, area, sqrt4pi,
+                  g.re(), g.im(), ux.data(), uy.data(), uz.data(), n);
+      // u = element -> RX is the arrival direction; the RX pattern looks
+      // back along it, hence sign = -1.
+      rx_pattern.amplitude_gain_batch(ux.data(), uy.data(), uz.data(), -1.0,
+                                      w.data(), n);
+      kn.rscale_mul(g.re(), g.im(), w.data(), pad);
+      kn.cscale(g.re(), g.im(), center_trans.real(), center_trans.imag(),
+                pad);
+    }
+    row->finalize_bytes();
+    built[k] = std::move(row);
+  });
+
+  if (precompute_enabled()) {
+    auto& store = PrecomputeStore::instance();
+    for (std::size_t k = 0; k < missing.size(); ++k) {
+      rows_[missing[k]] = store.publish_row(row_key(points[k]),
+                                            std::move(built[k]));
+    }
+  } else {
+    for (std::size_t k = 0; k < missing.size(); ++k) {
+      rows_[missing[k]] = std::move(built[k]);
+    }
   }
 }
 
+void SceneChannel::precompute() {
+  SURFOS_TRACE_SPAN("sim.channel.precompute");
+  SURFOS_COUNT("sim.channel.precomputes");
+  SURFOS_COUNT_N("sim.channel.precompute_rx_points", rx_points_.size());
+  SURFOS_COUNT_N("sim.channel.precompute_panels", panels_.size());
+
+  scene_digest_ = compute_scene_digest();
+  const bool share = precompute_enabled();
+  if (share) {
+    statics_ = PrecomputeStore::instance().acquire_scene(
+        scene_digest_, [this] { return build_statics(); });
+  } else {
+    statics_ = build_statics();
+  }
+
+  rows_.assign(rx_points_.size(), nullptr);
+  std::vector<std::size_t> missing;
+  if (share) {
+    auto& store = PrecomputeStore::instance();
+    for (std::size_t j = 0; j < rx_points_.size(); ++j) {
+      if (auto row = store.lookup_row(row_key(rx_points_[j]))) {
+        rows_[j] = std::move(row);
+      } else {
+        missing.push_back(j);
+      }
+    }
+  } else {
+    missing.resize(rx_points_.size());
+    std::iota(missing.begin(), missing.end(), std::size_t{0});
+  }
+  fill_missing_rows(missing);
+}
+
+void SceneChannel::rebase_rx(std::vector<geom::Vec3> new_points) {
+  if (new_points.empty()) {
+    throw std::invalid_argument("SceneChannel: no RX points");
+  }
+  SURFOS_TRACE_SPAN("sim.channel.rebase_rx");
+  SURFOS_COUNT("sim.channel.rebases");
+  ++rx_revision_;
+  // Memo keys embed RX indices, which mean different points after a rebase.
+  power_memo_->clear();
+
+  if (!precompute_enabled()) {
+    // Honest ablation: without the store, a changed RX set costs a full
+    // dense precompute — exactly what fresh construction would do.
+    rx_points_ = std::move(new_points);
+    precompute();
+    return;
+  }
+
+  // Survivor rows come from this channel itself (exact point-bit match),
+  // immune to store eviction pressure; everything else tries the store,
+  // then gets traced. Row order follows new_points, so the result is
+  // indistinguishable from fresh construction.
+  std::unordered_map<util::ConfigDigest,
+                     std::shared_ptr<const RxRowPrecompute>, DigestHash>
+      local;
+  local.reserve(rx_points_.size());
+  for (std::size_t j = 0; j < rx_points_.size(); ++j) {
+    local.emplace(row_key(rx_points_[j]), rows_[j]);
+  }
+
+  rx_points_ = std::move(new_points);
+  rows_.assign(rx_points_.size(), nullptr);
+  auto& store = PrecomputeStore::instance();
+  std::vector<std::size_t> missing;
+  std::size_t reused = 0;
+  for (std::size_t j = 0; j < rx_points_.size(); ++j) {
+    const util::ConfigDigest key = row_key(rx_points_[j]);
+    if (const auto it = local.find(key); it != local.end()) {
+      rows_[j] = it->second;
+      ++reused;
+      continue;
+    }
+    if (auto row = store.lookup_row(key)) {
+      rows_[j] = std::move(row);
+      continue;
+    }
+    missing.push_back(j);
+  }
+  SURFOS_COUNT_N("sim.channel.rebase_rows_reused", reused);
+  SURFOS_COUNT_N("sim.channel.rebase_rows_filled", missing.size());
+  fill_missing_rows(missing);
+}
+
+void SceneChannel::precompute_delta(std::span<const geom::Vec3> added_rx,
+                                    std::span<const std::size_t> removed_rx) {
+  std::vector<char> drop(rx_points_.size(), 0);
+  for (const std::size_t idx : removed_rx) {
+    if (idx >= rx_points_.size()) {
+      throw std::invalid_argument("SceneChannel: removal index out of range");
+    }
+    drop[idx] = 1;
+  }
+  std::vector<geom::Vec3> next;
+  next.reserve(rx_points_.size() + added_rx.size());
+  for (std::size_t j = 0; j < rx_points_.size(); ++j) {
+    if (!drop[j]) next.push_back(rx_points_[j]);
+  }
+  next.insert(next.end(), added_rx.begin(), added_rx.end());
+  rebase_rx(std::move(next));
+}
+
 em::CMat SceneChannel::cascade(std::size_t q, std::size_t p) const {
-  const em::CxPlaneMat& m = cascades_.at(q).at(p);
+  const em::CxPlaneMat& m = statics_->cascades.at(q).at(p);
   if (m.rows() == 0) return {};
   em::CMat out(m.rows(), m.cols());
   for (std::size_t r = 0; r < m.rows(); ++r) {
@@ -292,15 +534,16 @@ em::Cx SceneChannel::evaluate_planes(
     std::size_t j, std::span<const em::CxPlanes> coefficients) const {
   check_coefficient_sizes(coefficients);
   const geom::Vec3& rx = rx_points_.at(j);
+  const RxRowPrecompute& row = *rows_.at(j);
   const auto& kn = util::simd::ops();
-  em::Cx h = h_dir_[j];
+  em::Cx h = row.h_dir;
   double acc[2];
   // Single-bounce terms: sum_i (g_i f_i) c_i, canonical product order
   // shared with the partials kernel.
   for (std::size_t p = 0; p < panels_.size(); ++p) {
     if (!panels_[p]->serves(tx_.position, rx)) continue;
-    const em::CxPlanes& f = f_[p];
-    const em::CxPlanes& g = g_[j][p];
+    const em::CxPlanes& f = statics_->f[p];
+    const em::CxPlanes& g = row.g[p];
     const em::CxPlanes& c = coefficients[p];
     kn.cdot3(g.re(), g.im(), f.re(), f.im(), c.re(), c.im(), f.padded_size(),
              acc);
@@ -313,12 +556,12 @@ em::Cx SceneChannel::evaluate_planes(
     for (std::size_t p = 0; p < panels_.size(); ++p) {
       for (std::size_t q = 0; q < panels_.size(); ++q) {
         if (p == q) continue;
-        const em::CxPlaneMat& G = cascades_[q][p];
+        const em::CxPlaneMat& G = statics_->cascades[q][p];
         if (G.rows() == 0) continue;
         if (!panels_[p]->serves(tx_.position, panels_[q]->center())) continue;
         if (!panels_[q]->serves(panels_[p]->center(), rx)) continue;
-        const em::CxPlanes& f = f_[p];
-        const em::CxPlanes& g = g_[j][q];
+        const em::CxPlanes& f = statics_->f[p];
+        const em::CxPlanes& g = row.g[q];
         const em::CxPlanes& cp = coefficients[p];
         const em::CxPlanes& cq = coefficients[q];
         // u = diag(cp) f ; v = G u ; term = sum_m (g_m v_m) cq_m.
@@ -371,6 +614,7 @@ void SceneChannel::evaluate_with_partials_planes(
     std::vector<em::CxPlanes>& dh_dc_out) const {
   check_coefficient_sizes(coefficients);
   const geom::Vec3& rx = rx_points_.at(j);
+  const RxRowPrecompute& row = *rows_.at(j);
   const auto& kn = util::simd::ops();
 
   dh_dc_out.resize(panels_.size());
@@ -378,15 +622,15 @@ void SceneChannel::evaluate_with_partials_planes(
     dh_dc_out[p].resize(panels_[p]->element_count());  // zero-fills
   }
 
-  em::Cx h = h_dir_[j];
+  em::Cx h = row.h_dir;
   double acc[2];
 
   // Single-bounce terms: dh_p = g .* f is exactly the product the sum
   // reduces, so cdot3_partials emits both without recomputation.
   for (std::size_t p = 0; p < panels_.size(); ++p) {
     if (!panels_[p]->serves(tx_.position, rx)) continue;
-    const em::CxPlanes& f = f_[p];
-    const em::CxPlanes& g = g_[j][p];
+    const em::CxPlanes& f = statics_->f[p];
+    const em::CxPlanes& g = row.g[p];
     const em::CxPlanes& c = coefficients[p];
     kn.cdot3_partials(g.re(), g.im(), f.re(), f.im(), c.re(), c.im(),
                       dh_dc_out[p].re(), dh_dc_out[p].im(),
@@ -404,12 +648,12 @@ void SceneChannel::evaluate_with_partials_planes(
     for (std::size_t p = 0; p < panels_.size(); ++p) {
       for (std::size_t q = 0; q < panels_.size(); ++q) {
         if (p == q) continue;
-        const em::CxPlaneMat& G = cascades_[q][p];
+        const em::CxPlaneMat& G = statics_->cascades[q][p];
         if (G.rows() == 0) continue;
         if (!panels_[p]->serves(tx_.position, panels_[q]->center())) continue;
         if (!panels_[q]->serves(panels_[p]->center(), rx)) continue;
-        const em::CxPlanes& f = f_[p];
-        const em::CxPlanes& g = g_[j][q];
+        const em::CxPlanes& f = statics_->f[p];
+        const em::CxPlanes& g = row.g[q];
         const em::CxPlanes& cp = coefficients[p];
         const em::CxPlanes& cq = coefficients[q];
         // u = diag(cp) f ; v = G u ; term = sum_m (g_m v_m) cq_m and

@@ -19,8 +19,18 @@
 // evaluate_with_partials run on the util::simd kernel layer. The *_planes
 // entry points are the native SoA hot path; the CVec-based overloads remain
 // for callers and convert at the boundary (bit-exact copies).
+//
+// The artifacts themselves are immutable and refcounted: the RX-independent
+// part (f + cascades) and each per-RX row (g + h_dir) are shared_ptrs,
+// content-addressed by a structural scene digest and shared across channels
+// through the process-wide sim::PrecomputeStore (precompute_store.hpp).
+// rebase_rx / precompute_delta re-point the row set in O(changed RX) —
+// survivors keep their rows — which is what makes daemon endpoint churn
+// cheap. SURFOS_PRECOMPUTE=0 restores private dense artifacts built by the
+// same fill code (byte-identical values).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -30,8 +40,10 @@
 #include "em/propagation.hpp"
 #include "em/soa.hpp"
 #include "geom/vec3.hpp"
+#include "sim/precompute_store.hpp"
 #include "sim/raytracer.hpp"
 #include "surface/panel.hpp"
+#include "util/digest.hpp"
 
 namespace surfos::sim {
 
@@ -73,26 +85,55 @@ class SceneChannel {
 
   /// TX -> panel-p element propagation vector (materialized from the SoA
   /// planes; use tx_planes for the zero-copy view).
-  em::CVec tx_vector(std::size_t p) const { return f_.at(p).to_cvec(); }
+  em::CVec tx_vector(std::size_t p) const { return statics_->f.at(p).to_cvec(); }
   /// Panel-p elements -> RX j propagation vector.
   em::CVec rx_vector(std::size_t p, std::size_t j) const {
-    return g_.at(j).at(p).to_cvec();
+    return rows_.at(j)->g.at(p).to_cvec();
   }
   /// Direct (non-surface) channel to RX j.
-  em::Cx direct(std::size_t j) const { return h_dir_.at(j); }
+  em::Cx direct(std::size_t j) const { return rows_.at(j)->h_dir; }
   /// Panel p -> panel q cascade matrix (rows: q elements, cols: p elements);
   /// empty when cascades are disabled or geometry forbids the hop.
   em::CMat cascade(std::size_t q, std::size_t p) const;
 
   /// Zero-copy SoA views of the precomputed vectors/matrices.
-  const em::CxPlanes& tx_planes(std::size_t p) const { return f_.at(p); }
+  const em::CxPlanes& tx_planes(std::size_t p) const { return statics_->f.at(p); }
   const em::CxPlanes& rx_planes(std::size_t p, std::size_t j) const {
-    return g_.at(j).at(p);
+    return rows_.at(j)->g.at(p);
   }
   /// Cascade planes; rows() == 0 means "no cascade" (cf. CMat::empty()).
   const em::CxPlaneMat& cascade_planes(std::size_t q, std::size_t p) const {
-    return cascades_.at(q).at(p);
+    return statics_->cascades.at(q).at(p);
   }
+
+  /// Structural digest of everything the precompute output depends on:
+  /// geometry, materials, panel layout, TX placement, antenna patterns,
+  /// frequency, options, and the active SIMD backend. The content address
+  /// under which this channel's artifacts live in the PrecomputeStore.
+  const util::ConfigDigest& scene_digest() const noexcept {
+    return scene_digest_;
+  }
+
+  /// Bumped on every rebase_rx / precompute_delta; RX indices from before a
+  /// different revision refer to different points (ChannelEvalCache syncs
+  /// on it).
+  std::uint64_t rx_revision() const noexcept { return rx_revision_; }
+
+  /// Replaces the RX point set, reusing rows for points that survive (by
+  /// exact bit pattern) from this channel and from the store — tracing and
+  /// filling only genuinely new rows, O(changed RX). Row order follows
+  /// `new_points` exactly, so the result is indistinguishable from fresh
+  /// construction with the same list. Under SURFOS_PRECOMPUTE=0 this falls
+  /// back to a full dense precompute (the honest ablation). Invalidates the
+  /// power memo and bumps rx_revision().
+  void rebase_rx(std::vector<geom::Vec3> new_points);
+
+  /// RX-set diff convenience over rebase_rx: drops the rows at
+  /// `removed_rx` (indices into the current set, order preserved for
+  /// survivors) and appends `added_rx` at the end. Throws when a removal
+  /// index is out of range or when the result would be empty.
+  void precompute_delta(std::span<const geom::Vec3> added_rx,
+                        std::span<const std::size_t> removed_rx);
 
   /// End-to-end channel at RX j given per-panel element coefficient vectors
   /// (one CVec per panel, sized to that panel's element count).
@@ -150,6 +191,14 @@ class SceneChannel {
 
  private:
   void precompute();
+  util::ConfigDigest compute_scene_digest() const;
+  /// Content address of one RX point's row under the current scene digest.
+  util::ConfigDigest row_key(const geom::Vec3& rx) const;
+  /// Dense build of the RX-independent artifact (f + cascades).
+  std::shared_ptr<ScenePrecompute> build_statics() const;
+  /// Traces and fills rows for the listed RX indices (batch h_dir trace +
+  /// parallel per-row g fills), publishing to the store when sharing is on.
+  void fill_missing_rows(const std::vector<std::size_t>& missing);
   void check_coefficient_sizes(std::span<const em::CxPlanes> coefficients) const;
 
   const Environment* environment_;
@@ -160,10 +209,13 @@ class SceneChannel {
   const em::AntennaPattern* rx_antenna_;
   ChannelOptions options_;
 
-  std::vector<em::CxPlanes> f_;                      // [panel] tx -> elements
-  std::vector<std::vector<em::CxPlanes>> g_;         // [rx][panel] elements -> rx
-  std::vector<em::Cx> h_dir_;                        // [rx]
-  std::vector<std::vector<em::CxPlaneMat>> cascades_; // [q][p] p-elems -> q-elems
+  util::ConfigDigest scene_digest_{};
+  std::uint64_t rx_revision_ = 0;
+  /// RX-independent artifact (f + cascades), shared across channels through
+  /// the PrecomputeStore when sharing is on.
+  std::shared_ptr<const ScenePrecompute> statics_;
+  /// One shared row per RX point: [rx] -> (g[panel], h_dir).
+  std::vector<std::shared_ptr<const RxRowPrecompute>> rows_;
 
   /// Digest-keyed power results for repeated configs (SURFOS_EVAL_CACHE
   /// entries; thread-safe internally).

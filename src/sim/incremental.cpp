@@ -187,6 +187,16 @@ bool ChannelEvalCache::based_on(const util::ConfigDigest& key) const {
 void ChannelEvalCache::rebase(const util::ConfigDigest& key,
                               std::span<const em::CVec> coefficients) {
   std::unique_lock lock(base_mutex_);
+  if (const std::uint64_t rev = channel_->rx_revision();
+      rev != rx_seen_revision_) {
+    // The channel's RX set was rebased: indices now name different points,
+    // so every cached per-RX fill (and the baseline keyed to them) is stale.
+    rx_.resize(channel_->rx_count());
+    for (auto& entry : rx_) entry = std::make_unique<RxEntry>();
+    ++epoch_;
+    based_ = false;
+    rx_seen_revision_ = rev;
+  }
   if (based_ && base_key_ == key) return;  // benign concurrent duplicate
   if (coefficients.size() != channel_->panel_count()) {
     throw std::invalid_argument("ChannelEvalCache: coefficient count mismatch");

@@ -185,6 +185,10 @@ class ChannelEvalCache {
   std::vector<em::CVec> group_coeff_;
   std::vector<std::vector<char>> group_homogeneous_;
   std::uint64_t epoch_ = 0;  ///< Bumped per rebase; invalidates RxEntry fills.
+  /// Channel rx_revision() this cache last synced to. A rebase_rx /
+  /// precompute_delta on the channel renumbers RX indices, so rebase()
+  /// re-sizes rx_ and drops the baseline when the revision moved.
+  std::uint64_t rx_seen_revision_ = 0;
 
   std::vector<std::unique_ptr<RxEntry>> rx_;
   std::unique_ptr<std::mutex[]> rx_fill_mutexes_;  ///< Striped fill locks.

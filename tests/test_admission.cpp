@@ -261,24 +261,20 @@ TEST_F(BrokerAdmissionTest, StopAndResumeReportNotFoundOnUnknownApps) {
   EXPECT_TRUE(broker.sessions().at("xfer").running);
 }
 
-TEST_F(BrokerAdmissionTest, DeprecatedThrowingShimsStillThrow) {
-  // The one-release compatibility bridge: the shims reproduce the old
-  // exception contract on top of the Result surface.
+TEST_F(BrokerAdmissionTest, ResultCodesCoverTheRetiredThrowingContract) {
+  // The deprecated *_or_throw shims are gone (they lasted the promised one
+  // release); every case they bridged maps to a Result code.
   ServiceBroker& broker = os_->broker();
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  EXPECT_THROW(broker.stop_app_or_throw("ghost"), std::invalid_argument);
-  EXPECT_THROW(broker.resume_app_or_throw("ghost"), std::invalid_argument);
-  EXPECT_NO_THROW(broker.start_app_or_throw(
-      "xfer", demand_profile(AppClass::kFileTransfer, "laptop")));
-  EXPECT_THROW(broker.start_app_or_throw(
-                   "xfer", demand_profile(AppClass::kFileTransfer, "laptop")),
-               std::invalid_argument);
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
+  EXPECT_EQ(broker.stop_app("ghost").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(broker.resume_app("ghost").code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(
+      broker.start_app("xfer", demand_profile(AppClass::kFileTransfer, "laptop"))
+          .ok());
+  EXPECT_EQ(broker
+                .start_app("xfer",
+                           demand_profile(AppClass::kFileTransfer, "laptop"))
+                .code(),
+            ErrorCode::kAlreadyExists);
 }
 
 }  // namespace

@@ -76,6 +76,10 @@ TEST(ParallelDeterminism, PrecomputeAndPowerMapBitIdentical) {
   const Scene scene;
   const auto configs = scene.focus_configs();
 
+  // With store sharing on, the threaded channel would adopt the serial
+  // channel's artifacts and the comparison below would test pointer
+  // equality, not recomputation. Force both to genuinely precompute.
+  sim::set_precompute_enabled(false);
   util::reset_global_pool(1);
   const auto serial_channel = scene.make_channel();
   const auto serial_power = serial_channel->power_map(configs);
@@ -99,6 +103,7 @@ TEST(ParallelDeterminism, PrecomputeAndPowerMapBitIdentical) {
   for (std::size_t j = 0; j < serial_channel->rx_count(); ++j) {
     EXPECT_EQ(serial_channel->direct(j), threaded_channel->direct(j));
   }
+  sim::set_precompute_enabled(true);
   util::reset_global_pool(1);
 }
 

@@ -17,6 +17,7 @@
 
 #include "core/surfos.hpp"
 #include "sim/floorplan.hpp"
+#include "sim/precompute_store.hpp"
 #include "surface/catalog.hpp"
 #include "telemetry/recorder.hpp"
 #include "telemetry/telemetry.hpp"
@@ -485,11 +486,15 @@ std::string serialize_semantics(const orch::StepReport& report) {
 TEST_F(TelemetryTest, CounterSnapshotIdenticalAcrossThreadCounts) {
   auto& registry = MetricsRegistry::instance();
 
+  // Each run starts from a cold precompute store: cross-run artifact
+  // sharing would legitimately skip traces/fills the fingerprint counts.
+  sim::PrecomputeStore::instance().clear();
   util::reset_global_pool(1);
   run_scenario();
   const std::string serial = registry.counters_fingerprint();
 
   registry.reset();
+  sim::PrecomputeStore::instance().clear();
   util::reset_global_pool(4);
   run_scenario();
   const std::string threaded = registry.counters_fingerprint();

@@ -328,6 +328,9 @@ int main(int argc, char** argv) {
                [](const proto::WireFrame& reply) {
                  proto::TlvReader r(reply.payload);
                  std::uint64_t epochs = 0, rebuilds = 0, requests = 0;
+                 std::uint64_t pre_hits = 0, pre_misses = 0, pre_bytes = 0,
+                               pre_evictions = 0;
+                 bool have_precompute = false;
                  double epoch_ms = 0.0;
                  surfos::FleetReport report;
                  bool have_report = false;
@@ -349,6 +352,19 @@ int main(int argc, char** argv) {
                      case tag::kRequests:
                        requests = proto::tlv_u64(*tlv).value_or(0);
                        break;
+                     case tag::kPrecomputeHits:
+                       pre_hits = proto::tlv_u64(*tlv).value_or(0);
+                       have_precompute = true;
+                       break;
+                     case tag::kPrecomputeMisses:
+                       pre_misses = proto::tlv_u64(*tlv).value_or(0);
+                       break;
+                     case tag::kPrecomputeBytes:
+                       pre_bytes = proto::tlv_u64(*tlv).value_or(0);
+                       break;
+                     case tag::kPrecomputeEvictions:
+                       pre_evictions = proto::tlv_u64(*tlv).value_or(0);
+                       break;
                      default: break;
                    }
                  }
@@ -358,6 +374,15 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(epochs), epoch_ms,
                      static_cast<unsigned long long>(rebuilds),
                      static_cast<unsigned long long>(requests));
+                 if (have_precompute) {
+                   std::printf(
+                       "precompute: %llu hit(s), %llu miss(es), "
+                       "%llu eviction(s), %.1f MiB resident\n",
+                       static_cast<unsigned long long>(pre_hits),
+                       static_cast<unsigned long long>(pre_misses),
+                       static_cast<unsigned long long>(pre_evictions),
+                       static_cast<double>(pre_bytes) / (1024.0 * 1024.0));
+                 }
                  if (have_report) {
                    std::printf(
                        "last step: %zu site(s), %zu assignment(s), "

@@ -88,6 +88,22 @@ void redraw(const Dashboard& d) {
               static_cast<unsigned long long>(d.dropped));
   std::printf("latency %s\n", sparkline(d.epoch_ms).c_str());
 
+  // Dedicated precompute-store line: shared-artifact traffic is the main
+  // lever behind cold-start and endpoint-churn latency (PR 10).
+  const auto count_of = [&d](const char* name) -> unsigned long long {
+    const auto it = d.counters.find(name);
+    return it == d.counters.end()
+               ? 0ull
+               : static_cast<unsigned long long>(it->second);
+  };
+  const auto bytes_it = d.gauges.find("sim.precompute.bytes");
+  std::printf(
+      "precompute hits %llu  misses %llu  evictions %llu  resident %.1f MiB\n",
+      count_of("sim.precompute.hits"), count_of("sim.precompute.misses"),
+      count_of("sim.precompute.evictions"),
+      (bytes_it == d.gauges.end() ? 0.0 : bytes_it->second) /
+          (1024.0 * 1024.0));
+
   std::printf("\nsites (%zu):\n", d.sites.size());
   std::printf("  %-12s %-10s %-8s %s\n", "SITE", "SLO", "EPOCHS", "REASON");
   for (const auto& [site, row] : d.sites) {
